@@ -1,0 +1,197 @@
+//! Compiling boolean conditions to BDDs.
+//!
+//! The conditions of boolean c-tables (§3) and boolean pc-tables (§8) —
+//! equivalently, the *event expressions* of the §7 models — are boolean
+//! combinations of literals `x = true` / `x = false`. [`compile_condition`]
+//! turns such a condition into a BDD over a caller-chosen variable order;
+//! `ipdb-prob` then computes answer-tuple probabilities by weighted model
+//! counting.
+
+use std::collections::BTreeMap;
+
+use ipdb_logic::{Condition, Term, Var};
+use ipdb_rel::Value;
+
+use crate::error::BddError;
+use crate::manager::{BddManager, NodeRef};
+
+/// The default variable order for a condition: its variables in
+/// ascending `Var` order, mapped to BDD indexes `0, 1, …`.
+pub fn var_order(cond: &Condition) -> BTreeMap<Var, u32> {
+    cond.vars()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i as u32))
+        .collect()
+}
+
+/// Compiles a *boolean* condition into a BDD under the given variable
+/// order.
+///
+/// Fails with [`BddError::NonBooleanAtom`] on atoms that are not boolean
+/// literals and [`BddError::UnknownVar`] on variables missing from
+/// `order`.
+///
+/// ```
+/// use ipdb_bdd::{compile_condition, var_order, BddManager};
+/// use ipdb_logic::{Condition, Var};
+/// let c = Condition::or([Condition::bvar(Var(0)), Condition::nbvar(Var(1))]);
+/// let order = var_order(&c);
+/// let mut m = BddManager::new();
+/// let f = compile_condition(&mut m, &c, &order).unwrap();
+/// assert!(m.eval(f, &[true, true]));
+/// assert!(!m.eval(f, &[false, true]));
+/// ```
+pub fn compile_condition(
+    mgr: &mut BddManager,
+    cond: &Condition,
+    order: &BTreeMap<Var, u32>,
+) -> Result<NodeRef, BddError> {
+    match cond {
+        Condition::True => Ok(crate::manager::TRUE),
+        Condition::False => Ok(crate::manager::FALSE),
+        Condition::Eq(a, b) => literal(mgr, a, b, order, false),
+        Condition::Neq(a, b) => literal(mgr, a, b, order, true),
+        Condition::Not(c) => {
+            let f = compile_condition(mgr, c, order)?;
+            Ok(mgr.not(f))
+        }
+        Condition::And(cs) => {
+            let mut acc = crate::manager::TRUE;
+            for c in cs {
+                let f = compile_condition(mgr, c, order)?;
+                acc = mgr.and(acc, f);
+            }
+            Ok(acc)
+        }
+        Condition::Or(cs) => {
+            let mut acc = crate::manager::FALSE;
+            for c in cs {
+                let f = compile_condition(mgr, c, order)?;
+                acc = mgr.or(acc, f);
+            }
+            Ok(acc)
+        }
+    }
+}
+
+fn literal(
+    mgr: &mut BddManager,
+    a: &Term,
+    b: &Term,
+    order: &BTreeMap<Var, u32>,
+    negated: bool,
+) -> Result<NodeRef, BddError> {
+    let (var, val) = match (a, b) {
+        (Term::Var(v), Term::Const(Value::Bool(c)))
+        | (Term::Const(Value::Bool(c)), Term::Var(v)) => (*v, *c),
+        _ => {
+            return Err(BddError::NonBooleanAtom(format!(
+                "{a}{}{b}",
+                if negated { "≠" } else { "=" }
+            )))
+        }
+    };
+    let idx = *order.get(&var).ok_or(BddError::UnknownVar(var))?;
+    // x = true is the positive literal; x = false the negative one;
+    // negation flips.
+    let positive = val != negated;
+    Ok(if positive {
+        mgr.var(idx)
+    } else {
+        mgr.nvar(idx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_logic::Valuation;
+
+    fn assignment_to_valuation(order: &BTreeMap<Var, u32>, asg: &[bool]) -> Valuation {
+        order
+            .iter()
+            .map(|(v, &i)| (*v, Value::from(asg[i as usize])))
+            .collect()
+    }
+
+    #[test]
+    fn literals_compile() {
+        let mut m = BddManager::new();
+        let c = Condition::bvar(Var(3));
+        let order = var_order(&c);
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        assert!(m.eval(f, &[true]));
+        assert!(!m.eval(f, &[false]));
+    }
+
+    #[test]
+    fn neq_literal_is_negation() {
+        let mut m = BddManager::new();
+        // x ≠ true == x = false
+        let c = Condition::Neq(Term::var(Var(0)), Term::constant(true));
+        let order = BTreeMap::from([(Var(0), 0u32)]);
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        assert!(m.eval(f, &[false]));
+        assert!(!m.eval(f, &[true]));
+    }
+
+    #[test]
+    fn non_boolean_atom_rejected() {
+        let mut m = BddManager::new();
+        let c = Condition::eq_vc(Var(0), 3);
+        let order = BTreeMap::from([(Var(0), 0u32)]);
+        assert!(matches!(
+            compile_condition(&mut m, &c, &order),
+            Err(BddError::NonBooleanAtom(_))
+        ));
+        let vv = Condition::eq_vv(Var(0), Var(1));
+        assert!(matches!(
+            compile_condition(&mut m, &vv, &order),
+            Err(BddError::NonBooleanAtom(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_var_rejected() {
+        let mut m = BddManager::new();
+        let c = Condition::bvar(Var(7));
+        assert_eq!(
+            compile_condition(&mut m, &c, &BTreeMap::new()),
+            Err(BddError::UnknownVar(Var(7)))
+        );
+    }
+
+    #[test]
+    fn compilation_agrees_with_condition_eval() {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let c = Condition::and([
+            Condition::or([Condition::bvar(x), Condition::nbvar(y)]),
+            Condition::Not(Box::new(Condition::and([
+                Condition::bvar(y),
+                Condition::bvar(z),
+            ]))),
+        ]);
+        let order = var_order(&c);
+        let mut m = BddManager::new();
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        for bits in 0..8u32 {
+            let asg = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let nu = assignment_to_valuation(&order, &asg);
+            assert_eq!(m.eval(f, &asg), c.eval(&nu).unwrap(), "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn constants_compile_to_terminals() {
+        let mut m = BddManager::new();
+        assert_eq!(
+            compile_condition(&mut m, &Condition::True, &BTreeMap::new()).unwrap(),
+            crate::manager::TRUE
+        );
+        assert_eq!(
+            compile_condition(&mut m, &Condition::False, &BTreeMap::new()).unwrap(),
+            crate::manager::FALSE
+        );
+    }
+}

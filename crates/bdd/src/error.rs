@@ -1,0 +1,44 @@
+//! Errors for condition compilation.
+
+use std::fmt;
+
+use ipdb_logic::Var;
+
+/// Errors raised when compiling conditions to BDDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BddError {
+    /// The condition contains an atom that is not a boolean literal
+    /// (only *boolean* conditions — variables compared with boolean
+    /// constants — compile directly; finite-domain conditions go through
+    /// the Shannon-expansion engine in `ipdb-prob` instead).
+    NonBooleanAtom(String),
+    /// The condition mentions a variable missing from the compilation
+    /// order.
+    UnknownVar(Var),
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NonBooleanAtom(s) => {
+                write!(f, "condition atom is not a boolean literal: {s}")
+            }
+            BddError::UnknownVar(v) => write!(f, "variable {v} missing from the BDD order"),
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(BddError::NonBooleanAtom("x0=3".into())
+            .to_string()
+            .contains("x0=3"));
+        assert!(BddError::UnknownVar(Var(2)).to_string().contains("x2"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # `ipdb-bdd` — reduced ordered BDDs and weighted model counting
+//!
+//! Why this substrate exists: §7–§8 of Green & Tannen reduce query
+//! answering on probabilistic tables to computing the probability of the
+//! *event expression* (boolean condition) attached to each answer tuple —
+//! exactly the "event expressions / paths / traces" of Fuhr–Rölleke,
+//! Zimányi, and ProbView that the paper unifies. Computing such a
+//! probability is weighted model counting (WMC), and the standard data
+//! structure making the tractable cases fast is the reduced ordered
+//! binary decision diagram. The probabilistic-database engines descending
+//! from this line of work (MystiQ, MayBMS, Trio) all ship such a
+//! component; we build it from scratch.
+//!
+//! * [`BddManager`] — hash-consed ROBDD store with an apply cache:
+//!   `var`, `not`, `and`, `or`, `xor`, `ite`, `restrict`, evaluation,
+//!   exact satisfying-assignment counting.
+//! * [`Weight`] — the numeric abstraction for WMC (implemented here for
+//!   `f64`; `ipdb-prob` adds exact rationals).
+//! * [`compile`] — translates *boolean* `ipdb-logic` conditions (the
+//!   conditions of boolean c-tables / boolean pc-tables, §3/§8) into
+//!   BDDs.
+//!
+//! The three probability engines in `ipdb-prob::answering` (naive
+//! enumeration, Shannon expansion, BDD+WMC) are checked against each
+//! other; the benches in `ipdb-bench` measure where the BDD pays off.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod error;
+pub mod manager;
+pub mod weight;
+
+pub use compile::{compile_condition, var_order};
+pub use error::BddError;
+pub use manager::{BddManager, NodeRef, FALSE, TRUE};
+pub use weight::Weight;

@@ -1,0 +1,558 @@
+//! The ROBDD node store and its operations.
+//!
+//! Classic Bryant-style implementation: nodes are hash-consed through a
+//! unique table (so structural equality is pointer equality and the
+//! diagram is canonical for a fixed variable order), and the binary
+//! `apply` recursion is memoized. Variable order is simply the numeric
+//! order of the variable indexes `0 < 1 < …`.
+
+use std::collections::HashMap;
+
+use crate::weight::Weight;
+
+/// Reference to a BDD node (index into the manager's node table).
+pub type NodeRef = u32;
+
+/// The constant-false terminal.
+pub const FALSE: NodeRef = 0;
+/// The constant-true terminal.
+pub const TRUE: NodeRef = 1;
+
+/// Sentinel "variable" of the terminals: larger than every real variable,
+/// so terminals sort below all decision nodes.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    var: u32,
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+/// Binary operation tags for the apply cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A store of reduced ordered BDDs sharing one variable order.
+///
+/// All nodes live in one arena; [`NodeRef`]s from one manager must not be
+/// used with another.
+///
+/// ```
+/// use ipdb_bdd::{BddManager, TRUE};
+/// let mut m = BddManager::new();
+/// let x0 = m.var(0);
+/// let x1 = m.var(1);
+/// let f = m.or(x0, x1);
+/// let nx0 = m.not(x0);
+/// let g = m.not(f);
+/// let h = m.and(nx0, g);
+/// // ¬(x0 ∨ x1) ∧ ¬x0 == ¬(x0 ∨ x1): canonicity makes this pointer-equal.
+/// assert_eq!(h, g);
+/// assert_eq!(m.sat_count(TRUE, 2), 4);
+/// ```
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeRef, NodeRef), NodeRef>,
+    apply_cache: HashMap<(Op, NodeRef, NodeRef), NodeRef>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// An empty manager containing only the two terminals.
+    pub fn new() -> Self {
+        BddManager {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from `f` (a size measure for benches).
+    pub fn reachable_count(&self, f: NodeRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && n > TRUE {
+                let node = self.nodes[n as usize];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        seen.len()
+    }
+
+    fn var_of(&self, f: NodeRef) -> u32 {
+        self.nodes[f as usize].var
+    }
+
+    /// The (variable, low, high) triple of a decision node; `None` for
+    /// terminals.
+    pub fn expand(&self, f: NodeRef) -> Option<(u32, NodeRef, NodeRef)> {
+        if f <= TRUE {
+            None
+        } else {
+            let n = self.nodes[f as usize];
+            Some((n.var, n.lo, n.hi))
+        }
+    }
+
+    /// Hash-consed node constructor: applies the reduction rules
+    /// (identical children collapse; duplicate nodes share).
+    pub fn mk(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        assert!(var < TERMINAL_VAR, "variable index out of range");
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            var < self.var_of(lo) && var < self.var_of(hi),
+            "children must be below var in the order"
+        );
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return n;
+        }
+        let n = self.nodes.len() as NodeRef;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), n);
+        n
+    }
+
+    /// The single-variable function `xᵢ`.
+    pub fn var(&mut self, i: u32) -> NodeRef {
+        self.mk(i, FALSE, TRUE)
+    }
+
+    /// The negative literal `¬xᵢ`.
+    pub fn nvar(&mut self, i: u32) -> NodeRef {
+        self.mk(i, TRUE, FALSE)
+    }
+
+    /// Constant from a boolean.
+    pub fn constant(&self, b: bool) -> NodeRef {
+        if b {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    /// `¬f`.
+    pub fn not(&mut self, f: NodeRef) -> NodeRef {
+        self.xor(f, TRUE)
+    }
+
+    /// `f ∧ g`.
+    pub fn and(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::And, f, g)
+    }
+
+    /// `f ∨ g`.
+    pub fn or(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// `f ⊕ g`.
+    pub fn xor(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// `if f then g else h`.
+    pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
+        let fg = self.and(f, g);
+        let nf = self.not(f);
+        let nfh = self.and(nf, h);
+        self.or(fg, nfh)
+    }
+
+    /// n-ary conjunction.
+    pub fn and_all(&mut self, fs: impl IntoIterator<Item = NodeRef>) -> NodeRef {
+        fs.into_iter().fold(TRUE, |acc, f| self.and(acc, f))
+    }
+
+    /// n-ary disjunction.
+    pub fn or_all(&mut self, fs: impl IntoIterator<Item = NodeRef>) -> NodeRef {
+        fs.into_iter().fold(FALSE, |acc, f| self.or(acc, f))
+    }
+
+    fn apply(&mut self, op: Op, f: NodeRef, g: NodeRef) -> NodeRef {
+        // Terminal / idempotence shortcuts.
+        match op {
+            Op::And => {
+                if f == FALSE || g == FALSE {
+                    return FALSE;
+                }
+                if f == TRUE {
+                    return g;
+                }
+                if g == TRUE || f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f == TRUE || g == TRUE {
+                    return TRUE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE || f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return FALSE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE {
+                    return f;
+                }
+                if f == TRUE && g == TRUE {
+                    return FALSE;
+                }
+            }
+        }
+        // Commutative: normalize operand order for cache hits.
+        let key = if f <= g { (op, f, g) } else { (op, g, f) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let top = vf.min(vg);
+        let (f_lo, f_hi) = if vf == top {
+            let n = self.nodes[f as usize];
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if vg == top {
+            let n = self.nodes[g as usize];
+            (n.lo, n.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.apply(op, f_lo, g_lo);
+        let hi = self.apply(op, f_hi, g_hi);
+        let r = self.mk(top, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Restriction `f[xᵢ := b]`.
+    pub fn restrict(&mut self, f: NodeRef, i: u32, b: bool) -> NodeRef {
+        if f <= TRUE {
+            return f;
+        }
+        let node = self.nodes[f as usize];
+        if node.var > i {
+            return f;
+        }
+        if node.var == i {
+            return if b { node.hi } else { node.lo };
+        }
+        let lo = self.restrict(node.lo, i, b);
+        let hi = self.restrict(node.hi, i, b);
+        self.mk(node.var, lo, hi)
+    }
+
+    /// Evaluates `f` under a total assignment (index `i` holds `xᵢ`).
+    pub fn eval(&self, f: NodeRef, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while cur > TRUE {
+            let node = self.nodes[cur as usize];
+            let v = assignment
+                .get(node.var as usize)
+                .copied()
+                .unwrap_or_else(|| panic!("assignment missing x{}", node.var));
+            cur = if v { node.hi } else { node.lo };
+        }
+        cur == TRUE
+    }
+
+    /// Exact number of satisfying assignments over variables `0..nvars`.
+    pub fn sat_count(&self, f: NodeRef, nvars: u32) -> u128 {
+        let mut memo: HashMap<NodeRef, u128> = HashMap::new();
+        // count(n) = models over variables strictly below var_of(n)'s level
+        // (i.e. vars var_of(n)..nvars); terminals count 1 or 0, scaled by
+        // skipped levels at each edge.
+        fn level(mgr: &BddManager, n: NodeRef, nvars: u32) -> u32 {
+            if n <= TRUE {
+                nvars
+            } else {
+                mgr.var_of(n)
+            }
+        }
+        fn rec(
+            mgr: &BddManager,
+            n: NodeRef,
+            nvars: u32,
+            memo: &mut HashMap<NodeRef, u128>,
+        ) -> u128 {
+            if n == FALSE {
+                return 0;
+            }
+            if n == TRUE {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let node = mgr.nodes[n as usize];
+            let lo_skip = level(mgr, node.lo, nvars) - node.var - 1;
+            let hi_skip = level(mgr, node.hi, nvars) - node.var - 1;
+            let c = (1u128 << lo_skip) * rec(mgr, node.lo, nvars, memo)
+                + (1u128 << hi_skip) * rec(mgr, node.hi, nvars, memo);
+            memo.insert(n, c);
+            c
+        }
+        let root_skip = level(self, f, nvars).min(nvars);
+        (1u128 << root_skip) * rec(self, f, nvars, &mut memo)
+    }
+
+    /// Weighted model count of `f` over variables `0..weights.len()`.
+    ///
+    /// `weights[i] = (w_false, w_true)` are the branch weights of `xᵢ`.
+    /// For probabilities the pair sums to 1 and the result is
+    /// `P[f]`; the implementation handles arbitrary weights by scaling
+    /// skipped levels with `(w_false + w_true)`.
+    pub fn wmc<W: Weight>(&self, f: NodeRef, weights: &[(W, W)]) -> W {
+        let nvars = weights.len() as u32;
+        let mut memo: HashMap<NodeRef, W> = HashMap::new();
+        let skip = |from: u32, to: u32| -> W {
+            let mut acc = W::one();
+            for i in from..to {
+                let (wf, wt) = &weights[i as usize];
+                acc = acc.mul(&wf.add(wt));
+            }
+            acc
+        };
+        fn level(mgr: &BddManager, n: NodeRef, nvars: u32) -> u32 {
+            if n <= TRUE {
+                nvars
+            } else {
+                mgr.var_of(n)
+            }
+        }
+        fn rec<W: Weight>(
+            mgr: &BddManager,
+            n: NodeRef,
+            weights: &[(W, W)],
+            memo: &mut HashMap<NodeRef, W>,
+            skip: &dyn Fn(u32, u32) -> W,
+        ) -> W {
+            if n == FALSE {
+                return W::zero();
+            }
+            if n == TRUE {
+                return W::one();
+            }
+            if let Some(c) = memo.get(&n) {
+                return c.clone();
+            }
+            let node = mgr.nodes[n as usize];
+            let nvars = weights.len() as u32;
+            let (wf, wt) = &weights[node.var as usize];
+            let lo_level = level(mgr, node.lo, nvars);
+            let hi_level = level(mgr, node.hi, nvars);
+            let lo = rec(mgr, node.lo, weights, memo, skip);
+            let hi = rec(mgr, node.hi, weights, memo, skip);
+            let c = wf
+                .mul(&skip(node.var + 1, lo_level))
+                .mul(&lo)
+                .add(&wt.mul(&skip(node.var + 1, hi_level)).mul(&hi));
+            memo.insert(n, c.clone());
+            c
+        }
+        let top = level(self, f, nvars).min(nvars);
+        skip(0, top).mul(&rec(self, f, weights, &mut memo, &skip))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut m = BddManager::new();
+        assert_eq!(m.constant(true), TRUE);
+        assert_eq!(m.constant(false), FALSE);
+        let x = m.var(0);
+        assert!(m.eval(x, &[true]));
+        assert!(!m.eval(x, &[false]));
+        let nx = m.nvar(0);
+        assert!(m.eval(nx, &[false]));
+    }
+
+    #[test]
+    fn reduction_rules() {
+        let mut m = BddManager::new();
+        // mk with equal children collapses.
+        assert_eq!(m.mk(0, TRUE, TRUE), TRUE);
+        // Hash-consing: same triple, same node.
+        let a = m.mk(0, FALSE, TRUE);
+        let b = m.mk(0, FALSE, TRUE);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boolean_ops_truth_tables() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let and = m.and(x, y);
+        let or = m.or(x, y);
+        let xor = m.xor(x, y);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let asg = [a, b];
+            assert_eq!(m.eval(and, &asg), a && b);
+            assert_eq!(m.eval(or, &asg), a || b);
+            assert_eq!(m.eval(xor, &asg), a ^ b);
+        }
+    }
+
+    #[test]
+    fn not_is_involutive() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let nf = m.not(f);
+        assert_eq!(m.not(nf), f);
+        assert_eq!(m.not(TRUE), FALSE);
+    }
+
+    #[test]
+    fn ite_works() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let f = m.ite(x, y, z);
+        for bits in 0..8u32 {
+            let asg = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expect = if asg[0] { asg[1] } else { asg[2] };
+            assert_eq!(m.eval(f, &asg), expect);
+        }
+    }
+
+    #[test]
+    fn canonicity_syntactic_equality() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        // x ∧ y built two different ways is the same node.
+        let a = m.and(x, y);
+        let ny = m.not(y);
+        let x_and_ny = m.and(x, ny);
+        let b = m.xor(x_and_ny, x); // x ⊕ (x ∧ ¬y) = x ∧ y
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restrict() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        assert_eq!(m.restrict(f, 0, true), y);
+        assert_eq!(m.restrict(f, 0, false), FALSE);
+        assert_eq!(m.restrict(f, 5, true), f); // var below all of f's
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let or = m.or(x, y);
+        assert_eq!(m.sat_count(or, 2), 3);
+        let and = m.and(x, y);
+        assert_eq!(m.sat_count(and, 2), 1);
+        assert_eq!(m.sat_count(TRUE, 3), 8);
+        assert_eq!(m.sat_count(FALSE, 3), 0);
+        // Skipped variables are counted: f = x1 over 3 vars has 4 models.
+        let y1 = m.var(1);
+        assert_eq!(m.sat_count(y1, 3), 4);
+    }
+
+    #[test]
+    fn wmc_matches_probability_semantics() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let or = m.or(x, y);
+        // P[x]=0.5, P[y]=0.25 → P[x ∨ y] = 1 - 0.5*0.75 = 0.625
+        let w = [(0.5, 0.5), (0.75, 0.25)];
+        let p = m.wmc(or, &w);
+        assert!((p - 0.625).abs() < 1e-12);
+        // Skipped var at the root: f = y alone.
+        let p_y = m.wmc(y, &w);
+        assert!((p_y - 0.25).abs() < 1e-12);
+        assert!((m.wmc(TRUE, &w) - 1.0).abs() < 1e-12);
+        assert_eq!(m.wmc(FALSE, &w), 0.0);
+    }
+
+    #[test]
+    fn wmc_with_unnormalized_weights_counts_models() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let or = m.or(x, y);
+        // Weight 1 on both branches = plain model counting.
+        let w = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(m.wmc(or, &w), 3.0);
+    }
+
+    #[test]
+    fn reachable_count() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        // Nodes: f-node, y-node, TRUE, FALSE.
+        assert_eq!(m.reachable_count(f), 4);
+        assert_eq!(m.reachable_count(TRUE), 1);
+    }
+
+    #[test]
+    fn big_parity_function_stays_small() {
+        // Parity of 16 vars: ROBDD has 2 nodes per level + terminals.
+        let mut m = BddManager::new();
+        let mut f = FALSE;
+        for i in 0..16 {
+            let x = m.var(i);
+            f = m.xor(f, x);
+        }
+        assert!(m.reachable_count(f) <= 2 * 16 + 2);
+        assert_eq!(m.sat_count(f, 16), 1 << 15);
+    }
+}

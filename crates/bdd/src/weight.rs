@@ -1,0 +1,75 @@
+//! The numeric abstraction for weighted model counting.
+//!
+//! Probability computations in this workspace run either on `f64` (fast,
+//! benchmarkable) or on exact rationals (`ipdb-prob::Rat`, so the
+//! distribution-equality theorems — Thms 8/9 — are testable without
+//! tolerances). [`Weight`] is the small commutative-semiring-with-
+//! subtraction interface both satisfy; every engine (BDD WMC, Shannon
+//! expansion, naive enumeration) is generic over it.
+
+/// A weight type for model counting: a commutative semiring with
+/// subtraction and division (a field restricted to the operations WMC
+/// needs).
+pub trait Weight: Clone + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Subtraction (used for complements `1 − p`).
+    fn sub(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Division (used for conditioning / normalization; callers never
+    /// divide by zero).
+    fn div(&self, other: &Self) -> Self;
+
+    /// `1 − self`, the complement of a probability.
+    fn complement(&self) -> Self {
+        Self::one().sub(self)
+    }
+
+    /// Whether this equals the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+impl Weight for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_weight_ops() {
+        let a = 0.25f64;
+        assert_eq!(a.add(&0.5), 0.75);
+        assert_eq!(a.mul(&2.0), 0.5);
+        assert_eq!(a.sub(&0.25), 0.0);
+        assert_eq!(a.div(&0.5), 0.5);
+        assert_eq!(a.complement(), 0.75);
+        assert!(f64::zero().is_zero());
+        assert!(!f64::one().is_zero());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: BDD compilation agrees with condition semantics, and
+//! the counting engines agree with brute force.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ipdb_bdd::{compile_condition, var_order, BddManager};
+use ipdb_logic::strategies::arb_boolean_condition;
+use ipdb_logic::{sat, Valuation, Var};
+use ipdb_rel::{Domain, Value};
+
+const NVARS: u32 = 4;
+
+fn all_assignments(n: u32) -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << n)).map(move |bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_bdd_agrees_with_eval(c in arb_boolean_condition(NVARS, 3)) {
+        let order = var_order(&c);
+        let mut m = BddManager::new();
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        let n = order.len() as u32;
+        for asg in all_assignments(n) {
+            let nu: Valuation = order
+                .iter()
+                .map(|(v, &i)| (*v, Value::from(asg[i as usize])))
+                .collect();
+            prop_assert_eq!(m.eval(f, &asg), c.eval(&nu).unwrap());
+        }
+    }
+
+    #[test]
+    fn bdd_sat_count_matches_logic_count(c in arb_boolean_condition(NVARS, 3)) {
+        let order = var_order(&c);
+        let mut m = BddManager::new();
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        let doms: BTreeMap<Var, Domain> = order.keys().map(|v| (*v, Domain::bools())).collect();
+        prop_assert_eq!(
+            m.sat_count(f, order.len() as u32),
+            sat::count_models(&c, &doms).unwrap()
+        );
+    }
+
+    #[test]
+    fn wmc_uniform_weights_match_sat_count(c in arb_boolean_condition(NVARS, 3)) {
+        let order = var_order(&c);
+        let mut m = BddManager::new();
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        let n = order.len();
+        let weights = vec![(0.5f64, 0.5f64); n];
+        let p = m.wmc(f, &weights);
+        let frac = m.sat_count(f, n as u32) as f64 / (1u128 << n) as f64;
+        prop_assert!((p - frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_agrees_with_semantics(c in arb_boolean_condition(2, 3)) {
+        let order = var_order(&c);
+        if order.is_empty() {
+            return Ok(());
+        }
+        let mut m = BddManager::new();
+        let f = compile_condition(&mut m, &c, &order).unwrap();
+        let n = order.len() as u32;
+        // Restrict BDD index 0 to true; must agree with eval forcing it.
+        let g = m.restrict(f, 0, true);
+        for asg in all_assignments(n) {
+            let mut forced = asg.clone();
+            forced[0] = true;
+            prop_assert_eq!(m.eval(g, &asg), m.eval(f, &forced));
+        }
+    }
+}

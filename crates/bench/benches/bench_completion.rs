@@ -1,0 +1,71 @@
+//! E04/E06/E10–E12 — construction costs of the completeness and
+//! completion theorems, by target size.
+//!
+//! Thm 1 and Thm 5 are linear in the table; Thm 3 and the Thm 6/7
+//! constructions are linear in Σ|world| with a logarithmic variable
+//! count — the point being that *representing* is cheap even when
+//! enumeration is not.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_bench::{random_ctable, random_idb};
+use ipdb_core::{completion, finite_complete, ra_complete};
+use ipdb_logic::VarGen;
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1_construction");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for rows in [4usize, 16, 64, 256] {
+        let t = random_ctable(rows, 3, 8, 4, 0x1000 + rows as u64);
+        group.bench_with_input(BenchmarkId::new("ctable_to_query", rows), &t, |b, t| {
+            b.iter(|| ra_complete::theorem1_query(t).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("vtable_sp", rows), &t, |b, t| {
+            b.iter(|| completion::ra_completion_vtable_sp(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_finite_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("finite_constructions");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for worlds in [4usize, 16, 64] {
+        let target = random_idb(worlds, 2, 3, 8, 0x2000 + worlds as u64);
+        group.bench_with_input(BenchmarkId::new("thm3_boolean", worlds), &target, |b, t| {
+            b.iter(|| finite_complete::theorem3_table(t, &mut VarGen::new()).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("thm6_orset_pj", worlds),
+            &target,
+            |b, t| b.iter(|| completion::finite_completion_orset_pj(t).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("thm6_rsets_pu", worlds),
+            &target,
+            |b, t| b.iter(|| completion::finite_completion_rsets_pu(t).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("thm6_finitev_sp", worlds),
+            &target,
+            |b, t| {
+                b.iter(|| completion::finite_completion_finitev_sp(t, &mut VarGen::new()).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cor1_query", worlds), &target, |b, t| {
+            b.iter(|| completion::corollary1_qtable(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem1, bench_finite_constructions);
+criterion_main!(benches);

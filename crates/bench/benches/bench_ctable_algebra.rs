@@ -1,0 +1,78 @@
+//! E08 — scaling of the c-table algebra `q̄` (Theorem 4's closure
+//! construction): per-operation cost as the input table grows.
+//!
+//! The paper proves closure but notes (§9) it leaves complexity open;
+//! this bench characterizes our implementation: `σ̄`/`π̄` are linear in
+//! rows, `×̄` quadratic, and `−̄` multiplies conditions (the known
+//! c-table difference blow-up).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_bench::random_ctable;
+use ipdb_rel::{Pred, Query};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctable_algebra");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for rows in [4usize, 16, 64, 256] {
+        let t = random_ctable(rows, 3, 6, 4, 0xC0FFEE + rows as u64);
+        group.bench_with_input(BenchmarkId::new("select", rows), &t, |b, t| {
+            b.iter(|| t.select_bar(&Pred::eq_const(0, 1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("project", rows), &t, |b, t| {
+            b.iter(|| t.project_bar(&[0, 2]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("product_self", rows), &t, |b, t| {
+            b.iter(|| t.product_bar(t).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("union_self", rows), &t, |b, t| {
+            b.iter(|| t.union_bar(t).unwrap())
+        });
+    }
+    // Difference blows up conditions: keep sizes smaller.
+    for rows in [2usize, 4, 8, 16] {
+        let t1 = random_ctable(rows, 2, 4, 3, 0xD1FF + rows as u64);
+        let t2 = random_ctable(rows, 2, 4, 3, 0xD2FF + rows as u64);
+        group.bench_with_input(BenchmarkId::new("difference", rows), &rows, |b, _| {
+            b.iter(|| t1.diff_bar(&t2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctable_query");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    // An Example 4-shaped SPJU query over growing tables.
+    let q = Query::union(
+        Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::Input),
+                Pred::eq_cols(1, 3),
+            ),
+            vec![0, 2],
+        ),
+        Query::project(Query::Input, vec![0, 1]),
+    );
+    for rows in [4usize, 16, 64] {
+        let t = random_ctable(rows, 3, 6, 4, 0xAB + rows as u64);
+        group.bench_with_input(BenchmarkId::new("spju_eval", rows), &t, |b, t| {
+            b.iter(|| t.eval_query(&q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("spju_eval_simplify", rows), &t, |b, t| {
+            b.iter(|| t.eval_query(&q).unwrap().simplified())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_whole_queries);
+criterion_main!(benches);

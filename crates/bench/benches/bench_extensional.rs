@@ -1,0 +1,85 @@
+//! E20 — safe plans vs exact lineage (the §8 reading of Dalvi–Suciu):
+//! on the hierarchical chain `R(x), S(x,y)` the lifted evaluator is
+//! polynomial while exact lineage computation grows with the grounding;
+//! on the non-hierarchical `H₀` only the exact engine remains (and its
+//! cost reflects the #P-hardness).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_prob::extensional::{exact_prob, lifted_prob, BoolCq, CqArg, CqAtom, ProbDb};
+use ipdb_prob::{PTable, Rat};
+use ipdb_rel::Tuple;
+
+fn chain_db(n: usize) -> ProbDb<Rat> {
+    let mut db = ProbDb::new();
+    db.insert(
+        "R",
+        PTable::from_rows(1, (0..n as i64).map(|i| (Tuple::new([i]), Rat::new(1, 2)))).unwrap(),
+    );
+    db.insert(
+        "S",
+        PTable::from_rows(
+            2,
+            (0..n as i64).map(|i| (Tuple::new([i, i + 100]), Rat::new(1, 2))),
+        )
+        .unwrap(),
+    );
+    db.insert(
+        "T",
+        PTable::from_rows(
+            1,
+            (0..n as i64).map(|i| (Tuple::new([i + 100]), Rat::new(1, 2))),
+        )
+        .unwrap(),
+    );
+    db
+}
+
+fn safe_query() -> BoolCq {
+    BoolCq::new(vec![
+        CqAtom::new("R", vec![CqArg::Var(0)]),
+        CqAtom::new("S", vec![CqArg::Var(0), CqArg::Var(1)]),
+    ])
+}
+
+fn bench_safe_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensional_safe");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for n in [2usize, 4, 8, 16] {
+        let db = chain_db(n);
+        let q = safe_query();
+        group.bench_with_input(BenchmarkId::new("lifted", n), &db, |b, db| {
+            b.iter(|| lifted_prob(&q, db).unwrap())
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("exact_lineage", n), &db, |b, db| {
+                b.iter(|| exact_prob(&q, db).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_h0_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensional_h0");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [2usize, 3, 4] {
+        let db = chain_db(n);
+        let h0 = BoolCq::h0();
+        group.bench_with_input(BenchmarkId::new("exact_lineage", n), &db, |b, db| {
+            b.iter(|| exact_prob(&h0, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_safe_vs_exact, bench_h0_exact);
+criterion_main!(benches);

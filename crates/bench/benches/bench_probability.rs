@@ -1,0 +1,80 @@
+//! E16–E17 — the three probability engines for `P[t ∈ answer]`:
+//! world enumeration vs Shannon expansion of the event expression vs
+//! ROBDD weighted model counting (boolean pc-tables), by variable count.
+//!
+//! The shape to expect: enumeration is exponential in *all* variables;
+//! Shannon touches only the variables of the tuple's condition;
+//! the BDD engine additionally shares subproblems across the condition
+//! and wins as conditions grow repetitive.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_bench::{random_boolean_pctable, random_boolean_pctable_f64, random_pctable};
+use ipdb_prob::answering::{tuple_prob_bdd, tuple_prob_enum, tuple_prob_shannon};
+use ipdb_rel::Tuple;
+
+fn probe() -> Tuple {
+    Tuple::new([7i64])
+}
+
+fn bench_three_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probability_engines");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for nvars in [4u32, 8, 12] {
+        let bpc = random_boolean_pctable(8, 1, nvars, 0x77 + nvars as u64);
+        if nvars <= 8 {
+            group.bench_with_input(BenchmarkId::new("enumerate", nvars), &bpc, |b, t| {
+                b.iter(|| tuple_prob_enum(t.as_pctable(), &probe()).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("shannon", nvars), &bpc, |b, t| {
+            b.iter(|| tuple_prob_shannon(t.as_pctable(), &probe()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bdd_rat", nvars), &bpc, |b, t| {
+            b.iter(|| tuple_prob_bdd(t, &probe()).unwrap())
+        });
+        let bpc_f = random_boolean_pctable_f64(8, 1, nvars, 0x77 + nvars as u64);
+        group.bench_with_input(BenchmarkId::new("bdd_f64", nvars), &bpc_f, |b, t| {
+            b.iter(|| tuple_prob_bdd(t, &probe()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm9_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm9_closure");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let q = ipdb_rel::Query::project(
+        ipdb_rel::Query::select(
+            ipdb_rel::Query::product(ipdb_rel::Query::Input, ipdb_rel::Query::Input),
+            ipdb_rel::Pred::eq_cols(0, 2),
+        ),
+        vec![0, 1],
+    );
+    for nvars in [2u32, 4, 6] {
+        let pc = random_pctable(4, 2, nvars, 3, 0x99 + nvars as u64);
+        // Symbolic path: q̄(T) (cheap) …
+        group.bench_with_input(BenchmarkId::new("qbar_only", nvars), &pc, |b, pc| {
+            b.iter(|| pc.eval_query(&q).unwrap())
+        });
+        // … vs materializing the answer distribution.
+        group.bench_with_input(BenchmarkId::new("qbar_then_mod", nvars), &pc, |b, pc| {
+            b.iter(|| pc.eval_query(&q).unwrap().mod_space().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("mod_then_image", nvars), &pc, |b, pc| {
+            b.iter(|| pc.mod_space().unwrap().map_query(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_three_engines, bench_thm9_closure);
+criterion_main!(benches);

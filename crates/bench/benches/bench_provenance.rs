@@ -1,0 +1,94 @@
+//! E19 — semiring evaluation overhead by annotation structure: the same
+//! positive query under Bool (set semantics), Nat (bags), Why (witness
+//! sets), PosBool (event expressions / c-table conditions), and ℕ[X]
+//! (provenance polynomials).
+//!
+//! Expected shape: scalar semirings are ~free; Why and ℕ[X] pay for the
+//! structures they build — the price of generality §9 hints at.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_logic::{Condition, Var};
+use ipdb_provenance::{eval, BoolSr, KRelation, NatSr, Poly, PosBoolSr, Token, WhySr};
+use ipdb_rel::{Pred, Query, Tuple, Value};
+
+fn base_instance(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| Tuple::new([Value::from((i % 8) as i64), Value::from((i / 8) as i64)]))
+        .collect()
+}
+
+fn the_query() -> Query {
+    // π₁(σ_{#2=#3}(V × V)) ∪ π₁(V): join + union + projection collapse.
+    Query::union(
+        Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::Input),
+                Pred::eq_cols(1, 2),
+            ),
+            vec![0],
+        ),
+        Query::project(Query::Input, vec![0]),
+    )
+}
+
+fn bench_semirings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_semirings");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let q = the_query();
+    for n in [8usize, 16, 32] {
+        let tuples = base_instance(n);
+        let bool_rel =
+            KRelation::from_annotated(2, tuples.iter().map(|t| (t.clone(), BoolSr(true)))).unwrap();
+        group.bench_with_input(BenchmarkId::new("bool", n), &bool_rel, |b, r| {
+            b.iter(|| eval(&q, r).unwrap())
+        });
+        let nat_rel =
+            KRelation::from_annotated(2, tuples.iter().map(|t| (t.clone(), NatSr(1)))).unwrap();
+        group.bench_with_input(BenchmarkId::new("nat", n), &nat_rel, |b, r| {
+            b.iter(|| eval(&q, r).unwrap())
+        });
+        let why_rel = KRelation::from_annotated(
+            2,
+            tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), WhySr::token(Token(i as u32)))),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("why", n), &why_rel, |b, r| {
+            b.iter(|| eval(&q, r).unwrap())
+        });
+        let cond_rel = KRelation::from_annotated(
+            2,
+            tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), PosBoolSr::new(Condition::bvar(Var(i as u32))))),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("posbool", n), &cond_rel, |b, r| {
+            b.iter(|| eval(&q, r).unwrap())
+        });
+        let poly_rel = KRelation::from_annotated(
+            2,
+            tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), Poly::token(Token(i as u32)))),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("poly", n), &poly_rel, |b, r| {
+            b.iter(|| eval(&q, r).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semirings);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E07 — Example 5: succinctness of variables-in-tuples.
+//!
+//! The finite c-table `{(x₁,…,x_m : true)}`, `dom = {1..n}`, has `m`
+//! cells; the equivalent boolean c-table has `nᵐ` rows. This bench
+//! measures the cost of *materializing* the boolean equivalent (Thm 3
+//! over the `nᵐ` worlds) against building the symbolic table, m by m —
+//! the wall-clock shadow of the paper's exponential separation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_core::finite_complete::{example5_boolean_equivalent, example5_finite_ctable};
+use ipdb_logic::VarGen;
+
+fn bench_example5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("succinctness_example5");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let n = 2i64;
+    for m in [2usize, 4, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("finite_ctable", m), &m, |b, &m| {
+            b.iter(|| example5_finite_ctable(m, n, &mut VarGen::new()))
+        });
+        group.bench_with_input(BenchmarkId::new("boolean_equivalent", m), &m, |b, &m| {
+            b.iter(|| example5_boolean_equivalent(m, n, &mut VarGen::new()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_example5);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! World enumeration (`Mod(T)`) scaling: exponential in variables,
+//! polynomial in rows — the cost that motivates symbolic tables and that
+//! the smarter probability engines (E16–E17) avoid.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_bench::random_finite_ctable;
+
+fn bench_mod_by_vars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worlds_by_vars");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    // Valuation candidates = 3^v.
+    for nvars in [2u32, 4, 6, 8] {
+        let t = random_finite_ctable(6, 2, nvars, 3, 0x11 + nvars as u64);
+        group.bench_with_input(BenchmarkId::new("dom3", nvars), &t, |b, t| {
+            b.iter(|| t.mod_finite().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mod_by_domain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worlds_by_domain");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for dom in [2i64, 4, 8, 16] {
+        let t = random_finite_ctable(6, 2, 4, dom, 0x22 + dom as u64);
+        group.bench_with_input(BenchmarkId::new("vars4", dom), &t, |b, t| {
+            b.iter(|| t.mod_finite().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worlds_membership");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    // Certain/possible membership via decision slices on infinite-domain
+    // tables (slice grows with the variable count).
+    for nvars in [1u32, 2, 3, 4] {
+        let t = ipdb_bench::random_ctable(4, 2, nvars, 3, 0x33 + nvars as u64);
+        let probe = ipdb_rel::Tuple::new([0i64, 0]);
+        group.bench_with_input(BenchmarkId::new("possible", nvars), &t, |b, t| {
+            b.iter(|| t.possible_tuple(&probe).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("certain", nvars), &t, |b, t| {
+            b.iter(|| t.certain_tuple(&probe).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mod_by_vars,
+    bench_mod_by_domain,
+    bench_membership
+);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Shared workload generators for the benches and the experiments
+//! harness.
+//!
+//! Everything is seeded (`StdRng::seed_from_u64`) so benchmark inputs
+//! and experiment rows are reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ipdb_logic::{Condition, Term, Var, VarGen};
+use ipdb_prob::{BooleanPcTable, FiniteSpace, PTable, PcTable, Rat};
+use ipdb_rel::{Domain, IDatabase, Instance, Tuple, Value};
+use ipdb_tables::{BooleanCTable, CRow, CTable};
+
+/// A random c-table: `rows` rows of the given arity over `nvars`
+/// variables and constants `0..const_pool`, each row guarded by a random
+/// small condition.
+pub fn random_ctable(rows: usize, arity: usize, nvars: u32, const_pool: i64, seed: u64) -> CTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let tuple: Vec<Term> = (0..arity)
+            .map(|_| {
+                if rng.gen_bool(0.5) && nvars > 0 {
+                    Term::Var(Var(rng.gen_range(0..nvars)))
+                } else {
+                    Term::constant(rng.gen_range(0..const_pool))
+                }
+            })
+            .collect();
+        out.push(CRow::new(
+            tuple,
+            random_condition(&mut rng, nvars, const_pool, 2),
+        ));
+    }
+    CTable::new(arity, out).expect("arity fixed")
+}
+
+/// A random finite-domain c-table: [`random_ctable`] plus the domain
+/// `{0..domain_size}` on every variable.
+pub fn random_finite_ctable(
+    rows: usize,
+    arity: usize,
+    nvars: u32,
+    domain_size: i64,
+    seed: u64,
+) -> CTable {
+    let t = random_ctable(rows, arity, nvars, domain_size, seed);
+    let domains = t
+        .vars()
+        .into_iter()
+        .map(|v| (v, Domain::ints(0..domain_size)))
+        .collect();
+    CTable::with_domains(t.arity(), t.rows().to_vec(), domains).expect("valid domains")
+}
+
+fn random_condition(rng: &mut StdRng, nvars: u32, const_pool: i64, depth: u32) -> Condition {
+    if depth == 0 || nvars == 0 || rng.gen_bool(0.4) {
+        if nvars == 0 {
+            return Condition::True;
+        }
+        let x = Var(rng.gen_range(0..nvars));
+        let atom = if rng.gen_bool(0.5) {
+            Condition::eq_vc(x, rng.gen_range(0..const_pool))
+        } else {
+            Condition::neq_vc(x, rng.gen_range(0..const_pool))
+        };
+        return atom;
+    }
+    let l = random_condition(rng, nvars, const_pool, depth - 1);
+    let r = random_condition(rng, nvars, const_pool, depth - 1);
+    if rng.gen_bool(0.5) {
+        Condition::and([l, r])
+    } else {
+        Condition::or([l, r])
+    }
+}
+
+/// A random boolean condition over `nvars` variables (for event
+/// expressions).
+pub fn random_boolean_condition(rng: &mut StdRng, nvars: u32, depth: u32) -> Condition {
+    if depth == 0 || rng.gen_bool(0.35) {
+        let x = Var(rng.gen_range(0..nvars.max(1)));
+        return if rng.gen_bool(0.5) {
+            Condition::bvar(x)
+        } else {
+            Condition::nbvar(x)
+        };
+    }
+    let l = random_boolean_condition(rng, nvars, depth - 1);
+    let r = random_boolean_condition(rng, nvars, depth - 1);
+    if rng.gen_bool(0.5) {
+        Condition::and([l, r])
+    } else {
+        Condition::or([l, r])
+    }
+}
+
+/// A random boolean pc-table over `nvars` Bernoulli variables with
+/// dyadic probabilities (exact in both `Rat` and `f64`).
+pub fn random_boolean_pctable(
+    rows: usize,
+    arity: usize,
+    nvars: u32,
+    seed: u64,
+) -> BooleanPcTable<Rat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = BooleanCTable::new(arity);
+    for _ in 0..rows {
+        let tuple: Tuple = (0..arity)
+            .map(|_| Value::from(rng.gen_range(0..64i64)))
+            .collect();
+        let cond = random_boolean_condition(&mut rng, nvars, 3);
+        t.push(tuple, cond).expect("boolean by construction");
+    }
+    let probs: Vec<(Var, Rat)> = t
+        .vars()
+        .into_iter()
+        .map(|v| (v, Rat::new(rng.gen_range(1..=7), 8)))
+        .collect();
+    BooleanPcTable::new(t, probs).expect("valid probabilities")
+}
+
+/// The same boolean pc-table with `f64` weights (for the fast path).
+pub fn random_boolean_pctable_f64(
+    rows: usize,
+    arity: usize,
+    nvars: u32,
+    seed: u64,
+) -> BooleanPcTable<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = BooleanCTable::new(arity);
+    for _ in 0..rows {
+        let tuple: Tuple = (0..arity)
+            .map(|_| Value::from(rng.gen_range(0..64i64)))
+            .collect();
+        let cond = random_boolean_condition(&mut rng, nvars, 3);
+        t.push(tuple, cond).expect("boolean by construction");
+    }
+    let probs: Vec<(Var, f64)> = t
+        .vars()
+        .into_iter()
+        .map(|v| (v, rng.gen_range(1..=7) as f64 / 8.0))
+        .collect();
+    BooleanPcTable::new(t, probs).expect("valid probabilities")
+}
+
+/// A random pc-table over `nvars` finite-domain variables with uniform
+/// distributions.
+pub fn random_pctable(
+    rows: usize,
+    arity: usize,
+    nvars: u32,
+    domain_size: i64,
+    seed: u64,
+) -> PcTable<Rat> {
+    let t = random_finite_ctable(rows, arity, nvars, domain_size, seed);
+    let dists: Vec<(Var, FiniteSpace<Value, Rat>)> = t
+        .vars()
+        .into_iter()
+        .map(|v| {
+            let d = FiniteSpace::new(
+                (0..domain_size).map(|i| (Value::from(i), Rat::new(1, domain_size as i128))),
+            )
+            .expect("uniform");
+            (v, d)
+        })
+        .collect();
+    PcTable::new(t, dists).expect("all vars covered")
+}
+
+/// A random tuple-independent table with `n` distinct unary tuples and
+/// dyadic probabilities.
+pub fn random_ptable(n: usize, seed: u64) -> PTable<Rat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PTable::from_rows(
+        1,
+        (0..n as i64).map(|i| (Tuple::new([i]), Rat::new(rng.gen_range(1..=7), 8))),
+    )
+    .expect("distinct tuples")
+}
+
+/// A random non-empty finite i-database: `worlds` instances of the given
+/// arity with at most `max_tuples` tuples each.
+pub fn random_idb(
+    worlds: usize,
+    arity: usize,
+    max_tuples: usize,
+    const_pool: i64,
+    seed: u64,
+) -> IDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = IDatabase::empty(arity);
+    while db.len() < worlds {
+        let ntup = rng.gen_range(0..=max_tuples);
+        let mut inst = Instance::empty(arity);
+        for _ in 0..ntup {
+            let t: Tuple = (0..arity)
+                .map(|_| Value::from(rng.gen_range(0..const_pool)))
+                .collect();
+            inst.insert(t).expect("arity fixed");
+        }
+        db.insert(inst).expect("arity fixed");
+    }
+    db
+}
+
+/// Fresh-variable generator disjoint from a table's variables.
+pub fn gen_for(t: &CTable) -> VarGen {
+    VarGen::avoiding(t.vars())
+}

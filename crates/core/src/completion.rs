@@ -1,0 +1,611 @@
+//! Algebraic completion (paper §5: Def. 8, Thms 5–7, Cor. 1).
+//!
+//! Closing a weaker representation system under a fragment of RA yields
+//! a complete one. Each function here is one case of the paper's proofs,
+//! returning the constructed table(s) *and* the query; tests check both
+//! semantic correctness (the closed pair represents the target) and
+//! **fragment honesty** (the query really lies in the fragment the
+//! theorem names — [`ipdb_rel::Fragment::admits_query`]).
+//!
+//! The Thm 6 constructions follow the paper in keeping a *pair* of
+//! tables `(S, T)` ("they can be combined together into a single table,
+//! but we keep them separate to simplify the presentation"); the second
+//! table is addressed as [`Query::Second`]. Their semantics is the
+//! direct image of the product of the two `Mod`s.
+
+use ipdb_logic::{Term, Var, VarGen};
+use ipdb_rel::{Domain, IDatabase, Instance, Pred, Query, Tuple};
+use ipdb_tables::{
+    CTable, OrSetTable, OrSetValue, QTable, RBlock, RConstraint, RSets, RXorEquiv,
+    RepresentationSystem,
+};
+
+use crate::error::CoreError;
+use crate::ra_complete::theorem1_query;
+use crate::translate::condition_to_pred;
+
+// ---------------------------------------------------------------------
+// Definition 8: the closure of a system under a language.
+// ---------------------------------------------------------------------
+
+/// The direct image `q(Mod₁ ⊗ Mod₂)` of a pair of world sets under a
+/// two-relation query — the semantics of the Thm 6 pair constructions.
+pub fn image_of_pair(
+    q: &Query,
+    s_worlds: &IDatabase,
+    t_worlds: &IDatabase,
+) -> Result<IDatabase, CoreError> {
+    let out_arity = q.arity2(s_worlds.arity(), t_worlds.arity())?;
+    let mut out = IDatabase::empty(out_arity);
+    for s in s_worlds.iter() {
+        for t in t_worlds.iter() {
+            out.insert(q.eval2(s, t)?)?;
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Theorem 5: RA-completion.
+// ---------------------------------------------------------------------
+
+/// **Thm 5.1** — closing Codd tables under SPJU is RA-complete: for any
+/// c-table `T`, the Codd table `Z_k` plus the Thm 1 SPJU query
+/// represent `Mod(T)`.
+pub fn ra_completion_codd_spju(t: &CTable, gen: &mut VarGen) -> Result<(CTable, Query), CoreError> {
+    let (q, k) = theorem1_query(t)?;
+    let z = CTable::z_k(k, gen);
+    Ok((z, q))
+}
+
+/// **Thm 5.2** — closing v-tables under SP is RA-complete: the v-table
+/// `S` has one row per c-table row, `(tᵢ, i, x₁, …, x_n)`, and the SP
+/// query selects each row's own condition through its tag:
+///
+/// `q := π_{1…k}( σ_{⋁ᵢ (k+1 = i ∧ ψᵢ)}(S) )`.
+pub fn ra_completion_vtable_sp(t: &CTable) -> Result<(CTable, Query), CoreError> {
+    let k = t.arity();
+    let vars: Vec<Var> = t.vars().into_iter().collect();
+    let n = vars.len();
+    // ψ translation: variable x_j lives in column k + 1 + j.
+    let pos: std::collections::BTreeMap<Var, usize> = vars
+        .iter()
+        .enumerate()
+        .map(|(j, v)| (*v, k + 1 + j))
+        .collect();
+    let mut rows = Vec::with_capacity(t.len());
+    let mut disjuncts = Vec::with_capacity(t.len());
+    for (i, row) in t.rows().iter().enumerate() {
+        let mut terms: Vec<Term> = Vec::with_capacity(k + 1 + n);
+        terms.extend(row.tuple.iter().cloned());
+        terms.push(Term::constant(i as i64 + 1));
+        terms.extend(vars.iter().map(|v| Term::Var(*v)));
+        rows.push(terms);
+        let psi = condition_to_pred(&row.cond, &pos)?;
+        disjuncts.push(Pred::and([Pred::eq_const(k, i as i64 + 1), psi]));
+    }
+    let mut s = CTable::v_table(k + 1 + n, rows)?;
+    for (v, d) in t.domains() {
+        s.set_domain(*v, d.clone())?;
+    }
+    let q = Query::project(
+        Query::select(Query::Input, Pred::or(disjuncts)),
+        (0..k).collect(),
+    );
+    Ok((s, q))
+}
+
+// ---------------------------------------------------------------------
+// Theorem 6: finite completion.
+// ---------------------------------------------------------------------
+
+/// The `(S, T)` pair of Thm 6.1: `S` lists every world's tuples with a
+/// tag column, `T` is the single-row or-set `〈1,…,n〉`; the PJ query
+/// `π_{1…k}(σ_{k+1=k+2}(S × T))` picks the world whose tag the or-set
+/// chose.
+pub fn finite_completion_orset_pj(
+    target: &IDatabase,
+) -> Result<(OrSetTable, OrSetTable, Query), CoreError> {
+    let k = target.arity();
+    let n = target.len();
+    if n == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let mut s = OrSetTable::new(k + 1);
+    for (i, world) in target.iter().enumerate() {
+        for t in world.iter() {
+            let mut row: Vec<OrSetValue> =
+                t.iter().map(|v| OrSetValue::single(v.clone())).collect();
+            row.push(OrSetValue::single(i as i64 + 1));
+            s.push(row).map_err(CoreError::Table)?;
+        }
+    }
+    let t = OrSetTable::from_rows(
+        1,
+        [vec![
+            OrSetValue::new((1..=n as i64).collect::<Vec<_>>()).map_err(CoreError::Table)?
+        ]],
+    )
+    .map_err(CoreError::Table)?;
+    let q = Query::project(
+        Query::select(
+            Query::product(Query::Input, Query::Second),
+            Pred::eq_cols(k, k + 1),
+        ),
+        (0..k).collect(),
+    );
+    Ok((s, t, q))
+}
+
+/// Thm 6.2, PJ case: the same construction over finite v-tables
+/// (strictly more expressive than or-set tables): `S` ground with tags,
+/// `T = {(y)}` with `dom(y) = {1,…,n}`.
+pub fn finite_completion_finitev_pj(
+    target: &IDatabase,
+    gen: &mut VarGen,
+) -> Result<(CTable, CTable, Query), CoreError> {
+    let k = target.arity();
+    let n = target.len();
+    if n == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let mut s_rows = Vec::new();
+    for (i, world) in target.iter().enumerate() {
+        for t in world.iter() {
+            let mut terms: Vec<Term> = t.iter().map(|v| Term::Const(v.clone())).collect();
+            terms.push(Term::constant(i as i64 + 1));
+            s_rows.push(terms);
+        }
+    }
+    let s = CTable::v_table(k + 1, s_rows)?;
+    let y = gen.fresh();
+    let mut t_table = CTable::v_table(1, [vec![Term::Var(y)]])?;
+    t_table.set_domain(y, Domain::ints(1..=n as i64))?;
+    let q = Query::project(
+        Query::select(
+            Query::product(Query::Input, Query::Second),
+            Pred::eq_cols(k, k + 1),
+        ),
+        (0..k).collect(),
+    );
+    Ok((s, t_table, q))
+}
+
+/// Thm 6.2, S⁺P case: the *single* finite v-table representing `S × T`
+/// — every row carries the shared variable `y` — under
+/// `π_{1…k}(σ_{k+1=k+2}(S'))`.
+pub fn finite_completion_finitev_sp(
+    target: &IDatabase,
+    gen: &mut VarGen,
+) -> Result<(CTable, Query), CoreError> {
+    let k = target.arity();
+    let n = target.len();
+    if n == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let y = gen.fresh();
+    let mut rows = Vec::new();
+    for (i, world) in target.iter().enumerate() {
+        for t in world.iter() {
+            let mut terms: Vec<Term> = t.iter().map(|v| Term::Const(v.clone())).collect();
+            terms.push(Term::constant(i as i64 + 1));
+            terms.push(Term::Var(y));
+            rows.push(terms);
+        }
+    }
+    let mut s = CTable::v_table(k + 2, rows)?;
+    s.set_domain(y, Domain::ints(1..=n as i64))?;
+    let q = Query::project(
+        Query::select(Query::Input, Pred::eq_cols(k, k + 1)),
+        (0..k).collect(),
+    );
+    Ok((s, q))
+}
+
+/// Thm 6.3, PJ case: `R_sets` can play both roles of the 6.1 pair —
+/// `S` as singleton (certain) blocks, `T` as one block of tags.
+pub fn finite_completion_rsets_pj(target: &IDatabase) -> Result<(RSets, RSets, Query), CoreError> {
+    let k = target.arity();
+    let n = target.len();
+    if n == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let mut s = RSets::new(k + 1);
+    for (i, world) in target.iter().enumerate() {
+        for t in world.iter() {
+            let mut vals: Vec<ipdb_rel::Value> = t.iter().cloned().collect();
+            vals.push(ipdb_rel::Value::from(i as i64 + 1));
+            s.push(RBlock::new([Tuple::new(vals)], false).map_err(CoreError::Table)?)
+                .map_err(CoreError::Table)?;
+        }
+    }
+    let tags = (1..=n as i64).map(|i| Tuple::new([i]));
+    let t = RSets::from_blocks(1, [RBlock::new(tags, false).map_err(CoreError::Table)?])
+        .map_err(CoreError::Table)?;
+    let q = Query::project(
+        Query::select(
+            Query::product(Query::Input, Query::Second),
+            Pred::eq_cols(k, k + 1),
+        ),
+        (0..k).collect(),
+    );
+    Ok((s, t, q))
+}
+
+/// Thm 6.3, PU case: a single `R_sets` table of arity `k·m` (`m` = the
+/// largest world), one wide tuple per world (shorter worlds padded with
+/// their own tuples), under `q = ⋃_{i<m} π_{ki…ki+k−1}`.
+///
+/// The paper's padding assumes non-empty worlds; we extend the proof to
+/// targets containing the empty world by making the block optional
+/// ("at most one" — the absent choice yields ∅). A target consisting of
+/// *only* the empty world needs no block at all.
+pub fn finite_completion_rsets_pu(target: &IDatabase) -> Result<(RSets, Query), CoreError> {
+    let k = target.arity();
+    if target.is_empty() {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let has_empty = target.iter().any(Instance::is_empty);
+    let nonempty: Vec<&Instance> = target.iter().filter(|w| !w.is_empty()).collect();
+    let m = nonempty.iter().map(|w| w.len()).max().unwrap_or(1);
+    let mut table = RSets::new(k * m);
+    if !nonempty.is_empty() {
+        let mut wide_tuples = Vec::with_capacity(nonempty.len());
+        for world in &nonempty {
+            let tuples: Vec<&Tuple> = world.iter().collect();
+            let mut vals = Vec::with_capacity(k * m);
+            for i in 0..m {
+                // Pad by cycling the world's own tuples.
+                let t = tuples[i % tuples.len()];
+                vals.extend(t.iter().cloned());
+            }
+            wide_tuples.push(Tuple::new(vals));
+        }
+        table
+            .push(RBlock::new(wide_tuples, has_empty).map_err(CoreError::Table)?)
+            .map_err(CoreError::Table)?;
+    }
+    let q = Query::union_all(
+        (0..m).map(|i| Query::project(Query::Input, (k * i..k * i + k).collect())),
+    )
+    .expect("m ≥ 1");
+    Ok((table, q))
+}
+
+/// **Thm 6.4**: `R_⊕≡` under S⁺PJ. `S` holds `ℓ = ⌈lg n⌉` bit-pairs
+/// `(0,i) ⊕ (1,i)`; `q'(S) = Πᵢ π₁(σ_{2=i}(S))` reads off a random code
+/// word; `T` holds every world's tuples tagged with the world's code
+/// (the last world absorbs the spare codes, as in Thm 3), made *certain*
+/// by listing each tuple twice under `⊕` (`R_⊕≡` tables are tuple
+/// *multisets*: exactly one copy is present, so the tuple always is).
+/// Returns `(T, S, q)` with `T` addressed as `V` and `S` as `W`.
+pub fn finite_completion_rxor_spj_pair(
+    target: &IDatabase,
+) -> Result<(RXorEquiv, RXorEquiv, Query), CoreError> {
+    let k = target.arity();
+    let n = target.len();
+    if n == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let ell = if n <= 1 {
+        0
+    } else {
+        (n - 1).ilog2() as usize + 1
+    };
+
+    // S: for each bit position i (1-based tag), tuples (0, i) and (1, i)
+    // under ⊕ — exactly one present, its first column is the bit.
+    let mut s_tuples = Vec::with_capacity(2 * ell);
+    let mut s_constraints = Vec::with_capacity(ell);
+    for i in 0..ell {
+        s_tuples.push(Tuple::new([0i64, i as i64 + 1]));
+        s_tuples.push(Tuple::new([1i64, i as i64 + 1]));
+        s_constraints.push(RConstraint::Xor(2 * i, 2 * i + 1));
+    }
+    let s = RXorEquiv::new(2, s_tuples, s_constraints).map_err(CoreError::Table)?;
+
+    // q'(S): the code word (b₁, …, b_ℓ) — product of single-column
+    // selections (S⁺: constant equality). S is the second relation `W`.
+    let code = Query::product_all((0..ell).map(|i| {
+        Query::project(
+            Query::select(Query::Second, Pred::eq_const(1, i as i64 + 1)),
+            vec![0],
+        )
+    }));
+
+    // T: every world's tuples tagged with the ℓ-bit code of the world
+    // index; the last world also absorbs the spare codes (Thm 3's trick).
+    // Certainty via duplicated ⊕ pairs.
+    let mut t_tuples = Vec::new();
+    let mut t_constraints = Vec::new();
+    let tag_tuple =
+        |t: &Tuple, code: usize, tuples: &mut Vec<Tuple>, cons: &mut Vec<RConstraint>| {
+            let mut vals: Vec<ipdb_rel::Value> = t.iter().cloned().collect();
+            for j in 0..ell {
+                vals.push(ipdb_rel::Value::from(((code >> j) & 1) as i64));
+            }
+            let wide = Tuple::new(vals);
+            let idx = tuples.len();
+            tuples.push(wide.clone());
+            tuples.push(wide);
+            cons.push(RConstraint::Xor(idx, idx + 1));
+        };
+    for (i, world) in target.iter().enumerate() {
+        if i + 1 < n {
+            for t in world.iter() {
+                tag_tuple(t, i, &mut t_tuples, &mut t_constraints);
+            }
+        } else {
+            for c in (n - 1)..(1usize << ell).max(1) {
+                for t in world.iter() {
+                    tag_tuple(t, c, &mut t_tuples, &mut t_constraints);
+                }
+            }
+        }
+    }
+    let t = RXorEquiv::new(k + ell, t_tuples, t_constraints).map_err(CoreError::Table)?;
+
+    // q := π_{1…k}( σ_{⋀ⱼ tagⱼ = codeⱼ}( T × q'(S) ) ), all selections
+    // positive, hence S⁺PJ. With ℓ = 0 (single world) there is no code:
+    // q degenerates to π_{1…k}(V).
+    let q = match code {
+        Some(code) => Query::project(
+            Query::select(
+                Query::product(Query::Input, code),
+                Pred::and((0..ell).map(|j| Pred::eq_cols(k + j, k + ell + j))),
+            ),
+            (0..k).collect(),
+        ),
+        None => Query::project(Query::Input, (0..k).collect()),
+    };
+    Ok((t, s, q))
+}
+
+// ---------------------------------------------------------------------
+// Theorem 7 and Corollary 1: general finite completion.
+// ---------------------------------------------------------------------
+
+/// **Theorem 7**: if `Mod(host) = {J₁, …, J_ℓ}` has at least as many
+/// worlds as the target `{I₁, …, I_k}`, full RA completes the host:
+///
+/// `q(V) := ⋃_{i<k} Iᵢ × qᵢ(V) ∪ ⋃_{k≤i≤ℓ} I_k × qᵢ(V)`
+///
+/// where `qᵢ(V)` is the boolean query "`V = Jᵢ`" (expressible with
+/// difference) and `Iᵢ` is a constant query.
+pub fn theorem7_query(host_worlds: &IDatabase, target: &IDatabase) -> Result<Query, CoreError> {
+    let k = target.len();
+    let ell = host_worlds.len();
+    if k == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    if ell < k {
+        return Err(CoreError::HostTooSmall {
+            needed: k,
+            available: ell,
+        });
+    }
+    let truth = || Query::Lit(Instance::singleton(Tuple::empty()));
+    // qᵢ(V) := {()} − π_[]((V − Jᵢ) ∪ (Jᵢ − V)).
+    let world_test = |j: &Instance| -> Query {
+        let j_lit = Query::Lit(j.clone());
+        let symm_diff = Query::union(
+            Query::diff(Query::Input, j_lit.clone()),
+            Query::diff(j_lit, Query::Input),
+        );
+        Query::diff(truth(), Query::project(symm_diff, vec![]))
+    };
+    let targets: Vec<&Instance> = target.iter().collect();
+    let parts = host_worlds.iter().enumerate().map(|(i, j_world)| {
+        let out = targets[i.min(k - 1)];
+        Query::product(Query::Lit(out.clone()), world_test(j_world))
+    });
+    Ok(Query::union_all(parts).expect("ℓ ≥ 1"))
+}
+
+/// **Corollary 1**: `?`-tables + RA are finitely complete — a `?`-table
+/// with `⌈lg k⌉` optional tuples has at least `k` worlds, and Thm 7
+/// does the rest.
+pub fn corollary1_qtable(target: &IDatabase) -> Result<(QTable, Query), CoreError> {
+    let k = target.len();
+    if k == 0 {
+        return Err(CoreError::Unrepresentable("no worlds".into()));
+    }
+    let m = if k <= 1 {
+        0
+    } else {
+        (k - 1).ilog2() as usize + 1
+    };
+    let host = QTable::from_rows(1, (1..=m as i64).map(|i| (Tuple::new([i]), true)))
+        .map_err(CoreError::Table)?;
+    let host_worlds = host.worlds().map_err(CoreError::Table)?;
+    let q = theorem7_query(&host_worlds, target)?;
+    Ok((host, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_logic::Condition;
+    use ipdb_rel::{instance, Fragment};
+    use ipdb_tables::t_var;
+
+    fn sample_target() -> IDatabase {
+        IDatabase::from_instances(
+            2,
+            [
+                instance![[1, 2]],
+                instance![[1, 2], [3, 4]],
+                instance![[5, 6], [7, 8]],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample_ctable() -> CTable {
+        let (x, y) = (Var(0), Var(1));
+        CTable::builder(2)
+            .row([ipdb_tables::t_const(1), t_var(x)], Condition::True)
+            .row(
+                [t_var(x), t_var(y)],
+                Condition::and([Condition::neq_vv(x, y), Condition::neq_vc(x, 1)]),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn thm5_1_codd_spju() {
+        let t = sample_ctable();
+        let mut gen = VarGen::avoiding(t.vars());
+        let (s, q) = ra_completion_codd_spju(&t, &mut gen).unwrap();
+        assert!(s.is_codd());
+        assert!(Fragment::SPJU.admits_query(&q, s.arity()).unwrap());
+        let qbar_s = s.eval_query(&q).unwrap();
+        assert!(qbar_s.equivalent_to(&t).unwrap());
+    }
+
+    #[test]
+    fn thm5_2_vtable_sp() {
+        let t = sample_ctable();
+        let (s, q) = ra_completion_vtable_sp(&t).unwrap();
+        assert!(s.is_v_table());
+        assert!(Fragment::SP.admits_query(&q, s.arity()).unwrap());
+        let qbar_s = s.eval_query(&q).unwrap();
+        assert!(qbar_s.equivalent_to(&t).unwrap());
+    }
+
+    #[test]
+    fn thm5_2_on_finite_domain_table() {
+        let x = Var(0);
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::neq_vc(x, 2))
+            .domain(x, Domain::ints(1..=3))
+            .build()
+            .unwrap();
+        let (s, q) = ra_completion_vtable_sp(&t).unwrap();
+        let qbar_s = s.eval_query(&q).unwrap();
+        assert!(qbar_s.equivalent_to(&t).unwrap());
+    }
+
+    #[test]
+    fn thm6_1_orset_pj() {
+        let target = sample_target();
+        let (s, t, q) = finite_completion_orset_pj(&target).unwrap();
+        assert!(Fragment::PJ.admits(q.op_set()));
+        let image = image_of_pair(&q, &s.worlds().unwrap(), &t.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_2_finitev_pj() {
+        let target = sample_target();
+        let mut gen = VarGen::new();
+        let (s, t, q) = finite_completion_finitev_pj(&target, &mut gen).unwrap();
+        assert!(s.is_v_table() && t.is_v_table());
+        assert!(Fragment::PJ.admits(q.op_set()));
+        let image = image_of_pair(&q, &s.mod_finite().unwrap(), &t.mod_finite().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_2_finitev_sp() {
+        let target = sample_target();
+        let mut gen = VarGen::new();
+        let (s, q) = finite_completion_finitev_sp(&target, &mut gen).unwrap();
+        assert!(s.is_v_table());
+        assert!(Fragment::S_PLUS_P.admits_query(&q, s.arity()).unwrap());
+        let image = q.eval_idb(&s.mod_finite().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_3_rsets_pj() {
+        let target = sample_target();
+        let (s, t, q) = finite_completion_rsets_pj(&target).unwrap();
+        assert!(Fragment::PJ.admits(q.op_set()));
+        let image = image_of_pair(&q, &s.worlds().unwrap(), &t.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_3_rsets_pu() {
+        let target = sample_target();
+        let (s, q) = finite_completion_rsets_pu(&target).unwrap();
+        assert!(Fragment::PU.admits(q.op_set()));
+        let image = q.eval_idb(&s.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_3_rsets_pu_with_empty_world() {
+        let target =
+            IDatabase::from_instances(1, [Instance::empty(1), instance![[1]], instance![[2], [3]]])
+                .unwrap();
+        let (s, q) = finite_completion_rsets_pu(&target).unwrap();
+        let image = q.eval_idb(&s.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_4_rxor_spj() {
+        let target =
+            IDatabase::from_instances(1, [instance![[1]], instance![[2], [3]], instance![[4]]])
+                .unwrap();
+        let (t, s, q) = finite_completion_rxor_spj_pair(&target).unwrap();
+        assert!(Fragment::S_PLUS_PJ.admits(q.op_set()));
+        let image = image_of_pair(&q, &t.worlds().unwrap(), &s.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm6_4_single_world() {
+        let target = IDatabase::single(instance![[9]]);
+        let (t, s, q) = finite_completion_rxor_spj_pair(&target).unwrap();
+        let image = image_of_pair(&q, &t.worlds().unwrap(), &s.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm7_general_completion() {
+        let target = sample_target();
+        // Host: a ?-table with 2 optional tuples → 4 ≥ 3 worlds.
+        let host =
+            QTable::from_rows(1, [(Tuple::new([1i64]), true), (Tuple::new([2i64]), true)]).unwrap();
+        let host_worlds = host.worlds().unwrap();
+        let q = theorem7_query(&host_worlds, &target).unwrap();
+        let image = q.eval_idb(&host_worlds).unwrap();
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn thm7_host_too_small() {
+        let target = sample_target();
+        let host_worlds = IDatabase::from_instances(1, [instance![[1]]]).unwrap();
+        assert!(matches!(
+            theorem7_query(&host_worlds, &target),
+            Err(CoreError::HostTooSmall {
+                needed: 3,
+                available: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn corollary1_completion() {
+        let target = sample_target();
+        let (host, q) = corollary1_qtable(&target).unwrap();
+        let image = q.eval_idb(&host.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+        // 3 worlds → 2 optional tuples.
+        assert_eq!(host.optional_count(), 2);
+    }
+
+    #[test]
+    fn corollary1_single_world() {
+        let target = IDatabase::single(instance![[1, 1]]);
+        let (host, q) = corollary1_qtable(&target).unwrap();
+        assert_eq!(host.optional_count(), 0);
+        let image = q.eval_idb(&host.worlds().unwrap()).unwrap();
+        assert_eq!(image, target);
+    }
+}

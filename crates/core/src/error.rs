@@ -1,0 +1,102 @@
+//! Errors for the theory-layer constructions.
+
+use std::fmt;
+
+use ipdb_logic::LogicError;
+use ipdb_rel::RelError;
+use ipdb_tables::TableError;
+
+/// Errors raised by the completeness/completion constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying relational error.
+    Rel(RelError),
+    /// An underlying table error.
+    Table(TableError),
+    /// An underlying logic error.
+    Logic(LogicError),
+    /// An underlying probabilistic error.
+    Prob(ipdb_prob::ProbError),
+    /// The target i-database cannot be represented (e.g. it has no
+    /// worlds at all; `Mod` of any table is non-empty).
+    Unrepresentable(String),
+    /// Theorem 7 requires the host table to have at least as many worlds
+    /// as the target.
+    HostTooSmall {
+        /// Worlds needed (`|target|`).
+        needed: usize,
+        /// Worlds available (`|Mod(host)|`).
+        available: usize,
+    },
+    /// The `R_sets`+PU construction (Thm 6.3) pads worlds to a common
+    /// width with their own tuples, so every world must be non-empty
+    /// unless the empty world itself is in the target (handled via a
+    /// `?`-block).
+    NeedNonEmptyWorlds,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rel(e) => write!(f, "{e}"),
+            CoreError::Table(e) => write!(f, "{e}"),
+            CoreError::Logic(e) => write!(f, "{e}"),
+            CoreError::Prob(e) => write!(f, "{e}"),
+            CoreError::Unrepresentable(s) => write!(f, "unrepresentable: {s}"),
+            CoreError::HostTooSmall { needed, available } => write!(
+                f,
+                "Thm 7 host has {available} worlds but the target needs {needed}"
+            ),
+            CoreError::NeedNonEmptyWorlds => write!(
+                f,
+                "R_sets+PU construction pads worlds with their own tuples; a non-empty \
+                 target world is required (the empty world is handled via a ?-block)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+impl From<TableError> for CoreError {
+    fn from(e: TableError) -> Self {
+        CoreError::Table(e)
+    }
+}
+
+impl From<LogicError> for CoreError {
+    fn from(e: LogicError) -> Self {
+        CoreError::Logic(e)
+    }
+}
+
+impl From<ipdb_prob::ProbError> for CoreError {
+    fn from(e: ipdb_prob::ProbError) -> Self {
+        CoreError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_froms() {
+        let e: CoreError = RelError::RaggedLiteral.into();
+        assert!(matches!(e, CoreError::Rel(_)));
+        let e: CoreError = TableError::EmptyOrSet.into();
+        assert!(matches!(e, CoreError::Table(_)));
+        assert!(CoreError::HostTooSmall {
+            needed: 4,
+            available: 2
+        }
+        .to_string()
+        .contains("4"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Finite completeness (paper §3, Thm 3, Example 5).
+//!
+//! Theorem 3: boolean c-tables represent every finite incomplete
+//! database. [`theorem3_table`] is the proof's construction — index the
+//! worlds in binary over `ℓ = ⌈lg m⌉` boolean variables; world `i < m`
+//! gets the code of `i−1`; the last world absorbs all remaining codes.
+//!
+//! Example 5 quantifies the price: the finite c-table
+//! `{(x₁,…,x_m : true)}` with `dom(xᵢ) = {1..n}` has `m` cells, while
+//! the equivalent boolean c-table has `nᵐ` rows.
+//! [`example5_finite_ctable`] and the Thm 3 construction reproduce the
+//! pair; `ipdb-bench` measures the blow-up.
+
+use ipdb_logic::{Condition, Var, VarGen};
+use ipdb_rel::{Domain, IDatabase};
+use ipdb_tables::{BooleanCTable, CTable};
+
+use crate::error::CoreError;
+
+/// `⌈lg m⌉` (0 for `m ≤ 1`).
+fn ceil_log2(m: usize) -> u32 {
+    if m <= 1 {
+        0
+    } else {
+        (m - 1).ilog2() + 1
+    }
+}
+
+/// The binary-code condition `ϕ_c` over `vars`: bit `j` of `c` set →
+/// `x_j`, clear → `¬x_j`.
+fn code_condition(c: usize, vars: &[Var]) -> Condition {
+    Condition::and(vars.iter().enumerate().map(|(j, v)| {
+        if (c >> j) & 1 == 1 {
+            Condition::bvar(*v)
+        } else {
+            Condition::nbvar(*v)
+        }
+    }))
+}
+
+/// **Theorem 3**: a boolean c-table `T` with `Mod(T)` equal to the given
+/// finite i-database.
+///
+/// Errors when the target has no worlds (no table has empty `Mod`).
+pub fn theorem3_table(target: &IDatabase, gen: &mut VarGen) -> Result<BooleanCTable, CoreError> {
+    let m = target.len();
+    if m == 0 {
+        return Err(CoreError::Unrepresentable(
+            "an i-database with no worlds has no representation".into(),
+        ));
+    }
+    let ell = ceil_log2(m);
+    let vars = gen.fresh_n(ell as usize);
+    let mut table = BooleanCTable::new(target.arity());
+    for (i, world) in target.iter().enumerate() {
+        let cond = if i + 1 < m {
+            code_condition(i, &vars)
+        } else {
+            // Last world: all codes from m−1 to 2^ℓ − 1.
+            Condition::or(((m - 1)..(1usize << ell)).map(|c| code_condition(c, &vars)))
+        };
+        for t in world.iter() {
+            table
+                .push(t.clone(), cond.clone())
+                .map_err(CoreError::Table)?;
+        }
+    }
+    Ok(table)
+}
+
+/// **Example 5**, symbolic side: the finite c-table
+/// `{(x₁,…,x_m : true)}` with `dom(xᵢ) = {1,…,n}` — `m` table cells
+/// representing `nᵐ` worlds.
+pub fn example5_finite_ctable(m: usize, n: i64, gen: &mut VarGen) -> CTable {
+    let vars = gen.fresh_n(m);
+    let mut builder = CTable::builder(m).row(
+        vars.iter().map(|v| ipdb_logic::Term::Var(*v)),
+        Condition::True,
+    );
+    for v in vars {
+        builder = builder.domain(v, Domain::ints(1..=n));
+    }
+    builder.build().expect("valid by construction")
+}
+
+/// **Example 5**, explicit side: the equivalent boolean c-table obtained
+/// by applying Thm 3 to `Mod` of the finite c-table. Returns the pair
+/// `(rows_of_boolean_table, m_cells_of_finite_table)` along with the
+/// table for inspection.
+pub fn example5_boolean_equivalent(
+    m: usize,
+    n: i64,
+    gen: &mut VarGen,
+) -> Result<BooleanCTable, CoreError> {
+    let finite = example5_finite_ctable(m, n, gen);
+    let worlds = finite.mod_finite().map_err(CoreError::Table)?;
+    theorem3_table(&worlds, gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::instance;
+    use ipdb_tables::RepresentationSystem;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn theorem3_small_database() {
+        let target =
+            IDatabase::from_instances(1, [instance![[1]], instance![[2], [3]], instance![[4]]])
+                .unwrap();
+        let t = theorem3_table(&target, &mut VarGen::new()).unwrap();
+        assert_eq!(t.worlds().unwrap(), target);
+        // 3 worlds → 2 boolean variables.
+        assert_eq!(t.vars().len(), 2);
+    }
+
+    #[test]
+    fn theorem3_single_world() {
+        let target = IDatabase::single(instance![[1, 2]]);
+        let t = theorem3_table(&target, &mut VarGen::new()).unwrap();
+        assert_eq!(t.worlds().unwrap(), target);
+        assert!(t.vars().is_empty());
+    }
+
+    #[test]
+    fn theorem3_power_of_two_worlds() {
+        let target = IDatabase::from_instances(
+            1,
+            [
+                instance![[1]],
+                instance![[2]],
+                instance![[3]],
+                instance![[4]],
+            ],
+        )
+        .unwrap();
+        let t = theorem3_table(&target, &mut VarGen::new()).unwrap();
+        assert_eq!(t.worlds().unwrap(), target);
+        assert_eq!(t.vars().len(), 2);
+    }
+
+    #[test]
+    fn theorem3_with_empty_world() {
+        let target =
+            IDatabase::from_instances(1, [ipdb_rel::Instance::empty(1), instance![[5]]]).unwrap();
+        let t = theorem3_table(&target, &mut VarGen::new()).unwrap();
+        assert_eq!(t.worlds().unwrap(), target);
+    }
+
+    #[test]
+    fn theorem3_rejects_empty_target() {
+        let target = IDatabase::empty(1);
+        assert!(matches!(
+            theorem3_table(&target, &mut VarGen::new()),
+            Err(CoreError::Unrepresentable(_))
+        ));
+    }
+
+    #[test]
+    fn example5_pair_equivalence_and_sizes() {
+        let (m, n) = (3, 2);
+        let mut gen = VarGen::new();
+        let finite = example5_finite_ctable(m, n, &mut gen);
+        assert_eq!(finite.len(), 1);
+        assert_eq!(finite.arity(), m);
+        let worlds = finite.mod_finite().unwrap();
+        assert_eq!(worlds.len(), (n as usize).pow(m as u32));
+        let boolean = example5_boolean_equivalent(m, n, &mut gen).unwrap();
+        assert_eq!(boolean.worlds().unwrap(), worlds);
+        // The blow-up the paper states: nᵐ rows (one per world here,
+        // since each world is a single tuple).
+        assert_eq!(boolean.len(), (n as usize).pow(m as u32));
+    }
+}

@@ -1,0 +1,38 @@
+//! # `ipdb-core` — the theory layer of Green & Tannen (EDBT 2006)
+//!
+//! The paper's theorems, as executable constructions over the substrate
+//! crates:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`ra_complete`] | Thm 1 (c-table → `q` with `q(Z_k) = Mod(T)`), Thm 2 (RA-completeness), Prop. 4 (`q(N) = Z_n`), Example 4 |
+//! | [`finite_complete`] | Thm 3 (boolean c-tables are finitely complete), Example 5 (succinctness) |
+//! | [`completion`] | Def. 8 + Thm 5 (RA-completion: Codd+SPJU, v-tables+SP), Thm 6 (finite completion ×4 systems), Thm 7 + Cor. 1 |
+//! | [`nonclosure`] | Prop. 1 (non-closure witnesses, with machine-checked certificates) |
+//! | [`translate`] | the `Condition ↔ Pred` bridge the constructions share |
+//! | [`answers`] | certain/possible answers via `q̄` + decision slices |
+//!
+//! Probabilistic completeness and closure (Thms 8–9) live in
+//! `ipdb-prob` ([`ipdb_prob::theorem8_table`],
+//! [`ipdb_prob::PcTable::eval_query`]); this crate re-exports them for a
+//! single façade.
+//!
+//! Every construction here returns both the constructed object *and* is
+//! checked by tests (unit + property) for (a) semantic correctness —
+//! `Mod` equality over decision slices — and (b) **fragment honesty**:
+//! the query really lies in the fragment the theorem names.
+
+#![warn(missing_docs)]
+
+pub mod answers;
+pub mod completion;
+pub mod error;
+pub mod finite_complete;
+pub mod nonclosure;
+pub mod ra_complete;
+pub mod translate;
+
+pub use error::CoreError;
+
+// Probabilistic theory (Thms 8–9) re-exported for the façade.
+pub use ipdb_prob::theorem8_table;

@@ -1,0 +1,335 @@
+//! Non-closure witnesses (paper Proposition 1, from \[20\] and \[29\]).
+//!
+//! "Codd tables and v-tables are not closed under e.g. selection. Or-set
+//! tables and finite v-tables are also not closed under e.g. selection.
+//! `?`-tables, `R_sets`, and `R_⊕≡` are not closed under e.g. join."
+//!
+//! Each witness here is a concrete `(table, query)` pair together with a
+//! machine-checked *certificate* that no table of the weaker system
+//! represents `q(Mod(T))`. The certificates rest on two structural
+//! lemmas, both enforced by the code rather than assumed:
+//!
+//! * **Emptiness lemma** — for v-tables, Codd tables, or-set tables, and
+//!   finite v-tables, `∅ ∈ Mod(T)` iff `T` has no rows (every row
+//!   instantiates under every valuation). Hence any target containing
+//!   the empty world *and* a non-empty world is unrepresentable.
+//! * **Singleton lemma** — for `R_sets` whose target contains `∅`:
+//!   every block must be optional (a non-`?` block always contributes a
+//!   tuple), and then each block tuple alone is a world; so every world
+//!   must consist of tuples `t` with `{t}` in the target. A target
+//!   violating that is unrepresentable.
+//!
+//! For `?`-tables the representation question is *decided exactly*
+//! (`Mod` of a `?`-table is the interval `{R ∪ S | S ⊆ O}`), and for
+//! `R_⊕≡` a bounded exhaustive search over candidate tables provides the
+//! certificate (bound documented at [`rxor_representable_bounded`]).
+
+use std::collections::BTreeSet;
+
+use ipdb_rel::{IDatabase, Instance, Pred, Query, Tuple};
+use ipdb_tables::{QTable, RConstraint, RXorEquiv, RepresentationSystem};
+
+use crate::error::CoreError;
+
+// ---------------------------------------------------------------------
+// Decision procedures / certificates.
+// ---------------------------------------------------------------------
+
+/// Exact decision: is the finite i-database the `Mod` of some
+/// `?`-table? If so, returns one.
+///
+/// A `?`-table with required set `R` and optional set `O` has
+/// `Mod = {R ∪ S | S ⊆ O}`; conversely such an interval determines
+/// `R = ⋂ worlds` and `O = ⋃ worlds − R`, so representability is the
+/// single equality below.
+pub fn qtable_representing(target: &IDatabase) -> Option<QTable> {
+    if target.is_empty() {
+        return None;
+    }
+    let required = target.certain_tuples();
+    let all = target.possible_tuples();
+    let optional = all.difference(&required).expect("same arity");
+    // Candidate table.
+    let mut t = QTable::new(target.arity());
+    for tup in required.iter() {
+        t.push(tup.clone(), false).expect("arity");
+    }
+    for tup in optional.iter() {
+        t.push(tup.clone(), true).expect("arity");
+    }
+    let worlds = t.worlds().expect("enumerable");
+    if &worlds == target {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// The emptiness-lemma certificate: a target containing both the empty
+/// world and a non-empty world is representable by **no** v-table, Codd
+/// table, or-set table, or finite v-table.
+///
+/// (Rows of those systems have no conditions: every valuation
+/// instantiates every row, so `∅ ∈ Mod(T)` forces zero rows, forcing
+/// `Mod(T) = {∅}`.)
+pub fn unrepresentable_by_unconditional_tables(target: &IDatabase) -> bool {
+    let has_empty = target.iter().any(Instance::is_empty);
+    let has_nonempty = target.iter().any(|w| !w.is_empty());
+    has_empty && has_nonempty
+}
+
+/// The singleton-lemma certificate for `R_sets` targets containing `∅`:
+/// returns `true` (unrepresentable) when some world contains a tuple `t`
+/// with `{t}` not in the target.
+pub fn rsets_unrepresentable_via_singletons(target: &IDatabase) -> bool {
+    if !target.iter().any(Instance::is_empty) {
+        return false; // lemma only applies with ∅ in the target
+    }
+    let singleton_ok: BTreeSet<&Tuple> = target
+        .iter()
+        .filter(|w| w.len() == 1)
+        .flat_map(|w| w.iter())
+        .collect();
+    target
+        .iter()
+        .flat_map(|w| w.iter())
+        .any(|t| !singleton_ok.contains(t))
+}
+
+/// Bounded exhaustive search for an `R_⊕≡` table with the given `Mod`.
+///
+/// Candidates: tuple multisets drawn from the target's possible tuples
+/// with multiplicity ≤ 2 and total size ≤ `max_tuples`, under every
+/// assignment of `{none, ⊕, ≡}` to each tuple pair. Returns a witness
+/// table if one exists within the bound.
+///
+/// Bound discussion: every tuple of a candidate that is *present in some
+/// world* must come from the target's possible tuples; the largest world
+/// forces `max_tuples ≥` its cardinality. Tables exceeding the bound can
+/// only differ by never-present padding tuples, which require extra
+/// constraints to silence — the search is a certificate for the bound,
+/// which the Prop. 1 witnesses keep tiny.
+pub fn rxor_representable_bounded(
+    target: &IDatabase,
+    max_tuples: usize,
+) -> Result<Option<RXorEquiv>, CoreError> {
+    let pool: Vec<Tuple> = target.possible_tuples().iter().cloned().collect();
+    // Multisets over the pool with multiplicity ≤ 2, size ≤ max_tuples.
+    let mut counts = vec![0usize; pool.len()];
+    let mut stack = Vec::new();
+    collect_multisets(&pool, 0, max_tuples, &mut counts, &mut stack);
+    for multiset in stack {
+        let m = multiset.len();
+        if m > 12 {
+            continue; // keep the constraint search tractable
+        }
+        // All pairs, each constrained by none/xor/equiv.
+        let pairs: Vec<(usize, usize)> = (0..m)
+            .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+            .collect();
+        let n_assign = 3usize.pow(pairs.len() as u32);
+        for mask in 0..n_assign {
+            let mut constraints = Vec::new();
+            let mut acc = mask;
+            for &(i, j) in &pairs {
+                match acc % 3 {
+                    0 => {}
+                    1 => constraints.push(RConstraint::Xor(i, j)),
+                    2 => constraints.push(RConstraint::Equiv(i, j)),
+                    _ => unreachable!(),
+                }
+                acc /= 3;
+            }
+            let cand = RXorEquiv::new(target.arity(), multiset.clone(), constraints)
+                .map_err(CoreError::Table)?;
+            if &cand.worlds().map_err(CoreError::Table)? == target {
+                return Ok(Some(cand));
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn collect_multisets(
+    pool: &[Tuple],
+    idx: usize,
+    budget: usize,
+    counts: &mut Vec<usize>,
+    out: &mut Vec<Vec<Tuple>>,
+) {
+    if idx == pool.len() {
+        let mut ms = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                ms.push(pool[i].clone());
+            }
+        }
+        out.push(ms);
+        return;
+    }
+    for c in 0..=2usize.min(budget) {
+        counts[idx] = c;
+        collect_multisets(pool, idx + 1, budget - c, counts, out);
+    }
+    counts[idx] = 0;
+}
+
+// ---------------------------------------------------------------------
+// The Prop. 1 witnesses.
+// ---------------------------------------------------------------------
+
+/// A non-closure witness: a weaker-system table (described by its
+/// worlds), a query, and the resulting target worlds that escape the
+/// system.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The system the witness escapes.
+    pub system: &'static str,
+    /// The query applied.
+    pub query: Query,
+    /// `Mod` of the source table (over the relevant finite slice).
+    pub source_worlds: IDatabase,
+    /// `q(Mod)` — the escaping target.
+    pub target: IDatabase,
+}
+
+/// Prop. 1, "or-set tables / finite v-tables / Codd tables / v-tables
+/// are not closed under selection": the single-or-set table
+/// `{(〈1,2〉)}` under `σ_{#1=1}` yields `{∅, {(1)}}`, which contains the
+/// empty and a non-empty world — unrepresentable by any unconditional-
+/// row system (emptiness lemma).
+pub fn selection_witness() -> Result<Witness, CoreError> {
+    let source =
+        IDatabase::from_instances(1, [ipdb_rel::instance![[1]], ipdb_rel::instance![[2]]])?;
+    let q = Query::select(Query::Input, Pred::eq_const(0, 1));
+    let target = q.eval_idb(&source)?;
+    debug_assert!(unrepresentable_by_unconditional_tables(&target));
+    Ok(Witness {
+        system: "or-set / finite-v / Codd / v-tables (selection)",
+        query: q,
+        source_worlds: source,
+        target,
+    })
+}
+
+/// Prop. 1, "`?`-tables are not closed under join": the `?`-table
+/// `{(1,2)?, (3,4)?}` under `π₁(V) × π₂(V)` produces correlated tuples
+/// (`(1,4)` exists only when both originals do), escaping the
+/// independent-tuple structure — certified by the exact `?`-table
+/// decision procedure.
+pub fn qtable_join_witness() -> Result<Witness, CoreError> {
+    let source_table = QTable::from_rows(
+        2,
+        [(Tuple::new([1i64, 2]), true), (Tuple::new([3i64, 4]), true)],
+    )
+    .map_err(CoreError::Table)?;
+    let source = source_table.worlds().map_err(CoreError::Table)?;
+    let q = Query::product(
+        Query::project(Query::Input, vec![0]),
+        Query::project(Query::Input, vec![1]),
+    );
+    let target = q.eval_idb(&source)?;
+    debug_assert!(qtable_representing(&target).is_none());
+    Ok(Witness {
+        system: "?-tables (join)",
+        query: q,
+        source_worlds: source,
+        target,
+    })
+}
+
+/// Prop. 1, "`R_sets` is not closed under join": same query over the
+/// `R_sets` reading of the `?`-table above; the target contains `∅` and
+/// the tuple `(1,4)` whose singleton is not a world — the singleton
+/// lemma certifies unrepresentability.
+pub fn rsets_join_witness() -> Result<Witness, CoreError> {
+    let w = qtable_join_witness()?;
+    debug_assert!(rsets_unrepresentable_via_singletons(&w.target));
+    Ok(Witness {
+        system: "R_sets (join)",
+        ..w
+    })
+}
+
+/// Prop. 1, "`R_⊕≡` is not closed under join": same target; a bounded
+/// exhaustive search over `R_⊕≡` candidates (multiplicity ≤ 2 over the
+/// possible tuples) finds no representation.
+pub fn rxor_join_witness(max_tuples: usize) -> Result<Witness, CoreError> {
+    let w = qtable_join_witness()?;
+    if rxor_representable_bounded(&w.target, max_tuples)?.is_some() {
+        return Err(CoreError::Unrepresentable(
+            "unexpected: R⊕≡ represented the join witness".into(),
+        ));
+    }
+    Ok(Witness {
+        system: "R_⊕≡ (join)",
+        ..w
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::instance;
+
+    #[test]
+    fn qtable_decision_procedure() {
+        // Representable: independent interval.
+        let ok = IDatabase::from_instances(1, [instance![[1]], instance![[1], [2]]]).unwrap();
+        let t = qtable_representing(&ok).unwrap();
+        assert_eq!(t.worlds().unwrap(), ok);
+        // Unrepresentable: correlated pair.
+        let bad = IDatabase::from_instances(1, [Instance::empty(1), instance![[1], [2]]]).unwrap();
+        assert!(qtable_representing(&bad).is_none());
+    }
+
+    #[test]
+    fn selection_witness_escapes_unconditional_tables() {
+        let w = selection_witness().unwrap();
+        assert!(unrepresentable_by_unconditional_tables(&w.target));
+        assert_eq!(w.target.len(), 2);
+        assert!(w.target.contains(&Instance::empty(1)));
+        assert!(w.target.contains(&instance![[1]]));
+    }
+
+    #[test]
+    fn join_witness_escapes_qtables() {
+        let w = qtable_join_witness().unwrap();
+        // Worlds: ∅, {(1,2)}, {(3,4)}, {(1,2),(1,4),(3,2),(3,4)}.
+        assert_eq!(w.target.len(), 4);
+        assert!(qtable_representing(&w.target).is_none());
+        // ... while the source itself *is* a ?-table.
+        assert!(qtable_representing(&w.source_worlds).is_some());
+    }
+
+    #[test]
+    fn join_witness_escapes_rsets() {
+        let w = rsets_join_witness().unwrap();
+        assert!(rsets_unrepresentable_via_singletons(&w.target));
+    }
+
+    #[test]
+    fn singleton_lemma_is_not_vacuous() {
+        // An R_sets-representable target with ∅ passes the lemma.
+        let ok = IDatabase::from_instances(1, [Instance::empty(1), instance![[1]], instance![[2]]])
+            .unwrap();
+        assert!(!rsets_unrepresentable_via_singletons(&ok));
+    }
+
+    #[test]
+    fn rxor_bounded_search_finds_representations_when_they_exist() {
+        // {∅, {(1),(2)}} is R⊕≡-representable: t0 ≡ t1.
+        let target =
+            IDatabase::from_instances(1, [Instance::empty(1), instance![[1], [2]]]).unwrap();
+        let found = rxor_representable_bounded(&target, 2).unwrap();
+        assert!(found.is_some());
+        assert_eq!(found.unwrap().worlds().unwrap(), target);
+    }
+
+    #[test]
+    #[ignore = "bounded search is exponential; run with --ignored (exercised by the experiments harness)"]
+    fn join_witness_escapes_rxor() {
+        let w = rxor_join_witness(4).unwrap();
+        assert_eq!(w.system, "R_⊕≡ (join)");
+    }
+}

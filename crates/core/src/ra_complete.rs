@@ -1,0 +1,310 @@
+//! RA-definability and RA-completeness (paper §3, Thms 1–2, Prop. 4,
+//! Example 4).
+//!
+//! Definition 3: an incomplete database is *RA-definable* if it is
+//! `q(Mod(Z_k))` for some RA query `q`, where `Z_k` is the single-row
+//! Codd table of `k` distinct variables. Theorem 1 proves every c-table
+//! representable i-database is RA-definable — constructively:
+//! [`theorem1_query`] builds the (SPJU) query from the table. Theorem 2
+//! (the converse: c-tables are RA-complete) is witnessed by the c-table
+//! algebra itself: `q̄(Z_k)` *is* a c-table representing `q(Mod(Z_k))`
+//! — see [`theorem2_table`].
+
+use std::collections::BTreeMap;
+
+use ipdb_logic::{Term, Var, VarGen};
+use ipdb_rel::{IDatabase, Instance, Pred, Query, Tuple};
+use ipdb_tables::CTable;
+
+use crate::error::CoreError;
+use crate::translate::condition_to_pred;
+
+/// The variable order Thm 1 uses: the table's variables ascending, so
+/// `x_j` lives in column `j` of `Z_k`.
+pub fn z_k_positions(t: &CTable) -> BTreeMap<Var, usize> {
+    t.vars()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect()
+}
+
+/// **Theorem 1**: from a c-table `T` (arity `n`, variables `x₁…x_k`),
+/// the SPJU query `q` with `q(Mod(Z_k)) = Mod(T)`:
+///
+/// `q := ⋃_{t ∈ T} π_{1…n}( σ_{ψ_t}( C₁ × ⋯ × C_{n+m_t} ) )`
+///
+/// where `Cᵢ` is the singleton `{c}` for a constant entry and
+/// `π_j(Z_k)` for a variable entry, the trailing factors project the
+/// condition-only variables of the row, and `ψ_t` is `ϕ_t` with
+/// variables replaced by their column indexes.
+///
+/// Returns the query and `k` (the arity of `Z_k`).
+pub fn theorem1_query(t: &CTable) -> Result<(Query, usize), CoreError> {
+    let pos = z_k_positions(t);
+    let k = pos.len();
+    let n = t.arity();
+    let mut parts: Vec<Query> = Vec::with_capacity(t.len());
+    for row in t.rows() {
+        // Product factors C₁ … C_n: one per tuple entry.
+        let mut factors: Vec<Query> = Vec::with_capacity(n + k);
+        // Column where each variable lands in this row's product (first
+        // occurrence wins; later occurrences are fresh copies of the same
+        // single-tuple projection, hence automatically equal).
+        let mut landed: BTreeMap<Var, usize> = BTreeMap::new();
+        for (i, entry) in row.tuple.iter().enumerate() {
+            match entry {
+                Term::Const(c) => {
+                    factors.push(Query::Lit(Instance::singleton(Tuple::new([c.clone()]))))
+                }
+                Term::Var(x) => {
+                    factors.push(Query::project(Query::Input, vec![pos[x]]));
+                    landed.entry(*x).or_insert(i);
+                }
+            }
+        }
+        // Condition-only variables get trailing columns.
+        let mut next_col = n;
+        let mut cond_vars = row.cond.vars();
+        for v in row.tuple.iter().filter_map(Term::as_var) {
+            cond_vars.remove(&v);
+        }
+        for x in cond_vars {
+            factors.push(Query::project(Query::Input, vec![pos[&x]]));
+            landed.insert(x, next_col);
+            next_col += 1;
+        }
+        let product = Query::product_all(factors)
+            .unwrap_or_else(|| Query::Lit(Instance::singleton(Tuple::empty())));
+        let psi = condition_to_pred(&row.cond, &landed)?;
+        parts.push(Query::project(
+            Query::select(product, psi),
+            (0..n).collect(),
+        ));
+    }
+    let q = Query::union_all(parts).unwrap_or_else(|| Query::Lit(Instance::empty(n)));
+    Ok((q, k))
+}
+
+/// **Theorem 2** (RA-completeness of c-tables): for any query `q`, the
+/// c-table `q̄(Z_k)` represents the RA-definable i-database
+/// `q(Mod(Z_k))`.
+pub fn theorem2_table(q: &Query, k: usize, gen: &mut VarGen) -> Result<CTable, CoreError> {
+    let z = CTable::z_k(k, gen);
+    Ok(z.eval_query(q)?)
+}
+
+/// **Proposition 4**: a query `q` with `q(N) = Z_n`, where `N` is the
+/// zero-information database. With `ℓ = (1,…,n)`:
+///
+/// `q'(V) := V − π_ℓ(σ_{ℓ≠r}(V × V))` (yields `V` when `|V| = 1`, else ∅)
+/// `q(V)  := q'(V) ∪ ({t} − π_ℓ({t} × q'(V)))`
+///
+/// `t` is an arbitrary tuple of arity `n` supplied by the caller.
+pub fn prop4_query(n: usize, t: &Tuple) -> Result<Query, CoreError> {
+    if t.arity() != n {
+        return Err(CoreError::Rel(ipdb_rel::RelError::ArityMismatch {
+            expected: n,
+            got: t.arity(),
+        }));
+    }
+    // ℓ ≠ r : 1≠n+1 ∨ … ∨ n≠2n (0-based: i ≠ n+i).
+    let diff_pred = Pred::or((0..n).map(|i| Pred::neq_cols(i, n + i)));
+    let q_prime = Query::diff(
+        Query::Input,
+        Query::project(
+            Query::select(Query::product(Query::Input, Query::Input), diff_pred),
+            (0..n).collect(),
+        ),
+    );
+    let t_lit = Query::Lit(Instance::singleton(t.clone()));
+    // {t} − π_ℓ({t} × q'(V)) : {t} when q'(V) = ∅, else ∅.
+    let fallback = Query::diff(
+        t_lit.clone(),
+        Query::project(Query::product(t_lit, q_prime.clone()), (0..n).collect()),
+    );
+    Ok(Query::union(q_prime, fallback))
+}
+
+/// The paper's **Example 4** query, transcribed verbatim: the
+/// RA-definition of Example 2's c-table `S` from `Z₃`,
+///
+/// `q(V) := π₁₂₃({1}×{2}×V) ∪ π₁₂₃(σ_{2=3,4≠'2'}({3}×V))
+///        ∪ π₅₁₂(σ_{3≠'1',3≠4}({4}×{5}×V))`
+///
+/// (variable order `x, y, z` in columns 1, 2, 3 of `Z₃`).
+pub fn example4_query() -> Query {
+    let one = Query::singleton([1i64]);
+    let two = Query::singleton([2i64]);
+    let three = Query::singleton([3i64]);
+    let four = Query::singleton([4i64]);
+    let five = Query::singleton([5i64]);
+    // π₁₂₃({1}×{2}×V): columns are (1, 2, x, y, z); keep (1, 2, x).
+    let part1 = Query::project(
+        Query::product(Query::product(one, two), Query::Input),
+        vec![0, 1, 2],
+    );
+    // π₁₂₃(σ_{2=3,4≠'2'}({3}×V)): columns (3, x, y, z);
+    // 2=3 is x=y (cols 1,2), 4≠'2' is z≠2 (col 3).
+    let part2 = Query::project(
+        Query::select(
+            Query::product(three, Query::Input),
+            Pred::and([Pred::eq_cols(1, 2), Pred::neq_const(3, 2)]),
+        ),
+        vec![0, 1, 2],
+    );
+    // π₅₁₂(σ_{3≠'1',3≠4}({4}×{5}×V)): columns (4, 5, x, y, z);
+    // 3≠'1' is x≠1 (col 2), 3≠4 is x≠y (cols 2,3); π₅₁₂ keeps (z, 4, 5).
+    // The row condition in Example 2 is the *disjunction* x≠1 ∨ x≠y, so
+    // the selection list here is disjunctive.
+    let part3 = Query::project(
+        Query::select(
+            Query::product(Query::product(four, five), Query::Input),
+            Pred::or([Pred::neq_const(2, 1), Pred::neq_cols(2, 3)]),
+        ),
+        vec![4, 0, 1],
+    );
+    Query::union_all([part1, part2, part3]).expect("three parts")
+}
+
+/// Checks `q(Mod(Z_k)) = Mod(T)` over a finite domain slice (both sides
+/// computed by enumeration).
+pub fn check_theorem1_on_slice(
+    t: &CTable,
+    q: &Query,
+    k: usize,
+    slice: &ipdb_rel::Domain,
+) -> Result<bool, CoreError> {
+    let z_worlds = IDatabase::z_k_over(slice, k);
+    let lhs = q.eval_idb(&z_worlds)?;
+    let rhs = t.mod_over(slice)?;
+    Ok(lhs == rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_logic::Condition;
+    use ipdb_rel::{Domain, Fragment};
+    use ipdb_tables::{t_const, t_var};
+
+    /// Example 2's c-table S with x, y, z = Var(0), Var(1), Var(2).
+    fn example2() -> CTable {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        CTable::builder(3)
+            .row([t_const(1), t_const(2), t_var(x)], Condition::True)
+            .row(
+                [t_const(3), t_var(x), t_var(y)],
+                Condition::and([Condition::eq_vv(x, y), Condition::neq_vc(z, 2)]),
+            )
+            .row(
+                [t_var(z), t_const(4), t_const(5)],
+                Condition::or([Condition::neq_vc(x, 1), Condition::neq_vv(x, y)]),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn theorem1_on_example2() {
+        let s = example2();
+        let (q, k) = theorem1_query(&s).unwrap();
+        assert_eq!(k, 3);
+        assert!(Fragment::SPJU.admits_query(&q, k).unwrap());
+        for slice in [Domain::ints(1..=3), Domain::new([1i64, 2, 5, 77])] {
+            assert!(check_theorem1_on_slice(&s, &q, k, &slice).unwrap());
+        }
+    }
+
+    #[test]
+    fn theorem1_query_matches_qbar_on_zk() {
+        // The proof's final step: q̄(Z_k) ≡ T.
+        let s = example2();
+        let (q, k) = theorem1_query(&s).unwrap();
+        let mut gen = VarGen::avoiding(s.vars());
+        let qbar_z = theorem2_table(&q, k, &mut gen).unwrap();
+        assert!(qbar_z.equivalent_to(&s).unwrap());
+    }
+
+    #[test]
+    fn theorem1_handles_repeated_variables() {
+        // Row (x, x): both occurrences must be forced equal.
+        let x = Var(0);
+        let t = CTable::builder(2)
+            .row([t_var(x), t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let (q, k) = theorem1_query(&t).unwrap();
+        assert_eq!(k, 1);
+        let slice = Domain::ints(1..=3);
+        assert!(check_theorem1_on_slice(&t, &q, k, &slice).unwrap());
+    }
+
+    #[test]
+    fn theorem1_handles_condition_only_variables() {
+        // Row (7) under condition y ≠ 1 — y never appears in a tuple.
+        let y = Var(0);
+        let t = CTable::builder(1)
+            .row([t_const(7)], Condition::neq_vc(y, 1))
+            .build()
+            .unwrap();
+        let (q, k) = theorem1_query(&t).unwrap();
+        assert_eq!(k, 1);
+        let slice = Domain::ints(1..=3);
+        assert!(check_theorem1_on_slice(&t, &q, k, &slice).unwrap());
+    }
+
+    #[test]
+    fn theorem1_on_empty_table() {
+        let t = CTable::new(2, vec![]).unwrap();
+        let (q, k) = theorem1_query(&t).unwrap();
+        assert_eq!(k, 0);
+        let slice = Domain::ints(1..=2);
+        assert!(check_theorem1_on_slice(&t, &q, k, &slice).unwrap());
+    }
+
+    #[test]
+    fn example4_verbatim_query_defines_example2() {
+        let s = example2();
+        let q = example4_query();
+        assert!(Fragment::SPJU.admits_query(&q, 3).unwrap());
+        for slice in [Domain::ints(1..=3), Domain::new([1i64, 2, 4, 77])] {
+            assert!(check_theorem1_on_slice(&s, &q, 3, &slice).unwrap());
+        }
+    }
+
+    #[test]
+    fn prop4_yields_z_n() {
+        let n = 2;
+        let t = Tuple::new([1i64, 1]);
+        let q = prop4_query(n, &t).unwrap();
+        let dom = Domain::ints(1..=2);
+        // Finite slice of N: instances with ≤ 2 tuples.
+        let n_slice = IDatabase::all_instances_over(&dom, n, 2);
+        let image = q.eval_idb(&n_slice).unwrap();
+        assert_eq!(image, IDatabase::z_k_over(&dom, n));
+    }
+
+    #[test]
+    fn prop4_arity_checked() {
+        assert!(prop4_query(2, &Tuple::new([1i64])).is_err());
+    }
+
+    #[test]
+    fn prop4_behaviour_by_cardinality() {
+        let n = 1;
+        let t = Tuple::new([9i64]);
+        let q = prop4_query(n, &t).unwrap();
+        // Empty input → {t}.
+        assert_eq!(
+            q.eval(&Instance::empty(1)).unwrap(),
+            Instance::singleton(t.clone())
+        );
+        // Singleton input → itself.
+        let single = Instance::singleton(Tuple::new([4i64]));
+        assert_eq!(q.eval(&single).unwrap(), single);
+        // Two-tuple input → {t}.
+        let double = ipdb_rel::instance![[1], [2]];
+        assert_eq!(q.eval(&double).unwrap(), Instance::singleton(t));
+    }
+}

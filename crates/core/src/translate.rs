@@ -1,0 +1,97 @@
+//! Bridging c-table conditions and selection predicates.
+//!
+//! The constructions of Thm 1 and Thm 5.2 turn row conditions `ϕ_t` into
+//! selection predicates `ψ_t` "by replacing each occurrence of a
+//! variable xᵢ with the index of the term Cⱼ in which xᵢ appears". This
+//! module is that translation, parameterized by the variable → column
+//! map.
+
+use std::collections::BTreeMap;
+
+use ipdb_logic::{Condition, Term, Var};
+use ipdb_rel::{CmpOp, Operand, Pred};
+
+use crate::error::CoreError;
+
+fn term_to_operand(t: &Term, pos: &BTreeMap<Var, usize>) -> Result<Operand, CoreError> {
+    Ok(match t {
+        Term::Const(v) => Operand::Const(v.clone()),
+        Term::Var(x) => Operand::Col(*pos.get(x).ok_or_else(|| {
+            CoreError::Unrepresentable(format!("variable {x} has no column position"))
+        })?),
+    })
+}
+
+/// Translates a condition into a selection predicate under a variable →
+/// column assignment (every variable of the condition must be mapped).
+pub fn condition_to_pred(cond: &Condition, pos: &BTreeMap<Var, usize>) -> Result<Pred, CoreError> {
+    Ok(match cond {
+        Condition::True => Pred::True,
+        Condition::False => Pred::False,
+        Condition::Eq(a, b) => Pred::Cmp(
+            CmpOp::Eq,
+            term_to_operand(a, pos)?,
+            term_to_operand(b, pos)?,
+        ),
+        Condition::Neq(a, b) => Pred::Cmp(
+            CmpOp::Neq,
+            term_to_operand(a, pos)?,
+            term_to_operand(b, pos)?,
+        ),
+        Condition::Not(c) => Pred::Not(Box::new(condition_to_pred(c, pos)?)),
+        Condition::And(cs) => Pred::And(
+            cs.iter()
+                .map(|c| condition_to_pred(c, pos))
+                .collect::<Result<_, _>>()?,
+        ),
+        Condition::Or(cs) => Pred::Or(
+            cs.iter()
+                .map(|c| condition_to_pred(c, pos))
+                .collect::<Result<_, _>>()?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::Value;
+
+    #[test]
+    fn atoms_translate_with_positions() {
+        let (x, y) = (Var(0), Var(1));
+        let pos = BTreeMap::from([(x, 2), (y, 5)]);
+        let c = Condition::and([Condition::eq_vv(x, y), Condition::neq_vc(x, 7)]);
+        let p = condition_to_pred(&c, &pos).unwrap();
+        // Row where col2 == col5 and col2 != 7 passes.
+        let row: Vec<Value> = [0, 0, 3, 0, 0, 3]
+            .iter()
+            .map(|&v| Value::from(v as i64))
+            .collect();
+        assert!(p.eval(&row).unwrap());
+        let row2: Vec<Value> = [0, 0, 7, 0, 0, 7]
+            .iter()
+            .map(|&v| Value::from(v as i64))
+            .collect();
+        assert!(!p.eval(&row2).unwrap());
+    }
+
+    #[test]
+    fn unmapped_variable_errors() {
+        let c = Condition::eq_vc(Var(9), 1);
+        assert!(condition_to_pred(&c, &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn connectives_preserved() {
+        let x = Var(0);
+        let pos = BTreeMap::from([(x, 0)]);
+        let c = Condition::Not(Box::new(Condition::Or(vec![
+            Condition::eq_vc(x, 1),
+            Condition::False,
+        ])));
+        let p = condition_to_pred(&c, &pos).unwrap();
+        assert!(p.eval(&[Value::from(2)]).unwrap());
+        assert!(!p.eval(&[Value::from(1)]).unwrap());
+    }
+}

@@ -1,0 +1,38 @@
+//! Errors for the condition language.
+
+use std::fmt;
+
+use crate::var::Var;
+
+/// Errors raised when evaluating or solving conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicError {
+    /// A condition was evaluated under a valuation that does not bind one
+    /// of its variables.
+    UnboundVar(Var),
+    /// A satisfiability query mentioned a variable with no attached
+    /// domain.
+    MissingDomain(Var),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UnboundVar(v) => write!(f, "variable {v} is not bound by the valuation"),
+            LogicError::MissingDomain(v) => write!(f, "variable {v} has no attached domain"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LogicError::UnboundVar(Var(1)).to_string().contains("x1"));
+        assert!(LogicError::MissingDomain(Var(2)).to_string().contains("x2"));
+    }
+}

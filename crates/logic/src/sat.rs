@@ -1,0 +1,269 @@
+//! Satisfiability, validity, and equivalence over finite domains.
+//!
+//! Finite-domain tables (Def. 6) attach a finite `dom(x)` to every
+//! variable; deciding which worlds exist, whether a tuple is
+//! certain/possible, and whether two conditions agree are all
+//! finite-domain satisfiability questions. The solver is a plain
+//! backtracking search that re-folds the condition after each binding
+//! ([`crate::Condition::partial_eval`]) so contradictory branches are cut
+//! early; [`count_models`] multiplies out untouched variables instead of
+//! enumerating them.
+
+use std::collections::BTreeMap;
+
+use ipdb_rel::Domain;
+
+use crate::condition::Condition;
+use crate::valuation::Valuation;
+use crate::var::Var;
+use crate::LogicError;
+
+/// Checks every variable of `cond` has a domain in `doms`.
+fn check_domains(cond: &Condition, doms: &BTreeMap<Var, Domain>) -> Result<(), LogicError> {
+    for v in cond.vars() {
+        if !doms.contains_key(&v) {
+            return Err(LogicError::MissingDomain(v));
+        }
+    }
+    Ok(())
+}
+
+/// Finds a valuation of `cond`'s variables (over their domains) that
+/// satisfies `cond`, if one exists.
+///
+/// The returned valuation binds exactly the variables of `cond`.
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use ipdb_logic::{sat, Condition, Var};
+/// use ipdb_rel::Domain;
+/// let c = Condition::and([Condition::eq_vv(Var(0), Var(1)), Condition::neq_vc(Var(0), 1)]);
+/// let doms = BTreeMap::from([(Var(0), Domain::ints(1..=2)), (Var(1), Domain::ints(1..=2))]);
+/// let nu = sat::satisfying(&c, &doms).unwrap().expect("x=y=2 works");
+/// assert!(c.eval(&nu).unwrap());
+/// ```
+pub fn satisfying(
+    cond: &Condition,
+    doms: &BTreeMap<Var, Domain>,
+) -> Result<Option<Valuation>, LogicError> {
+    check_domains(cond, doms)?;
+    let vars: Vec<Var> = cond.vars().into_iter().collect();
+    let mut nu = Valuation::new();
+    // Fold through the smart constructors first: `search` relies on the
+    // invariant that ground (sub)conditions are the constants True/False,
+    // which raw conditions like `Not(True)` violate.
+    let folded = cond.simplify();
+    if search(&folded, &vars, doms, &mut nu) {
+        Ok(Some(nu))
+    } else {
+        Ok(None)
+    }
+}
+
+fn search(
+    residual: &Condition,
+    unbound: &[Var],
+    doms: &BTreeMap<Var, Domain>,
+    nu: &mut Valuation,
+) -> bool {
+    match residual {
+        Condition::True => {
+            // Any completion works; fill remaining vars with their first
+            // domain value so the caller gets a total witness.
+            for v in unbound {
+                let dom = &doms[v];
+                if dom.is_empty() {
+                    return false;
+                }
+                nu.bind(*v, dom.values()[0].clone());
+            }
+            true
+        }
+        Condition::False => false,
+        _ => {
+            let Some((&v, rest)) = unbound.split_first() else {
+                // No unbound vars but residual is not constant: cannot
+                // happen, since partial_eval folds ground conditions.
+                unreachable!("ground residual must fold to a constant");
+            };
+            for val in &doms[&v] {
+                nu.bind(v, val.clone());
+                let step = Valuation::from_iter([(v, val.clone())]);
+                let next = residual.partial_eval(&step);
+                if search(&next, rest, doms, nu) {
+                    return true;
+                }
+                nu.unbind(v);
+            }
+            false
+        }
+    }
+}
+
+/// Whether `cond` has at least one satisfying valuation.
+pub fn satisfiable(cond: &Condition, doms: &BTreeMap<Var, Domain>) -> Result<bool, LogicError> {
+    Ok(satisfying(cond, doms)?.is_some())
+}
+
+/// Whether `cond` holds under *every* valuation.
+pub fn valid(cond: &Condition, doms: &BTreeMap<Var, Domain>) -> Result<bool, LogicError> {
+    Ok(!satisfiable(&cond.clone().negate(), doms)?)
+}
+
+/// Whether `a` and `b` agree under every valuation over `doms` (which
+/// must cover the variables of both).
+pub fn equivalent(
+    a: &Condition,
+    b: &Condition,
+    doms: &BTreeMap<Var, Domain>,
+) -> Result<bool, LogicError> {
+    let differ = Condition::or([
+        Condition::and([a.clone(), b.clone().negate()]),
+        Condition::and([a.clone().negate(), b.clone()]),
+    ]);
+    Ok(!satisfiable(&differ, doms)?)
+}
+
+/// Counts the satisfying valuations of `cond` over the domains of *all*
+/// variables in `doms` (variables absent from `cond` contribute a factor
+/// `|dom|` each).
+///
+/// This is unweighted model counting; `ipdb-prob` layers probabilities on
+/// the same recursion.
+pub fn count_models(cond: &Condition, doms: &BTreeMap<Var, Domain>) -> Result<u128, LogicError> {
+    check_domains(cond, doms)?;
+    let cond = cond.simplify(); // see `satisfying`: rec needs folded input
+    let vars: Vec<Var> = doms.keys().copied().collect();
+    fn rec(residual: &Condition, unbound: &[Var], doms: &BTreeMap<Var, Domain>) -> u128 {
+        match residual {
+            Condition::True => unbound.iter().map(|v| doms[v].len() as u128).product(),
+            Condition::False => 0,
+            _ => {
+                let (&v, rest) = unbound
+                    .split_first()
+                    .expect("ground residual must fold to a constant");
+                if !residual.vars().contains(&v) {
+                    // v is irrelevant to the residual: multiply instead of
+                    // branching.
+                    return (doms[&v].len() as u128) * rec(residual, rest, doms);
+                }
+                let mut total = 0u128;
+                for val in &doms[&v] {
+                    let step = Valuation::from_iter([(v, val.clone())]);
+                    total += rec(&residual.partial_eval(&step), rest, doms);
+                }
+                total
+            }
+        }
+    }
+    Ok(rec(&cond, &vars, doms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doms2(n: i64) -> BTreeMap<Var, Domain> {
+        BTreeMap::from([(Var(0), Domain::ints(1..=n)), (Var(1), Domain::ints(1..=n))])
+    }
+
+    #[test]
+    fn satisfying_finds_witness() {
+        let c = Condition::and([
+            Condition::eq_vv(Var(0), Var(1)),
+            Condition::neq_vc(Var(0), 1),
+        ]);
+        let nu = satisfying(&c, &doms2(3)).unwrap().unwrap();
+        assert!(c.eval(&nu).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_over_small_domain() {
+        // x ≠ 1 ∧ x ≠ 2 over dom {1,2} has no model.
+        let c = Condition::and([Condition::neq_vc(Var(0), 1), Condition::neq_vc(Var(0), 2)]);
+        let doms = BTreeMap::from([(Var(0), Domain::ints(1..=2))]);
+        assert!(!satisfiable(&c, &doms).unwrap());
+        // ... but over {1,2,3} it is satisfiable.
+        let doms3 = BTreeMap::from([(Var(0), Domain::ints(1..=3))]);
+        assert!(satisfiable(&c, &doms3).unwrap());
+    }
+
+    #[test]
+    fn missing_domain_errors() {
+        let c = Condition::eq_vc(Var(9), 1);
+        assert_eq!(
+            satisfiable(&c, &BTreeMap::new()),
+            Err(LogicError::MissingDomain(Var(9)))
+        );
+    }
+
+    #[test]
+    fn validity() {
+        // x = 1 ∨ x = 2 is valid over dom {1,2}.
+        let c = Condition::or([Condition::eq_vc(Var(0), 1), Condition::eq_vc(Var(0), 2)]);
+        let doms = BTreeMap::from([(Var(0), Domain::ints(1..=2))]);
+        assert!(valid(&c, &doms).unwrap());
+        let doms3 = BTreeMap::from([(Var(0), Domain::ints(1..=3))]);
+        assert!(!valid(&c, &doms3).unwrap());
+    }
+
+    #[test]
+    fn equivalence_of_de_morgan_duals() {
+        let a = Condition::Not(Box::new(Condition::And(vec![
+            Condition::eq_vc(Var(0), 1),
+            Condition::eq_vc(Var(1), 2),
+        ])));
+        let b = Condition::or([Condition::neq_vc(Var(0), 1), Condition::neq_vc(Var(1), 2)]);
+        assert!(equivalent(&a, &b, &doms2(3)).unwrap());
+        assert!(!equivalent(&a, &Condition::True, &doms2(3)).unwrap());
+    }
+
+    #[test]
+    fn count_models_basics() {
+        let doms = doms2(3);
+        assert_eq!(count_models(&Condition::True, &doms).unwrap(), 9);
+        assert_eq!(count_models(&Condition::False, &doms).unwrap(), 0);
+        assert_eq!(
+            count_models(&Condition::eq_vv(Var(0), Var(1)), &doms).unwrap(),
+            3
+        );
+        assert_eq!(
+            count_models(&Condition::neq_vv(Var(0), Var(1)), &doms).unwrap(),
+            6
+        );
+    }
+
+    #[test]
+    fn count_models_with_irrelevant_vars() {
+        // Condition only mentions x0; x1's domain multiplies the count.
+        let doms = doms2(4);
+        assert_eq!(
+            count_models(&Condition::eq_vc(Var(0), 1), &doms).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let c = Condition::or([
+            Condition::and([
+                Condition::eq_vv(Var(0), Var(1)),
+                Condition::neq_vc(Var(0), 2),
+            ]),
+            Condition::eq_vc(Var(1), 3),
+        ]);
+        let doms = doms2(3);
+        let brute = Valuation::all_over(&doms)
+            .filter(|nu| c.eval(nu).unwrap())
+            .count() as u128;
+        assert_eq!(count_models(&c, &doms).unwrap(), brute);
+    }
+
+    #[test]
+    fn boolean_conditions_count() {
+        let doms = BTreeMap::from([(Var(0), Domain::bools()), (Var(1), Domain::bools())]);
+        // x0=true ∨ x1=true has 3 of 4 models.
+        let c = Condition::or([Condition::bvar(Var(0)), Condition::bvar(Var(1))]);
+        assert_eq!(count_models(&c, &doms).unwrap(), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Proptest strategies for conditions and valuations.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ipdb_rel::{Domain, Value};
+
+use crate::{Condition, Term, Valuation, Var};
+
+/// Strategy for a term over the variables `x0..x{nvars}` and small
+/// integer constants.
+pub fn arb_term(nvars: u32, max_int: i64) -> BoxedStrategy<Term> {
+    if nvars == 0 {
+        (0..=max_int).prop_map(Term::constant).boxed()
+    } else {
+        prop_oneof![
+            (0..nvars).prop_map(|i| Term::var(Var(i))),
+            (0..=max_int).prop_map(Term::constant),
+        ]
+        .boxed()
+    }
+}
+
+/// Strategy for a condition over `x0..x{nvars}` with small integer
+/// constants. Uses the raw constructors (not the smart ones) so that
+/// simplification has real work to do in tests.
+pub fn arb_condition(nvars: u32, max_int: i64, depth: u32) -> BoxedStrategy<Condition> {
+    let atom = (
+        arb_term(nvars, max_int),
+        arb_term(nvars, max_int),
+        any::<bool>(),
+    )
+        .prop_map(|(l, r, eq)| {
+            if eq {
+                Condition::Eq(l, r)
+            } else {
+                Condition::Neq(l, r)
+            }
+        });
+    let leaf = prop_oneof![
+        6 => atom,
+        1 => Just(Condition::True),
+        1 => Just(Condition::False),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..=3).prop_map(Condition::And),
+            proptest::collection::vec(inner.clone(), 1..=3).prop_map(Condition::Or),
+            inner.prop_map(|c| Condition::Not(Box::new(c))),
+        ]
+    })
+    .boxed()
+}
+
+/// Strategy for a *boolean* condition over boolean variables
+/// `x0..x{nvars}` (the conditions of boolean (p)c-tables).
+pub fn arb_boolean_condition(nvars: u32, depth: u32) -> BoxedStrategy<Condition> {
+    let nvars = nvars.max(1);
+    let atom = (0..nvars, any::<bool>()).prop_map(|(i, pos)| {
+        if pos {
+            Condition::bvar(Var(i))
+        } else {
+            Condition::nbvar(Var(i))
+        }
+    });
+    let leaf = prop_oneof![6 => atom, 1 => Just(Condition::True), 1 => Just(Condition::False)];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..=3).prop_map(Condition::And),
+            proptest::collection::vec(inner.clone(), 1..=3).prop_map(Condition::Or),
+            inner.prop_map(|c| Condition::Not(Box::new(c))),
+        ]
+    })
+    .boxed()
+}
+
+/// Integer domains `{0..=max_int}` for `x0..x{nvars}`.
+pub fn int_domains(nvars: u32, max_int: i64) -> BTreeMap<Var, Domain> {
+    (0..nvars)
+        .map(|i| (Var(i), Domain::ints(0..=max_int)))
+        .collect()
+}
+
+/// Boolean domains for `x0..x{nvars}`.
+pub fn bool_domains(nvars: u32) -> BTreeMap<Var, Domain> {
+    (0..nvars).map(|i| (Var(i), Domain::bools())).collect()
+}
+
+/// Strategy for a total valuation of `x0..x{nvars}` over `{0..=max_int}`.
+pub fn arb_valuation(nvars: u32, max_int: i64) -> BoxedStrategy<Valuation> {
+    proptest::collection::vec(0..=max_int, nvars as usize)
+        .prop_map(|vals| {
+            vals.into_iter()
+                .enumerate()
+                .map(|(i, v)| (Var(i as u32), Value::from(v)))
+                .collect()
+        })
+        .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `simplify` is sound: the simplified condition agrees with the
+        /// original under every valuation.
+        #[test]
+        fn simplify_preserves_semantics(
+            c in arb_condition(3, 2, 3),
+            nu in arb_valuation(3, 2)
+        ) {
+            prop_assert_eq!(c.eval(&nu).unwrap(), c.simplify().eval(&nu).unwrap());
+        }
+
+        /// `nnf` is sound and produces no `Not` nodes.
+        #[test]
+        fn nnf_preserves_semantics(
+            c in arb_condition(3, 2, 3),
+            nu in arb_valuation(3, 2)
+        ) {
+            let n = c.nnf();
+            prop_assert_eq!(c.eval(&nu).unwrap(), n.eval(&nu).unwrap());
+            fn no_not(c: &Condition) -> bool {
+                match c {
+                    Condition::Not(_) => false,
+                    Condition::And(cs) | Condition::Or(cs) => cs.iter().all(no_not),
+                    _ => true,
+                }
+            }
+            prop_assert!(no_not(&n));
+        }
+
+        /// `partial_eval` under a total valuation folds to the constant
+        /// `eval` returns.
+        #[test]
+        fn partial_eval_total_matches_eval(
+            c in arb_condition(3, 2, 3),
+            nu in arb_valuation(3, 2)
+        ) {
+            let folded = c.partial_eval(&nu);
+            let expect = if c.eval(&nu).unwrap() { Condition::True } else { Condition::False };
+            prop_assert_eq!(folded, expect);
+        }
+
+        /// Binding variables one at a time agrees with binding all at once.
+        #[test]
+        fn partial_eval_composes(
+            c in arb_condition(3, 2, 3),
+            nu in arb_valuation(3, 2)
+        ) {
+            let mut step = c.clone();
+            for (v, val) in nu.iter() {
+                let one = Valuation::from_iter([(*v, val.clone())]);
+                step = step.partial_eval(&one);
+            }
+            prop_assert_eq!(step, c.partial_eval(&nu));
+        }
+
+        /// The satisfiability witness really satisfies, and `count_models`
+        /// matches brute force.
+        #[test]
+        fn sat_agrees_with_enumeration(c in arb_condition(3, 2, 3)) {
+            let doms = int_domains(3, 2);
+            let brute: Vec<Valuation> = Valuation::all_over(&doms)
+                .filter(|nu| c.eval(nu).unwrap())
+                .collect();
+            let witness = sat::satisfying(&c, &doms).unwrap();
+            prop_assert_eq!(witness.is_some(), !brute.is_empty());
+            if let Some(nu) = witness {
+                // The witness binds c's vars; extend to all domain vars.
+                let mut total = nu.clone();
+                for (v, d) in &doms {
+                    if !total.binds(*v) {
+                        total.bind(*v, d.values()[0].clone());
+                    }
+                }
+                prop_assert!(c.eval(&total).unwrap());
+            }
+            prop_assert_eq!(
+                sat::count_models(&c, &doms).unwrap(),
+                brute.len() as u128
+            );
+        }
+
+        /// `negate` really negates.
+        #[test]
+        fn negate_flips_semantics(
+            c in arb_condition(3, 2, 3),
+            nu in arb_valuation(3, 2)
+        ) {
+            prop_assert_eq!(
+                c.eval(&nu).unwrap(),
+                !c.clone().negate().eval(&nu).unwrap()
+            );
+        }
+
+        /// Boolean conditions report `is_boolean` and count models
+        /// consistently with enumeration over boolean domains.
+        #[test]
+        fn boolean_condition_counting(c in arb_boolean_condition(3, 3)) {
+            prop_assert!(c.is_boolean());
+            let doms = bool_domains(3);
+            let brute = Valuation::all_over(&doms)
+                .filter(|nu| c.eval(nu).unwrap())
+                .count() as u128;
+            prop_assert_eq!(sat::count_models(&c, &doms).unwrap(), brute);
+        }
+    }
+}

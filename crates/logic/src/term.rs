@@ -1,0 +1,141 @@
+//! Terms: variables or constants.
+//!
+//! The entries of v-/c-table tuples and the operands of condition atoms.
+
+use std::fmt;
+
+use ipdb_rel::Value;
+
+use crate::valuation::Valuation;
+use crate::var::Var;
+use crate::LogicError;
+
+/// A term: either a variable or a constant from `D`.
+///
+/// ```
+/// use ipdb_logic::{Term, Var};
+/// let t = Term::var(Var(0));
+/// assert!(t.as_var().is_some());
+/// let c = Term::constant(5);
+/// assert!(c.as_const().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable term.
+    pub const fn var(v: Var) -> Term {
+        Term::Var(v)
+    }
+
+    /// Constant term.
+    pub fn constant(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable, if this is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+
+    /// Whether the term is ground (a constant).
+    pub fn is_ground(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Resolves the term under a total valuation.
+    pub fn eval(&self, nu: &Valuation) -> Result<Value, LogicError> {
+        match self {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Var(x) => nu.get(*x).cloned().ok_or(LogicError::UnboundVar(*x)),
+        }
+    }
+
+    /// Resolves under a partial valuation: bound variables become their
+    /// values, unbound variables stay.
+    pub fn partial_eval(&self, nu: &Valuation) -> Term {
+        match self {
+            Term::Const(_) => self.clone(),
+            Term::Var(x) => match nu.get(*x) {
+                Some(v) => Term::Const(v.clone()),
+                None => self.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let x = Term::var(Var(1));
+        assert_eq!(x.as_var(), Some(Var(1)));
+        assert_eq!(x.as_const(), None);
+        assert!(!x.is_ground());
+        let c = Term::constant("a");
+        assert!(c.is_ground());
+        assert_eq!(c.as_const(), Some(&Value::from("a")));
+    }
+
+    #[test]
+    fn eval_requires_binding() {
+        let x = Term::var(Var(0));
+        let nu = Valuation::new();
+        assert_eq!(x.eval(&nu), Err(LogicError::UnboundVar(Var(0))));
+        let nu = Valuation::from_iter([(Var(0), Value::from(3))]);
+        assert_eq!(x.eval(&nu).unwrap(), Value::from(3));
+        assert_eq!(Term::constant(9).eval(&nu).unwrap(), Value::from(9));
+    }
+
+    #[test]
+    fn partial_eval_substitutes_bound_only() {
+        let nu = Valuation::from_iter([(Var(0), Value::from(3))]);
+        assert_eq!(Term::var(Var(0)).partial_eval(&nu), Term::constant(3));
+        assert_eq!(Term::var(Var(1)).partial_eval(&nu), Term::var(Var(1)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::var(Var(2)).to_string(), "x2");
+        assert_eq!(Term::constant("q").to_string(), "'q'");
+    }
+}

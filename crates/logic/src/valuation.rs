@@ -1,0 +1,241 @@
+//! Valuations: assignments of domain values to variables.
+//!
+//! The paper's `ν : Var(T) → D` (§2). A [`Valuation`] may be partial —
+//! total evaluation errors on unbound variables, while residual
+//! evaluation ([`crate::Condition::partial_eval`]) folds what it can.
+//! [`Valuation::all_over`] enumerates every total valuation over
+//! per-variable finite domains: the outcome space of finite-domain tables
+//! (Def. 6) and of pc-tables (Def. 13).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ipdb_rel::{Domain, Value};
+
+use crate::var::Var;
+
+/// A (possibly partial) assignment `Var → Value`.
+///
+/// ```
+/// use ipdb_logic::{Valuation, Var};
+/// use ipdb_rel::Value;
+/// let nu = Valuation::from_iter([(Var(0), Value::from(1))]);
+/// assert_eq!(nu.get(Var(0)), Some(&Value::from(1)));
+/// assert_eq!(nu.get(Var(1)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Valuation {
+    map: BTreeMap<Var, Value>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Valuation::default()
+    }
+
+    /// Binds `v` to `val`, returning the previous binding if any.
+    pub fn bind(&mut self, v: Var, val: impl Into<Value>) -> Option<Value> {
+        self.map.insert(v, val.into())
+    }
+
+    /// Removes the binding of `v`.
+    pub fn unbind(&mut self, v: Var) -> Option<Value> {
+        self.map.remove(&v)
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Value> {
+        self.map.get(&v)
+    }
+
+    /// Whether `v` is bound.
+    pub fn binds(&self, v: Var) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, Var, Value> {
+        self.map.iter()
+    }
+
+    /// Merges `other`'s bindings into `self` (right-biased).
+    pub fn extend(&mut self, other: &Valuation) {
+        for (v, val) in &other.map {
+            self.map.insert(*v, val.clone());
+        }
+    }
+
+    /// The restriction of the valuation to `vars`.
+    pub fn restrict<'a, I: IntoIterator<Item = &'a Var>>(&self, vars: I) -> Valuation {
+        let mut out = Valuation::new();
+        for v in vars {
+            if let Some(val) = self.map.get(v) {
+                out.map.insert(*v, val.clone());
+            }
+        }
+        out
+    }
+
+    /// Every total valuation over the given per-variable domains — the
+    /// product space `Π_x dom(x)` as a plain iterator (probabilities are
+    /// layered on in `ipdb-prob`).
+    ///
+    /// Yields exactly one (empty) valuation when `doms` is empty, and
+    /// nothing if some domain is empty.
+    pub fn all_over(doms: &BTreeMap<Var, Domain>) -> ValuationIter<'_> {
+        ValuationIter::new(doms)
+    }
+}
+
+impl FromIterator<(Var, Value)> for Valuation {
+    fn from_iter<I: IntoIterator<Item = (Var, Value)>>(iter: I) -> Self {
+        Valuation {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, val)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}↦{val}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over all total valuations of a finite-domain variable set
+/// (odometer order: last variable varies fastest).
+pub struct ValuationIter<'a> {
+    vars: Vec<(Var, &'a Domain)>,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> ValuationIter<'a> {
+    fn new(doms: &'a BTreeMap<Var, Domain>) -> Self {
+        let vars: Vec<(Var, &Domain)> = doms.iter().map(|(v, d)| (*v, d)).collect();
+        let done = vars.iter().any(|(_, d)| d.is_empty());
+        ValuationIter {
+            idx: vec![0; vars.len()],
+            vars,
+            done,
+        }
+    }
+
+    /// Total number of valuations (product of domain sizes).
+    pub fn count_total(doms: &BTreeMap<Var, Domain>) -> u128 {
+        doms.values().map(|d| d.len() as u128).product()
+    }
+}
+
+impl Iterator for ValuationIter<'_> {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        if self.done {
+            return None;
+        }
+        let nu: Valuation = self
+            .vars
+            .iter()
+            .zip(&self.idx)
+            .map(|((v, d), &i)| (*v, d.values()[i].clone()))
+            .collect();
+        // Advance odometer.
+        let mut pos = self.vars.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.idx[pos] += 1;
+            if self.idx[pos] < self.vars[pos].1.len() {
+                break;
+            }
+            self.idx[pos] = 0;
+        }
+        Some(nu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_get_unbind() {
+        let mut nu = Valuation::new();
+        assert!(nu.is_empty());
+        assert_eq!(nu.bind(Var(0), 1), None);
+        assert_eq!(nu.bind(Var(0), 2), Some(Value::from(1)));
+        assert_eq!(nu.get(Var(0)), Some(&Value::from(2)));
+        assert!(nu.binds(Var(0)));
+        assert_eq!(nu.unbind(Var(0)), Some(Value::from(2)));
+        assert!(!nu.binds(Var(0)));
+    }
+
+    #[test]
+    fn extend_is_right_biased() {
+        let mut a = Valuation::from_iter([(Var(0), Value::from(1))]);
+        let b = Valuation::from_iter([(Var(0), Value::from(9)), (Var(1), Value::from(2))]);
+        a.extend(&b);
+        assert_eq!(a.get(Var(0)), Some(&Value::from(9)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn restrict() {
+        let nu = Valuation::from_iter([(Var(0), Value::from(1)), (Var(1), Value::from(2))]);
+        let r = nu.restrict(&[Var(1), Var(7)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(Var(1)), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn all_over_enumerates_product() {
+        let doms = BTreeMap::from([(Var(0), Domain::ints(1..=2)), (Var(1), Domain::ints(1..=3))]);
+        let all: Vec<Valuation> = Valuation::all_over(&doms).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(ValuationIter::count_total(&doms), 6);
+        // All distinct.
+        let set: std::collections::BTreeSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn all_over_empty_varset() {
+        let doms = BTreeMap::new();
+        let all: Vec<Valuation> = Valuation::all_over(&doms).collect();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn all_over_empty_domain() {
+        let doms = BTreeMap::from([(Var(0), Domain::empty())]);
+        assert_eq!(Valuation::all_over(&doms).count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let nu = Valuation::from_iter([(Var(0), Value::from(1))]);
+        assert_eq!(nu.to_string(), "{x0↦1}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Query answering on probabilistic c-tables: three engines.
+//!
+//! §7–§8 of the paper: the probability that a tuple `t` appears in a
+//! query answer is the probability of `t`'s *event expression* — the
+//! condition decorating `t` in `q̄(T)`. This module computes it three
+//! ways, cheapest-to-build first:
+//!
+//! 1. [`tuple_prob_enum`] — enumerate the whole valuation space
+//!    (exponential in the number of variables, always applicable);
+//! 2. [`tuple_prob_shannon`] — Shannon expansion of the tuple's presence
+//!    condition with memoization on residual conditions (touches only
+//!    the variables the condition mentions);
+//! 3. [`tuple_prob_bdd`] — for *boolean* pc-tables, compile the presence
+//!    condition to a ROBDD and run weighted model counting.
+//!
+//! All three agree exactly (property-tested with `Rat`); the benches in
+//! `ipdb-bench` measure the crossovers.
+
+use std::collections::BTreeMap;
+
+use ipdb_bdd::{compile_condition, var_order, BddManager, Weight};
+use ipdb_logic::{Condition, Term, Valuation, Var};
+use ipdb_rel::{Tuple, Value};
+use ipdb_tables::{algebra, CTable};
+
+use crate::error::ProbError;
+use crate::pctable::{BooleanPcTable, PcTable};
+use crate::space::FiniteSpace;
+
+/// The *presence condition* of tuple `t` in a c-table: the event
+/// expression `⋁_{rows (s:φ)} (s = t ∧ φ)` — exactly the condition `t`
+/// would carry in the table after merging rows (and the tuple's lineage,
+/// §9).
+pub fn presence_condition(table: &CTable, t: &Tuple) -> Condition {
+    let t_terms: Vec<Term> = t.iter().map(|v| Term::Const(v.clone())).collect();
+    Condition::or(
+        table.rows().iter().map(|row| {
+            Condition::and([algebra::tuples_eq(&row.tuple, &t_terms), row.cond.clone()])
+        }),
+    )
+}
+
+/// `P[φ]` by Shannon expansion over the variables' finite distributions,
+/// with memoization on the (folded) residual condition.
+///
+/// Branch on the first variable of the residual: each outcome
+/// contributes `P[x = a] · P[φ[x:=a]]`. Residuals that fold to
+/// `true`/`false` terminate immediately, and the memo table catches the
+/// (frequent, for event expressions) coinciding residuals.
+pub fn prob_of_condition<W: Weight>(
+    cond: &Condition,
+    dists: &BTreeMap<Var, FiniteSpace<Value, W>>,
+) -> Result<W, ProbError> {
+    for v in cond.vars() {
+        if !dists.contains_key(&v) {
+            return Err(ProbError::MissingDistribution(v));
+        }
+    }
+    let mut memo: BTreeMap<Condition, W> = BTreeMap::new();
+    fn rec<W: Weight>(
+        cond: &Condition,
+        dists: &BTreeMap<Var, FiniteSpace<Value, W>>,
+        memo: &mut BTreeMap<Condition, W>,
+    ) -> W {
+        match cond {
+            Condition::True => return W::one(),
+            Condition::False => return W::zero(),
+            _ => {}
+        }
+        if let Some(p) = memo.get(cond) {
+            return p.clone();
+        }
+        let v = *cond
+            .vars()
+            .iter()
+            .next()
+            .expect("non-constant condition has a variable");
+        let mut acc = W::zero();
+        for (val, p) in dists[&v].iter() {
+            let step = Valuation::from_iter([(v, val.clone())]);
+            let residual = cond.partial_eval(&step);
+            acc = acc.add(&p.mul(&rec(&residual, dists, memo)));
+        }
+        memo.insert(cond.clone(), acc.clone());
+        acc
+    }
+    Ok(rec(&cond.simplify(), dists, &mut memo))
+}
+
+/// Engine 1: `P[t ∈ I]` by full enumeration of `Mod(T)`.
+pub fn tuple_prob_enum<W: Weight>(pc: &PcTable<W>, t: &Tuple) -> Result<W, ProbError> {
+    pc.tuple_prob_enum(t)
+}
+
+/// Engine 2: `P[t ∈ I]` by Shannon expansion of the presence condition.
+pub fn tuple_prob_shannon<W: Weight>(pc: &PcTable<W>, t: &Tuple) -> Result<W, ProbError> {
+    let cond = presence_condition(pc.table(), t);
+    prob_of_condition(&cond, pc.dists())
+}
+
+/// Engine 3: `P[t ∈ I]` for boolean pc-tables via ROBDD + weighted model
+/// counting.
+pub fn tuple_prob_bdd<W: Weight>(bpc: &BooleanPcTable<W>, t: &Tuple) -> Result<W, ProbError> {
+    let cond = presence_condition(bpc.as_pctable().table(), t);
+    let order = var_order(&cond);
+    let mut mgr = BddManager::new();
+    let f = compile_condition(&mut mgr, &cond, &order)
+        .expect("boolean pc-table conditions are boolean");
+    // weights[i] = (P[x=false], P[x=true]) in BDD index order.
+    let dists = bpc.as_pctable().dists();
+    let mut weights: Vec<(W, W)> = vec![(W::one(), W::zero()); order.len()];
+    for (v, idx) in &order {
+        let d = &dists[v];
+        weights[*idx as usize] = (d.prob(&Value::Bool(false)), d.prob(&Value::Bool(true)));
+    }
+    Ok(mgr.wmc(f, &weights))
+}
+
+/// The full answer-tuple marginal table for `q` over `pc`: every
+/// possible answer tuple with its probability (computed with the Shannon
+/// engine), in canonical tuple order.
+///
+/// This is the §7 question ("the probability of tuples appearing in
+/// query answers") answered through the Thm 9 closure.
+pub fn answer_marginals<W: Weight>(
+    pc: &PcTable<W>,
+    q: &ipdb_rel::Query,
+) -> Result<Vec<(Tuple, W)>, ProbError> {
+    let answered = pc.eval_query(q)?;
+    // Possible tuples: ground every row tuple under every valuation of
+    // the row's own variables (cheaper than materializing Mod).
+    let mut out: BTreeMap<Tuple, W> = BTreeMap::new();
+    for row in answered.table().rows() {
+        let mut row_vars: Vec<Var> = row.tuple.iter().filter_map(Term::as_var).collect();
+        row_vars.sort_unstable();
+        row_vars.dedup();
+        let doms: BTreeMap<Var, ipdb_rel::Domain> = row_vars
+            .iter()
+            .map(|v| {
+                let d =
+                    ipdb_rel::Domain::new(answered.dists()[v].iter().map(|(val, _)| val.clone()));
+                (*v, d)
+            })
+            .collect();
+        for nu in Valuation::all_over(&doms) {
+            let grounded = row.apply(&nu)?;
+            if let std::collections::btree_map::Entry::Vacant(e) = out.entry(grounded.clone()) {
+                let p = tuple_prob_shannon(&answered, &grounded)?;
+                if !p.is_zero() {
+                    e.insert(p);
+                }
+            }
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+    use crate::rat::Rat;
+    use crate::space::FiniteSpace;
+    use ipdb_logic::VarGen;
+    use ipdb_rel::{tuple, Pred, Query};
+    use ipdb_tables::{t_const, t_var, BooleanCTable};
+
+    fn uniform(vals: &[i64]) -> FiniteSpace<Value, Rat> {
+        let n = vals.len() as i128;
+        FiniteSpace::new(vals.iter().map(|v| (Value::from(*v), Rat::new(1, n)))).unwrap()
+    }
+
+    fn small_pc() -> PcTable<Rat> {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let table = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(9)], Condition::eq_vv(x, y))
+            .build()
+            .unwrap();
+        PcTable::new(table, [(x, uniform(&[1, 2, 3])), (y, uniform(&[1, 2, 3]))]).unwrap()
+    }
+
+    #[test]
+    fn presence_condition_shape() {
+        let pc = small_pc();
+        let c = presence_condition(pc.table(), &tuple![9]);
+        // (9 = x ∧ true) ∨ (9 = 9 ∧ x = y) — first disjunct keeps x=9,
+        // second folds to x=y.
+        assert!(c.vars().len() == 2);
+    }
+
+    #[test]
+    fn three_engines_agree_on_small_pc() {
+        let pc = small_pc();
+        for t in [tuple![1], tuple![2], tuple![9], tuple![7]] {
+            let e = tuple_prob_enum(&pc, &t).unwrap();
+            let s = tuple_prob_shannon(&pc, &t).unwrap();
+            assert_eq!(e, s, "tuple {t}");
+        }
+        // Hand-checked: P[(1)] = P[x=1] = 1/3;
+        // P[(9)] = P[x=y] = 1/3 (9 not in dom(x)).
+        assert_eq!(tuple_prob_shannon(&pc, &tuple![1]).unwrap(), rat!(1, 3));
+        assert_eq!(tuple_prob_shannon(&pc, &tuple![9]).unwrap(), rat!(1, 3));
+    }
+
+    #[test]
+    fn bdd_engine_agrees_on_boolean_tables() {
+        let (a, b) = (Var(0), Var(1));
+        let mut bt = BooleanCTable::new(1);
+        bt.push(
+            tuple![1],
+            Condition::or([Condition::bvar(a), Condition::bvar(b)]),
+        )
+        .unwrap();
+        bt.push(
+            tuple![2],
+            Condition::and([Condition::bvar(a), Condition::nbvar(b)]),
+        )
+        .unwrap();
+        let bpc = BooleanPcTable::new(bt, [(a, rat!(1, 2)), (b, rat!(1, 4))]).unwrap();
+        for t in [tuple![1], tuple![2], tuple![3]] {
+            let e = tuple_prob_enum(bpc.as_pctable(), &t).unwrap();
+            let s = tuple_prob_shannon(bpc.as_pctable(), &t).unwrap();
+            let d = tuple_prob_bdd(&bpc, &t).unwrap();
+            assert_eq!(e, s, "tuple {t}");
+            assert_eq!(e, d, "tuple {t}");
+        }
+        // P[(1)] = 1 - 1/2·3/4 = 5/8.
+        assert_eq!(tuple_prob_bdd(&bpc, &tuple![1]).unwrap(), rat!(5, 8));
+    }
+
+    #[test]
+    fn prob_of_condition_basics() {
+        let x = Var(0);
+        let dists = BTreeMap::from([(x, uniform(&[1, 2, 3, 4]))]);
+        assert_eq!(
+            prob_of_condition(&Condition::eq_vc(x, 1), &dists).unwrap(),
+            rat!(1, 4)
+        );
+        assert_eq!(
+            prob_of_condition(&Condition::neq_vc(x, 1), &dists).unwrap(),
+            rat!(3, 4)
+        );
+        assert_eq!(
+            prob_of_condition(&Condition::True, &dists).unwrap(),
+            Rat::ONE
+        );
+        assert_eq!(
+            prob_of_condition(&Condition::eq_vc(x, 77), &dists).unwrap(),
+            Rat::ZERO
+        );
+        assert_eq!(
+            prob_of_condition(&Condition::eq_vc(Var(9), 1), &dists),
+            Err(ProbError::MissingDistribution(Var(9)))
+        );
+    }
+
+    #[test]
+    fn answer_marginals_on_query() {
+        let pc = small_pc();
+        // σ_{#1≠9}(V): drops the 9 row unless... keeps x-row tuples ≠ 9.
+        let q = Query::select(Query::Input, Pred::neq_const(0, 9));
+        let m = answer_marginals(&pc, &q).unwrap();
+        // Possible answers: 1, 2, 3 each with P = 1/3.
+        assert_eq!(m.len(), 3);
+        for (t, p) in &m {
+            assert_eq!(*p, rat!(1, 3), "tuple {t}");
+        }
+    }
+
+    #[test]
+    fn answer_marginals_match_mod_space() {
+        let pc = small_pc();
+        let q = Query::union(Query::Input, Query::Lit(ipdb_rel::instance![[2]]));
+        let m = answer_marginals(&pc, &q).unwrap();
+        let answered = pc.eval_query(&q).unwrap().mod_space().unwrap();
+        for (t, p) in &m {
+            assert_eq!(*p, answered.tuple_prob(t), "tuple {t}");
+        }
+        // And (2) is now certain.
+        assert!(m.contains(&(tuple![2], Rat::ONE)));
+    }
+}

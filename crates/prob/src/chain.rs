@@ -1,0 +1,342 @@
+//! pc-tables with conditionally dependent variables — the §9 extension.
+//!
+//! "As part of the proposed work, trying to make pc-tables even more
+//! flexible, we plan to investigate models in which the assumption that
+//! the variables take values independently is relaxed by using
+//! conditional probability distributions \[14\]." (paper §9)
+//!
+//! [`ChainPcTable`] implements exactly that: variables are ordered, and
+//! each variable's distribution may depend on the values of *earlier*
+//! variables (a conditional probability table, as in Bayesian networks).
+//! The semantics is the chain rule: a valuation's probability is the
+//! product of each variable's conditional probability given its
+//! parents' values. With no parents anywhere this degenerates to
+//! Def. 13's independent pc-table — tested below — and the same closure
+//! argument applies: `q̄` never touches distributions, so Thm 9 lifts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ipdb_bdd::Weight;
+use ipdb_logic::{Valuation, Var};
+use ipdb_rel::{Query, Value};
+use ipdb_tables::CTable;
+
+use crate::error::ProbError;
+use crate::pctable::PcTable;
+use crate::pdb::PDatabase;
+use crate::space::FiniteSpace;
+
+/// A conditional distribution: `P[x = · | parents = ·]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondDist<W> {
+    /// The variables this distribution conditions on (must precede the
+    /// owning variable in the chain order).
+    parents: Vec<Var>,
+    /// One outcome distribution per assignment of parent values.
+    rows: BTreeMap<Vec<Value>, FiniteSpace<Value, W>>,
+}
+
+impl<W: Weight> CondDist<W> {
+    /// An unconditional distribution (no parents).
+    pub fn marginal(dist: FiniteSpace<Value, W>) -> Self {
+        CondDist {
+            parents: Vec::new(),
+            rows: BTreeMap::from([(Vec::new(), dist)]),
+        }
+    }
+
+    /// A conditional distribution; every reachable parent assignment
+    /// must have a row (checked during enumeration).
+    pub fn conditional(
+        parents: Vec<Var>,
+        rows: impl IntoIterator<Item = (Vec<Value>, FiniteSpace<Value, W>)>,
+    ) -> Self {
+        CondDist {
+            parents,
+            rows: rows.into_iter().collect(),
+        }
+    }
+
+    /// The parent variables.
+    pub fn parents(&self) -> &[Var] {
+        &self.parents
+    }
+
+    fn dist_for(&self, nu: &Valuation) -> Result<&FiniteSpace<Value, W>, ProbError> {
+        let key: Vec<Value> = self
+            .parents
+            .iter()
+            .map(|p| {
+                nu.get(*p)
+                    .cloned()
+                    .ok_or(ProbError::MissingDistribution(*p))
+            })
+            .collect::<Result<_, _>>()?;
+        self.rows.get(&key).ok_or_else(|| {
+            ProbError::MassNotOne(format!("no CPT row for parent assignment {key:?}"))
+        })
+    }
+
+    /// All values this variable can ever take (union of row supports).
+    pub fn support(&self) -> impl Iterator<Item = &Value> {
+        self.rows.values().flat_map(|d| d.iter().map(|(v, _)| v))
+    }
+}
+
+/// A c-table whose variables follow a chain of conditional
+/// distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPcTable<W> {
+    table: CTable,
+    /// Topological order of the variables (parents before children).
+    order: Vec<Var>,
+    dists: BTreeMap<Var, CondDist<W>>,
+}
+
+impl<W: Weight> ChainPcTable<W> {
+    /// Builds a chain pc-table. Every variable of the table must appear
+    /// in `order` with a distribution, and each variable's parents must
+    /// precede it.
+    pub fn new(
+        table: CTable,
+        order: Vec<Var>,
+        dists: impl IntoIterator<Item = (Var, CondDist<W>)>,
+    ) -> Result<Self, ProbError> {
+        let dists: BTreeMap<Var, CondDist<W>> = dists.into_iter().collect();
+        for v in table.vars() {
+            if !dists.contains_key(&v) {
+                return Err(ProbError::MissingDistribution(v));
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &order {
+            let d = dists.get(v).ok_or(ProbError::MissingDistribution(*v))?;
+            for p in d.parents() {
+                if !seen.contains(p) {
+                    return Err(ProbError::MassNotOne(format!(
+                        "parent {p} of {v} does not precede it in the chain order"
+                    )));
+                }
+            }
+            seen.insert(*v);
+        }
+        for v in dists.keys() {
+            if !seen.contains(v) {
+                return Err(ProbError::MissingDistribution(*v));
+            }
+        }
+        let mut table = table;
+        for v in table.vars() {
+            let support = ipdb_rel::Domain::new(dists[&v].support().cloned());
+            table.set_domain(v, support).map_err(ProbError::Table)?;
+        }
+        Ok(ChainPcTable {
+            table,
+            order,
+            dists,
+        })
+    }
+
+    /// The underlying c-table.
+    pub fn table(&self) -> &CTable {
+        &self.table
+    }
+
+    /// The chain-rule valuation space: every total valuation with its
+    /// probability `Π_i P[xᵢ = νᵢ | parents]`.
+    pub fn valuation_space(&self) -> Result<Vec<(Valuation, W)>, ProbError> {
+        let mut acc: Vec<(Valuation, W)> = vec![(Valuation::new(), W::one())];
+        for v in &self.order {
+            let cond = &self.dists[v];
+            let mut next = Vec::new();
+            for (nu, w) in &acc {
+                let dist = cond.dist_for(nu)?;
+                for (val, p) in dist.iter() {
+                    let mut nu2 = nu.clone();
+                    nu2.bind(*v, val.clone());
+                    next.push((nu2, w.mul(p)));
+                }
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+
+    /// `Mod(T)`: the image of the chain-rule space under `ν ↦ ν(T)`.
+    pub fn mod_space(&self) -> Result<PDatabase<W>, ProbError> {
+        let mut outcomes = Vec::new();
+        for (nu, w) in self.valuation_space()? {
+            outcomes.push((
+                self.table.apply_valuation(&nu).map_err(ProbError::Table)?,
+                w,
+            ));
+        }
+        Ok(PDatabase::from_space(
+            self.table.arity(),
+            FiniteSpace::new_unnormalized(outcomes)?,
+        ))
+    }
+
+    /// Thm 9 lifted: `q̄` on the table, distributions untouched (all
+    /// variables kept — children may depend on variables the query
+    /// dropped).
+    pub fn eval_query(&self, q: &Query) -> Result<ChainPcTable<W>, ProbError> {
+        Ok(ChainPcTable {
+            table: self.table.eval_query(q).map_err(ProbError::Table)?,
+            order: self.order.clone(),
+            dists: self.dists.clone(),
+        })
+    }
+}
+
+impl<W: Weight> From<PcTable<W>> for ChainPcTable<W> {
+    /// Every independent pc-table is a chain with no parents.
+    fn from(pc: PcTable<W>) -> Self {
+        let order: Vec<Var> = pc.dists().keys().copied().collect();
+        let dists = pc
+            .dists()
+            .iter()
+            .map(|(v, d)| (*v, CondDist::marginal(d.clone())))
+            .collect::<Vec<_>>();
+        ChainPcTable::new(pc.table().clone(), order, dists)
+            .expect("independent pc-tables are valid chains")
+    }
+}
+
+impl<W: fmt::Debug> fmt::Display for ChainPcTable<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain-pc-{}", self.table)?;
+        for v in &self.order {
+            let d = &self.dists[v];
+            if d.parents.is_empty() {
+                writeln!(f, "  {v} ~ marginal")?;
+            } else {
+                write!(f, "  {v} | ")?;
+                for (i, p) in d.parents.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+    use crate::rat::Rat;
+    use ipdb_logic::Condition;
+    use ipdb_rel::{instance, tuple};
+    use ipdb_tables::{t_const, t_var};
+
+    fn dist(pairs: &[(&str, Rat)]) -> FiniteSpace<Value, Rat> {
+        FiniteSpace::new(pairs.iter().map(|(v, p)| (Value::from(*v), *p))).unwrap()
+    }
+
+    /// Alice's course; Bob *tends to follow* Alice (correlated, not
+    /// equal) — inexpressible with independent pc-table variables over
+    /// the same vocabulary.
+    fn correlated() -> ChainPcTable<Rat> {
+        let (a, b) = (Var(0), Var(1));
+        let table = CTable::builder(2)
+            .row([t_const("Alice"), t_var(a)], Condition::True)
+            .row([t_const("Bob"), t_var(b)], Condition::True)
+            .build()
+            .unwrap();
+        let a_dist = CondDist::marginal(dist(&[("math", rat!(1, 2)), ("phys", rat!(1, 2))]));
+        let b_dist = CondDist::conditional(
+            vec![a],
+            [
+                (
+                    vec![Value::from("math")],
+                    dist(&[("math", rat!(9, 10)), ("phys", rat!(1, 10))]),
+                ),
+                (
+                    vec![Value::from("phys")],
+                    dist(&[("math", rat!(2, 10)), ("phys", rat!(8, 10))]),
+                ),
+            ],
+        );
+        ChainPcTable::new(table, vec![a, b], [(a, a_dist), (b, b_dist)]).unwrap()
+    }
+
+    #[test]
+    fn chain_rule_probabilities() {
+        let c = correlated();
+        let m = c.mod_space().unwrap();
+        // P[both math] = 1/2 · 9/10.
+        assert_eq!(
+            m.world_prob(&instance![["Alice", "math"], ["Bob", "math"]]),
+            rat!(9, 20)
+        );
+        // P[Alice phys, Bob math] = 1/2 · 2/10.
+        assert_eq!(
+            m.world_prob(&instance![["Alice", "phys"], ["Bob", "math"]]),
+            rat!(1, 10)
+        );
+        assert_eq!(m.space().total_mass(), Rat::ONE);
+        // Marginal of Bob: 1/2·9/10 + 1/2·2/10 = 11/20 for math.
+        assert_eq!(m.tuple_prob(&tuple!["Bob", "math"]), rat!(11, 20));
+    }
+
+    #[test]
+    fn order_validation() {
+        let (a, b) = (Var(0), Var(1));
+        let table = CTable::builder(1)
+            .row([t_var(b)], Condition::True)
+            .build()
+            .unwrap();
+        let b_dist =
+            CondDist::conditional(vec![a], [(vec![Value::from(1)], dist(&[("x", Rat::ONE)]))]);
+        // b's parent a is not in the order before it.
+        assert!(ChainPcTable::new(table, vec![b], [(b, b_dist)]).is_err());
+    }
+
+    #[test]
+    fn independent_chain_equals_pctable() {
+        let x = Var(0);
+        let table = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let d = dist(&[("a", rat!(1, 4)), ("b", rat!(3, 4))]);
+        let pc = PcTable::new(table, [(x, d)]).unwrap();
+        let chain: ChainPcTable<Rat> = pc.clone().into();
+        assert!(chain
+            .mod_space()
+            .unwrap()
+            .same_distribution(&pc.mod_space().unwrap()));
+    }
+
+    #[test]
+    fn closure_under_queries() {
+        let c = correlated();
+        let q = Query::select(Query::Input, ipdb_rel::Pred::eq_const(1, "math"));
+        let lhs = c.eval_query(&q).unwrap().mod_space().unwrap();
+        let rhs = c.mod_space().unwrap().map_query(&q).unwrap();
+        assert!(lhs.same_distribution(&rhs));
+    }
+
+    #[test]
+    fn missing_cpt_row_reported() {
+        let (a, b) = (Var(0), Var(1));
+        let table = CTable::builder(1)
+            .row([t_var(b)], Condition::True)
+            .build()
+            .unwrap();
+        let a_dist = CondDist::marginal(dist(&[("m", rat!(1, 2)), ("p", rat!(1, 2))]));
+        // CPT only covers a = "m".
+        let b_dist = CondDist::conditional(
+            vec![a],
+            [(vec![Value::from("m")], dist(&[("x", Rat::ONE)]))],
+        );
+        let chain = ChainPcTable::new(table, vec![a, b], [(a, a_dist), (b, b_dist)]).unwrap();
+        assert!(chain.mod_space().is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors for the probabilistic layer.
+
+use std::fmt;
+
+use ipdb_logic::{LogicError, Var};
+use ipdb_rel::RelError;
+use ipdb_tables::TableError;
+
+/// Errors raised by probabilistic tables, spaces, and query answering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// Outcome probabilities do not sum to 1.
+    MassNotOne(String),
+    /// A probability lies outside `\[0, 1\]`.
+    InvalidProbability(String),
+    /// A pc-table variable has no attached distribution.
+    MissingDistribution(Var),
+    /// A distribution listed the same outcome twice.
+    DuplicateOutcome(String),
+    /// A distribution has no outcomes.
+    EmptyDistribution,
+    /// An underlying table error.
+    Table(TableError),
+    /// An underlying logic error.
+    Logic(LogicError),
+    /// An underlying relational error.
+    Rel(RelError),
+    /// Lifted (extensional) evaluation was asked for a non-hierarchical
+    /// query, where no safe plan exists (Dalvi–Suciu dichotomy; paper
+    /// §8's discussion of \[9\]).
+    NonHierarchical(String),
+    /// A conjunctive-query atom referenced an unknown relation.
+    UnknownRelation(String),
+    /// A conjunctive-query atom's arity does not match its relation.
+    AtomArity {
+        /// The relation name.
+        rel: String,
+        /// Arity expected by the stored relation.
+        expected: usize,
+        /// Arity used by the atom.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::MassNotOne(s) => write!(f, "probabilities do not sum to 1: {s}"),
+            ProbError::InvalidProbability(s) => write!(f, "probability out of [0,1]: {s}"),
+            ProbError::MissingDistribution(v) => {
+                write!(f, "variable {v} has no probability distribution")
+            }
+            ProbError::DuplicateOutcome(s) => write!(f, "duplicate outcome in distribution: {s}"),
+            ProbError::EmptyDistribution => write!(f, "distribution has no outcomes"),
+            ProbError::Table(e) => write!(f, "{e}"),
+            ProbError::Logic(e) => write!(f, "{e}"),
+            ProbError::Rel(e) => write!(f, "{e}"),
+            ProbError::NonHierarchical(s) => {
+                write!(f, "query is not hierarchical (no safe plan): {s}")
+            }
+            ProbError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            ProbError::AtomArity { rel, expected, got } => {
+                write!(
+                    f,
+                    "atom over {rel} has arity {got}, relation has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+impl From<TableError> for ProbError {
+    fn from(e: TableError) -> Self {
+        ProbError::Table(e)
+    }
+}
+
+impl From<LogicError> for ProbError {
+    fn from(e: LogicError) -> Self {
+        ProbError::Logic(e)
+    }
+}
+
+impl From<RelError> for ProbError {
+    fn from(e: RelError) -> Self {
+        ProbError::Rel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_froms() {
+        let e: ProbError = TableError::EmptyOrSet.into();
+        assert!(matches!(e, ProbError::Table(_)));
+        let e: ProbError = LogicError::UnboundVar(Var(3)).into();
+        assert!(e.to_string().contains("x3"));
+        let e: ProbError = RelError::RaggedLiteral.into();
+        assert!(matches!(e, ProbError::Rel(_)));
+        assert!(ProbError::NonHierarchical("h0".into())
+            .to_string()
+            .contains("hierarchical"));
+    }
+}

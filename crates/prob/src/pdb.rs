@@ -1,0 +1,224 @@
+//! Probabilistic databases (paper Definition 9).
+//!
+//! A p-database is a finite probability space whose outcomes are
+//! conventional instances. Closure under a query language is defined
+//! through image spaces (Defs. 10–11): `q` maps the space over instances
+//! to the space over `q`-answers. [`PDatabase`] wraps
+//! [`FiniteSpace<Instance, W>`] with the arity bookkeeping and the
+//! query-image operation.
+
+use std::fmt;
+
+use ipdb_bdd::Weight;
+use ipdb_rel::{Instance, Query, Tuple};
+
+use crate::error::ProbError;
+use crate::space::FiniteSpace;
+
+/// A probability distribution over possible worlds of one arity.
+///
+/// ```
+/// use ipdb_prob::{rat, PDatabase, Rat};
+/// use ipdb_rel::{instance, tuple, Query};
+/// let db = PDatabase::from_outcomes(1, [
+///     (instance![[1]], rat!(1, 4)),
+///     (instance![[1], [2]], rat!(3, 4)),
+/// ]).unwrap();
+/// assert_eq!(db.tuple_prob(&tuple![1]), Rat::ONE);
+/// assert_eq!(db.tuple_prob(&tuple![2]), rat!(3, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PDatabase<W> {
+    arity: usize,
+    space: FiniteSpace<Instance, W>,
+}
+
+impl<W: Weight> PDatabase<W> {
+    /// Builds from `(instance, probability)` outcomes; checks arities and
+    /// that the mass is exactly 1.
+    pub fn from_outcomes(
+        arity: usize,
+        outcomes: impl IntoIterator<Item = (Instance, W)>,
+    ) -> Result<Self, ProbError> {
+        let outcomes: Vec<(Instance, W)> = outcomes.into_iter().collect();
+        for (i, _) in &outcomes {
+            if i.arity() != arity {
+                return Err(ProbError::Rel(ipdb_rel::RelError::ArityMismatch {
+                    expected: arity,
+                    got: i.arity(),
+                }));
+            }
+        }
+        Ok(PDatabase {
+            arity,
+            space: FiniteSpace::new(outcomes)?,
+        })
+    }
+
+    /// Wraps an existing space (mass assumed already checked).
+    pub fn from_space(arity: usize, space: FiniteSpace<Instance, W>) -> Self {
+        PDatabase { arity, space }
+    }
+
+    /// The deterministic p-database: one world with probability 1.
+    pub fn certain(world: Instance) -> Self {
+        PDatabase {
+            arity: world.arity(),
+            space: FiniteSpace::dirac(world),
+        }
+    }
+
+    /// Arity of all worlds.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The underlying probability space.
+    pub fn space(&self) -> &FiniteSpace<Instance, W> {
+        &self.space
+    }
+
+    /// Number of worlds with non-zero probability.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Whether there are no worlds (impossible for checked spaces).
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+
+    /// `P[I]` of a specific world.
+    pub fn world_prob(&self, world: &Instance) -> W {
+        self.space.prob(world)
+    }
+
+    /// The marginal `P[t ∈ I]` — the quantity computed by the §7 papers
+    /// (Fuhr–Rölleke, ProbView, Zimányi).
+    pub fn tuple_prob(&self, t: &Tuple) -> W {
+        self.space.prob_of(|w| w.contains(t))
+    }
+
+    /// Every tuple with non-zero marginal, with its probability.
+    pub fn marginals(&self) -> Vec<(Tuple, W)> {
+        let mut tuples = std::collections::BTreeSet::new();
+        for (w, _) in self.space.iter() {
+            tuples.extend(w.iter().cloned());
+        }
+        tuples
+            .into_iter()
+            .map(|t| {
+                let p = self.tuple_prob(&t);
+                (t, p)
+            })
+            .collect()
+    }
+
+    /// **Closure construction** (Def. 11): the image space of the
+    /// distribution under `q` — `P'[J] = Σ { P[I] | q(I) = J }`.
+    pub fn map_query(&self, q: &Query) -> Result<PDatabase<W>, ProbError> {
+        let out_arity = q.arity(self.arity)?;
+        let space = self.space.try_image(|w| q.eval(w))?;
+        Ok(PDatabase {
+            arity: out_arity,
+            space,
+        })
+    }
+
+    /// Whether two p-databases are the same distribution.
+    pub fn same_distribution(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.space.same_distribution(&other.space)
+    }
+}
+
+impl<W: fmt::Debug> fmt::Display for PDatabase<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "p-database (arity {}):", self.arity)?;
+        for (w, p) in self.space.iter() {
+            writeln!(f, "  {w} : {p:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+    use crate::rat::Rat;
+    use ipdb_rel::{instance, tuple, Pred};
+
+    fn sample() -> PDatabase<Rat> {
+        PDatabase::from_outcomes(
+            1,
+            [
+                (instance![[1]], rat!(1, 2)),
+                (instance![[1], [2]], rat!(1, 3)),
+                (Instance::empty(1), rat!(1, 6)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert!(matches!(
+            PDatabase::from_outcomes(2, [(instance![[1]], Rat::ONE)]),
+            Err(ProbError::Rel(_))
+        ));
+        assert!(matches!(
+            PDatabase::from_outcomes(1, [(instance![[1]], rat!(1, 2))]),
+            Err(ProbError::MassNotOne(_))
+        ));
+    }
+
+    #[test]
+    fn tuple_probabilities() {
+        let db = sample();
+        assert_eq!(db.tuple_prob(&tuple![1]), rat!(5, 6));
+        assert_eq!(db.tuple_prob(&tuple![2]), rat!(1, 3));
+        assert_eq!(db.tuple_prob(&tuple![9]), Rat::ZERO);
+    }
+
+    #[test]
+    fn marginals_list_possible_tuples() {
+        let m = sample().marginals();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], (tuple![1], rat!(5, 6)));
+        assert_eq!(m[1], (tuple![2], rat!(1, 3)));
+    }
+
+    #[test]
+    fn map_query_is_image_space() {
+        let db = sample();
+        // σ_{#1=2}: worlds {1}↦{}, {1,2}↦{2}, {}↦{} — masses merge.
+        let q = ipdb_rel::Query::select(ipdb_rel::Query::Input, Pred::eq_const(0, 2));
+        let out = db.map_query(&q).unwrap();
+        assert_eq!(out.world_prob(&Instance::empty(1)), rat!(2, 3));
+        assert_eq!(out.world_prob(&instance![[2]]), rat!(1, 3));
+        assert_eq!(out.space().total_mass(), Rat::ONE);
+    }
+
+    #[test]
+    fn certain_database() {
+        let db: PDatabase<Rat> = PDatabase::certain(instance![[5]]);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.tuple_prob(&tuple![5]), Rat::ONE);
+    }
+
+    #[test]
+    fn same_distribution_ignores_construction_order() {
+        let a = sample();
+        let b = PDatabase::from_outcomes(
+            1,
+            [
+                (Instance::empty(1), rat!(1, 6)),
+                (instance![[1], [2]], rat!(1, 3)),
+                (instance![[1]], rat!(1, 4)),
+                (instance![[1]], rat!(1, 4)),
+            ],
+        )
+        .unwrap();
+        assert!(a.same_distribution(&b));
+    }
+}

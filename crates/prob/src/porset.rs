@@ -1,0 +1,276 @@
+//! Probabilistic or-set tables (paper §7).
+//!
+//! The probabilistic counterpart of or-set tables: "the attribute values
+//! are, instead of or-sets, finite probability spaces whose outcomes are
+//! the values in the or-set" — a simplified ProbView \[22\] with plain
+//! probabilities instead of confidence intervals. A p-or-set-table
+//! corresponds to a Codd table plus a distribution `dom(x)` per variable,
+//! i.e. a restricted pc-table; the semantics is the same
+//! product-then-image construction.
+
+use std::fmt;
+
+use ipdb_bdd::Weight;
+use ipdb_logic::{Condition, Term, VarGen};
+use ipdb_rel::{Tuple, Value};
+use ipdb_tables::CTable;
+
+use crate::error::ProbError;
+use crate::pctable::PcTable;
+use crate::pdb::PDatabase;
+use crate::space::FiniteSpace;
+
+/// One cell: a finite distribution over candidate values (a singleton
+/// distribution is a certain value).
+pub type PCell<W> = FiniteSpace<Value, W>;
+
+/// A p-or-set-table: rows of distribution-valued cells, chosen
+/// independently (§7, Example 6's table `S`).
+///
+/// ```
+/// use ipdb_prob::{rat, FiniteSpace, POrSetTable, Rat};
+/// use ipdb_rel::{tuple, Value};
+/// let cell = FiniteSpace::new([
+///     (Value::from(2), rat!(3, 10)),
+///     (Value::from(3), rat!(7, 10)),
+/// ]).unwrap();
+/// let t = POrSetTable::from_rows(2, [vec![FiniteSpace::dirac(Value::from(1)), cell]]).unwrap();
+/// let m = t.mod_space().unwrap();
+/// assert_eq!(m.tuple_prob(&tuple![1, 2]), rat!(3, 10));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct POrSetTable<W> {
+    arity: usize,
+    rows: Vec<Vec<PCell<W>>>,
+}
+
+impl<W: Weight> POrSetTable<W> {
+    /// An empty table.
+    pub fn new(arity: usize) -> Self {
+        POrSetTable {
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds from rows of cells.
+    pub fn from_rows(
+        arity: usize,
+        rows: impl IntoIterator<Item = Vec<PCell<W>>>,
+    ) -> Result<Self, ProbError> {
+        let mut t = POrSetTable::new(arity);
+        for r in rows {
+            t.push(r)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<PCell<W>>) -> Result<(), ProbError> {
+        if row.len() != self.arity {
+            return Err(ProbError::Rel(ipdb_rel::RelError::ArityMismatch {
+                expected: self.arity,
+                got: row.len(),
+            }));
+        }
+        for cell in &row {
+            if cell.is_empty() {
+                return Err(ProbError::EmptyDistribution);
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<PCell<W>>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// §7 semantics: "a p-or-set-table determines an instance by choosing
+    /// an outcome in each of the spaces that appear as attribute values,
+    /// independently" — via the pc-table embedding's product/image.
+    pub fn mod_space(&self) -> Result<PDatabase<W>, ProbError> {
+        let mut gen = VarGen::new();
+        self.to_pctable(&mut gen)?.mod_space()
+    }
+
+    /// The pc-table embedding: a fresh variable per non-singleton cell
+    /// with the cell's distribution (the "Codd table + dom(x) spaces" of
+    /// §7).
+    pub fn to_pctable(&self, gen: &mut VarGen) -> Result<PcTable<W>, ProbError> {
+        let mut builder = CTable::builder(self.arity);
+        let mut dists = Vec::new();
+        for row in &self.rows {
+            let mut terms = Vec::with_capacity(self.arity);
+            for cell in row {
+                if cell.len() == 1 {
+                    let (v, _) = cell.iter().next().expect("len 1");
+                    terms.push(Term::Const(v.clone()));
+                } else {
+                    let x = gen.fresh();
+                    dists.push((x, cell.clone()));
+                    terms.push(Term::Var(x));
+                }
+            }
+            builder = builder.row(terms, Condition::True);
+        }
+        PcTable::new(builder.build()?, dists)
+    }
+
+    /// `P[t ∈ I]` by enumeration.
+    pub fn tuple_prob(&self, t: &Tuple) -> Result<W, ProbError> {
+        Ok(self.mod_space()?.tuple_prob(t))
+    }
+}
+
+impl<W: fmt::Debug> fmt::Display for POrSetTable<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "p-or-set-table (arity {}):", self.arity)?;
+        for row in &self.rows {
+            write!(f, " ")?;
+            for cell in row {
+                if cell.len() == 1 {
+                    let (v, _) = cell.iter().next().expect("len 1");
+                    write!(f, " {v}")?;
+                } else {
+                    write!(f, " 〈")?;
+                    for (i, (v, p)) in cell.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}: {p:?}")?;
+                    }
+                    write!(f, "〉")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+    use crate::rat::Rat;
+    use ipdb_rel::{instance, tuple};
+
+    fn dirac(v: i64) -> PCell<Rat> {
+        FiniteSpace::dirac(Value::from(v))
+    }
+
+    fn cell(pairs: &[(i64, Rat)]) -> PCell<Rat> {
+        FiniteSpace::new(pairs.iter().map(|(v, p)| (Value::from(*v), *p))).unwrap()
+    }
+
+    /// The paper's Example 6 p-or-set-table S:
+    ///   1, 〈2:.3, 3:.7〉
+    ///   4, 5
+    ///   〈6:.5, 7:.5〉, 〈8:.1, 9:.9〉
+    fn example6_s() -> POrSetTable<Rat> {
+        POrSetTable::from_rows(
+            2,
+            [
+                vec![dirac(1), cell(&[(2, rat!(3, 10)), (3, rat!(7, 10))])],
+                vec![dirac(4), dirac(5)],
+                vec![
+                    cell(&[(6, rat!(1, 2)), (7, rat!(1, 2))]),
+                    cell(&[(8, rat!(1, 10)), (9, rat!(9, 10))]),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let mut t: POrSetTable<Rat> = POrSetTable::new(2);
+        assert!(t.push(vec![dirac(1)]).is_err());
+    }
+
+    #[test]
+    fn example6_s_distribution() {
+        let m = example6_s().mod_space().unwrap();
+        // Choosing 2, 6, 8: P = .3 · .5 · .1 = .015
+        assert_eq!(
+            m.world_prob(&instance![[1, 2], [4, 5], [6, 8]]),
+            rat!(15, 1000)
+        );
+        // Choosing 3, 7, 9: P = .7 · .5 · .9 = .315
+        assert_eq!(
+            m.world_prob(&instance![[1, 3], [4, 5], [7, 9]]),
+            rat!(315, 1000)
+        );
+        // Every world contains the certain row (4,5).
+        assert_eq!(m.tuple_prob(&tuple![4, 5]), Rat::ONE);
+        assert_eq!(m.space().total_mass(), Rat::ONE);
+        // 2 × 1 × (2·2) = 8 worlds.
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn marginals() {
+        let t = example6_s();
+        assert_eq!(t.tuple_prob(&tuple![1, 2]).unwrap(), rat!(3, 10));
+        assert_eq!(
+            t.tuple_prob(&tuple![6, 8]).unwrap(),
+            rat!(1, 2) * rat!(1, 10)
+        );
+        assert_eq!(t.tuple_prob(&tuple![9, 9]).unwrap(), Rat::ZERO);
+    }
+
+    #[test]
+    fn pctable_embedding_matches() {
+        let t = example6_s();
+        let mut g = VarGen::new();
+        let pc = t.to_pctable(&mut g).unwrap();
+        // Three non-singleton cells → three variables.
+        assert_eq!(pc.dists().len(), 3);
+        assert!(pc
+            .mod_space()
+            .unwrap()
+            .same_distribution(&t.mod_space().unwrap()));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: POrSetTable<Rat> = POrSetTable::new(1);
+        let m = t.mod_space().unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn coinciding_choices_merge() {
+        // Two rows that can choose the same tuple.
+        let t = POrSetTable::from_rows(
+            1,
+            [
+                vec![cell(&[(1, rat!(1, 2)), (2, rat!(1, 2))])],
+                vec![cell(&[(1, rat!(1, 2)), (3, rat!(1, 2))])],
+            ],
+        )
+        .unwrap();
+        let m = t.mod_space().unwrap();
+        // World {(1)}: both rows choose 1 → 1/4.
+        assert_eq!(m.world_prob(&instance![[1]]), rat!(1, 4));
+        // {(1),(3)}: 1/4; {(2),(1)}: 1/4; {(2),(3)}: 1/4.
+        assert_eq!(m.len(), 4);
+    }
+}

@@ -1,0 +1,331 @@
+//! Possibilistic tables — the §9 outlook, "following again, as we did
+//! here, the parallel with incompleteness".
+//!
+//! Possibility theory \[19\] replaces the probability axioms with
+//! `(max, min)`: a *possibility distribution* `π` assigns each world a
+//! degree in `\[0,1\]` with `max = 1` (something is fully possible), an
+//! event's possibility is the `max` over its worlds, and joint
+//! possibility of independent components is the `min`. The paper's
+//! recipe transfers verbatim: a **possibilistic c-table** attaches to
+//! each variable a possibility distribution over its domain; `Mod` is
+//! the image of the `min`-combined valuation space under `ν ↦ ν(T)`
+//! (`max`-merging collided worlds, the Def. 10 analogue); and the same
+//! algebra `q̄` gives closure (the Def. 11 analogue with `max`-images).
+//!
+//! Degrees are integer per-mille values (`0..=1000`) so equality is
+//! exact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ipdb_logic::{Valuation, Var};
+use ipdb_rel::{Domain, Instance, Query, Tuple, Value};
+use ipdb_tables::CTable;
+
+use crate::error::ProbError;
+
+/// A possibility degree in per-mille (`1000` = fully possible).
+pub type Degree = u16;
+
+/// The top degree.
+pub const FULLY: Degree = 1000;
+
+/// A possibility distribution over values: degrees with `max = 1000`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossDist {
+    degrees: BTreeMap<Value, Degree>,
+}
+
+impl PossDist {
+    /// Builds a distribution; requires a non-empty support whose maximum
+    /// degree is exactly [`FULLY`] (normalization).
+    pub fn new(degrees: impl IntoIterator<Item = (Value, Degree)>) -> Result<Self, ProbError> {
+        let degrees: BTreeMap<Value, Degree> =
+            degrees.into_iter().filter(|(_, d)| *d > 0).collect();
+        if degrees.is_empty() {
+            return Err(ProbError::EmptyDistribution);
+        }
+        let max = degrees.values().copied().max().unwrap_or(0);
+        if max != FULLY {
+            return Err(ProbError::MassNotOne(format!(
+                "possibility distributions must have max degree {FULLY}, got {max}"
+            )));
+        }
+        Ok(PossDist { degrees })
+    }
+
+    /// Degree of a value (0 when impossible).
+    pub fn degree(&self, v: &Value) -> Degree {
+        self.degrees.get(v).copied().unwrap_or(0)
+    }
+
+    /// The support.
+    pub fn support(&self) -> impl Iterator<Item = &Value> {
+        self.degrees.keys()
+    }
+
+    /// Iterates `(value, degree)`.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, Value, Degree> {
+        self.degrees.iter()
+    }
+}
+
+/// A possibility distribution over worlds (the Def. 9 analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PiDatabase {
+    arity: usize,
+    worlds: BTreeMap<Instance, Degree>,
+}
+
+impl PiDatabase {
+    /// Arity of the worlds.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of worlds with non-zero possibility.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Whether no world is possible (cannot happen for normalized
+    /// tables).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Iterates `(world, degree)`.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, Instance, Degree> {
+        self.worlds.iter()
+    }
+
+    /// `Π[world]`.
+    pub fn world_degree(&self, w: &Instance) -> Degree {
+        self.worlds.get(w).copied().unwrap_or(0)
+    }
+
+    /// `Π[t ∈ I]` — the possibility of a tuple: max over worlds
+    /// containing it.
+    pub fn tuple_degree(&self, t: &Tuple) -> Degree {
+        self.worlds
+            .iter()
+            .filter(|(w, _)| w.contains(t))
+            .map(|(_, d)| *d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The *necessity* of a tuple: `N[t] = 1000 − Π[t ∉ I]` (dual).
+    pub fn tuple_necessity(&self, t: &Tuple) -> Degree {
+        let not_in = self
+            .worlds
+            .iter()
+            .filter(|(w, _)| !w.contains(t))
+            .map(|(_, d)| *d)
+            .max()
+            .unwrap_or(0);
+        FULLY - not_in
+    }
+
+    /// Normalization check: some world is fully possible.
+    pub fn is_normalized(&self) -> bool {
+        self.worlds.values().any(|d| *d == FULLY)
+    }
+
+    /// The Def. 10/11 analogue: `max`-image of the distribution under
+    /// `q`.
+    pub fn map_query(&self, q: &Query) -> Result<PiDatabase, ProbError> {
+        let out_arity = q.arity(self.arity).map_err(ProbError::Rel)?;
+        let mut worlds: BTreeMap<Instance, Degree> = BTreeMap::new();
+        for (w, d) in &self.worlds {
+            let img = q.eval(w).map_err(ProbError::Rel)?;
+            let e = worlds.entry(img).or_insert(0);
+            *e = (*e).max(*d);
+        }
+        Ok(PiDatabase {
+            arity: out_arity,
+            worlds,
+        })
+    }
+}
+
+impl fmt::Display for PiDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "π-database (arity {}):", self.arity)?;
+        for (w, d) in &self.worlds {
+            writeln!(f, "  {w} : {d}‰")?;
+        }
+        Ok(())
+    }
+}
+
+/// A possibilistic c-table: a c-table plus a possibility distribution
+/// per variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossCTable {
+    table: CTable,
+    dists: BTreeMap<Var, PossDist>,
+}
+
+impl PossCTable {
+    /// Builds a possibilistic c-table (every variable needs a
+    /// distribution; supports become the table's finite domains).
+    pub fn new(
+        table: CTable,
+        dists: impl IntoIterator<Item = (Var, PossDist)>,
+    ) -> Result<Self, ProbError> {
+        let dists: BTreeMap<Var, PossDist> = dists.into_iter().collect();
+        let mut table = table;
+        for v in table.vars() {
+            let d = dists.get(&v).ok_or(ProbError::MissingDistribution(v))?;
+            table
+                .set_domain(v, Domain::new(d.support().cloned()))
+                .map_err(ProbError::Table)?;
+        }
+        Ok(PossCTable { table, dists })
+    }
+
+    /// The underlying c-table.
+    pub fn table(&self) -> &CTable {
+        &self.table
+    }
+
+    /// `Mod(T)` with `(max, min)`: valuations combine by `min`, collided
+    /// worlds merge by `max`.
+    pub fn mod_space(&self) -> Result<PiDatabase, ProbError> {
+        let vars: Vec<Var> = self.table.vars().into_iter().collect();
+        let mut acc: Vec<(Valuation, Degree)> = vec![(Valuation::new(), FULLY)];
+        for v in &vars {
+            let dist = &self.dists[v];
+            let mut next = Vec::with_capacity(acc.len() * 2);
+            for (nu, d) in &acc {
+                for (val, dv) in dist.iter() {
+                    let mut nu2 = nu.clone();
+                    nu2.bind(*v, val.clone());
+                    next.push((nu2, (*d).min(*dv)));
+                }
+            }
+            acc = next;
+        }
+        let mut worlds: BTreeMap<Instance, Degree> = BTreeMap::new();
+        for (nu, d) in acc {
+            let w = self.table.apply_valuation(&nu).map_err(ProbError::Table)?;
+            let e = worlds.entry(w).or_insert(0);
+            *e = (*e).max(d);
+        }
+        Ok(PiDatabase {
+            arity: self.table.arity(),
+            worlds,
+        })
+    }
+
+    /// Closure under RA: `q̄` on the table, distributions untouched —
+    /// the (max, min) analogue of Thm 9, tested against the worldwise
+    /// image.
+    pub fn eval_query(&self, q: &Query) -> Result<PossCTable, ProbError> {
+        let qt = self.table.eval_query(q).map_err(ProbError::Table)?;
+        let vars = qt.vars();
+        let dists = self
+            .dists
+            .iter()
+            .filter(|(v, _)| vars.contains(v))
+            .map(|(v, d)| (*v, d.clone()))
+            .collect::<Vec<_>>();
+        PossCTable::new(qt, dists)
+    }
+}
+
+impl fmt::Display for PossCTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "π-{}", self.table)?;
+        for (v, d) in &self.dists {
+            write!(f, "  {v} ~ {{")?;
+            for (i, (val, deg)) in d.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{val}: {deg}‰")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_logic::Condition;
+    use ipdb_rel::{instance, tuple, Pred};
+    use ipdb_tables::{t_const, t_var};
+
+    fn sample() -> PossCTable {
+        let x = Var(0);
+        let table = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(9)], Condition::eq_vc(x, 1))
+            .build()
+            .unwrap();
+        let d = PossDist::new([
+            (Value::from(1), FULLY),
+            (Value::from(2), 600),
+            (Value::from(3), 200),
+        ])
+        .unwrap();
+        PossCTable::new(table, [(x, d)]).unwrap()
+    }
+
+    #[test]
+    fn normalization_enforced() {
+        assert!(PossDist::new([(Value::from(1), 500)]).is_err());
+        assert!(PossDist::new(Vec::<(Value, Degree)>::new()).is_err());
+        assert!(PossDist::new([(Value::from(1), FULLY)]).is_ok());
+    }
+
+    #[test]
+    fn mod_space_degrees() {
+        let m = sample().mod_space().unwrap();
+        // x=1 → {1, 9} at degree 1000; x=2 → {2} at 600; x=3 → {3} at 200.
+        assert_eq!(m.world_degree(&instance![[1], [9]]), FULLY);
+        assert_eq!(m.world_degree(&instance![[2]]), 600);
+        assert_eq!(m.world_degree(&instance![[3]]), 200);
+        assert!(m.is_normalized());
+    }
+
+    #[test]
+    fn possibility_and_necessity() {
+        let m = sample().mod_space().unwrap();
+        assert_eq!(m.tuple_degree(&tuple![9]), FULLY);
+        assert_eq!(m.tuple_degree(&tuple![2]), 600);
+        assert_eq!(m.tuple_degree(&tuple![7]), 0);
+        // N[9] = 1000 − max degree of a world without 9 = 1000 − 600.
+        assert_eq!(m.tuple_necessity(&tuple![9]), 400);
+        // Possible but not necessary at all:
+        assert_eq!(m.tuple_necessity(&tuple![2]), 0);
+    }
+
+    #[test]
+    fn closure_matches_image() {
+        let t = sample();
+        let q = Query::select(Query::Input, Pred::neq_const(0, 9));
+        let lhs = t.eval_query(&q).unwrap().mod_space().unwrap();
+        let rhs = t.mod_space().unwrap().map_query(&q).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn max_merging_on_collisions() {
+        // Two variables mapping to the same world keep the max degree.
+        let x = Var(0);
+        let table = CTable::builder(1)
+            .row([t_const(5)], Condition::neq_vc(x, 0))
+            .build()
+            .unwrap();
+        let d = PossDist::new([(Value::from(1), FULLY), (Value::from(2), 300)]).unwrap();
+        let t = PossCTable::new(table, [(x, d)]).unwrap();
+        let m = t.mod_space().unwrap();
+        // Both x=1 (1000) and x=2 (300) give {5}: max = 1000.
+        assert_eq!(m.world_degree(&instance![[5]]), FULLY);
+        assert_eq!(m.len(), 1);
+    }
+}

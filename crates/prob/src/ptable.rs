@@ -1,0 +1,273 @@
+//! Probabilistic `?`-tables (paper §7).
+//!
+//! The tuple-independent model of Fuhr–Rölleke, Zimányi, Grädel et al.,
+//! and Dalvi–Suciu ("independent tuple representation"): each tuple `t`
+//! carries a probability `p_t` and tuples occur independently. The paper
+//! makes the folklore semantics rigorous through Prop. 2–3: take the
+//! **product** of per-tuple Bernoulli spaces and the **image** under
+//! "predicate ↦ set of tuples mapped to true". [`PTable::mod_space`]
+//! implements exactly that construction; Prop. 2's independence claims
+//! are verified in the tests.
+
+use std::fmt;
+
+use ipdb_bdd::Weight;
+use ipdb_logic::{Condition, VarGen};
+use ipdb_rel::{Instance, Tuple};
+
+use crate::error::ProbError;
+use crate::pctable::PcTable;
+use crate::pdb::PDatabase;
+use crate::space::FiniteSpace;
+
+/// A p-`?`-table: tuples with independent occurrence probabilities.
+/// Tuples not listed have probability 0 (as in the paper's Example 6).
+///
+/// ```
+/// use ipdb_prob::{rat, PTable, Rat};
+/// use ipdb_rel::tuple;
+/// let t = PTable::from_rows(2, [
+///     (tuple![1, 2], rat!(4, 10)),
+///     (tuple![3, 4], rat!(3, 10)),
+///     (tuple![5, 6], Rat::ONE),
+/// ]).unwrap();
+/// let m = t.mod_space().unwrap();
+/// assert_eq!(m.tuple_prob(&tuple![3, 4]), rat!(3, 10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PTable<W> {
+    arity: usize,
+    rows: Vec<(Tuple, W)>,
+}
+
+impl<W: Weight + PartialOrd> PTable<W> {
+    /// An empty p-`?`-table.
+    pub fn new(arity: usize) -> Self {
+        PTable {
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds from `(tuple, probability)` rows; probabilities must lie in
+    /// `\[0, 1\]` and tuples must be distinct (the table is a mapping
+    /// `t ↦ p_t`).
+    pub fn from_rows(
+        arity: usize,
+        rows: impl IntoIterator<Item = (Tuple, W)>,
+    ) -> Result<Self, ProbError> {
+        let mut t = PTable::new(arity);
+        for (tup, p) in rows {
+            t.push(tup, p)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends a tuple with its probability.
+    pub fn push(&mut self, t: Tuple, p: W) -> Result<(), ProbError> {
+        if t.arity() != self.arity {
+            return Err(ProbError::Rel(ipdb_rel::RelError::ArityMismatch {
+                expected: self.arity,
+                got: t.arity(),
+            }));
+        }
+        if p < W::zero() || p > W::one() {
+            return Err(ProbError::InvalidProbability(format!("{p:?}")));
+        }
+        if self.rows.iter().any(|(s, _)| s == &t) {
+            return Err(ProbError::DuplicateOutcome(t.to_string()));
+        }
+        self.rows.push((t, p));
+        Ok(())
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The `(tuple, probability)` rows.
+    pub fn rows(&self) -> &[(Tuple, W)] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The declared `p_t` of a tuple (0 if absent).
+    pub fn prob(&self, t: &Tuple) -> W {
+        self.rows
+            .iter()
+            .find(|(s, _)| s == t)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(W::zero)
+    }
+
+    /// **The Prop. 2 semantics**: the unique p-database in which the
+    /// events `E_t = {I | t ∈ I}` are jointly independent with
+    /// `P[E_t] = p_t` — built as the product of Bernoulli spaces imaged
+    /// through "predicate ↦ its true-set" (§7).
+    pub fn mod_space(&self) -> Result<PDatabase<W>, ProbError> {
+        let factors: Vec<FiniteSpace<bool, W>> = self
+            .rows
+            .iter()
+            .map(|(_, p)| FiniteSpace::bernoulli(true, false, p.clone()))
+            .collect::<Result<_, _>>()?;
+        let product = FiniteSpace::product_all(&factors);
+        let arity = self.arity;
+        let rows = &self.rows;
+        let space = product.try_image(|mask| -> Result<Instance, ProbError> {
+            let mut inst = Instance::empty(arity);
+            for (present, (t, _)) in mask.iter().zip(rows.iter()) {
+                if *present {
+                    inst.insert(t.clone())?;
+                }
+            }
+            Ok(inst)
+        })?;
+        Ok(PDatabase::from_space(self.arity, space))
+    }
+
+    /// The embedding into probabilistic c-tables (§8): p-`?`-tables
+    /// "correspond to restricted boolean pc-tables, just like ?-tables" —
+    /// one fresh boolean variable per row, condition `x`, with
+    /// `P[x = true] = p_t`.
+    pub fn to_pctable(&self, gen: &mut VarGen) -> Result<PcTable<W>, ProbError> {
+        let mut builder = ipdb_tables::CTable::builder(self.arity);
+        let mut dists = Vec::new();
+        for (t, p) in &self.rows {
+            let x = gen.fresh();
+            builder = builder.ground_row(t.iter().cloned(), Condition::bvar(x));
+            dists.push((
+                x,
+                FiniteSpace::bernoulli(
+                    ipdb_rel::Value::Bool(true),
+                    ipdb_rel::Value::Bool(false),
+                    p.clone(),
+                )?,
+            ));
+        }
+        PcTable::new(builder.build()?, dists)
+    }
+}
+
+impl<W: fmt::Debug> fmt::Display for PTable<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "p-?-table (arity {}):", self.arity)?;
+        for (t, p) in &self.rows {
+            writeln!(f, "  {t} : {p:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+    use crate::rat::Rat;
+    use ipdb_rel::{instance, tuple};
+
+    /// The paper's Example 6 p-`?`-table T:
+    /// (1,2):0.4, (3,4):0.3, (5,6):1.0.
+    fn example6() -> PTable<Rat> {
+        PTable::from_rows(
+            2,
+            [
+                (tuple![1, 2], rat!(4, 10)),
+                (tuple![3, 4], rat!(3, 10)),
+                (tuple![5, 6], Rat::ONE),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let mut t: PTable<Rat> = PTable::new(1);
+        assert!(t.push(tuple![1, 2], Rat::ONE).is_err());
+        assert!(matches!(
+            t.push(tuple![1], rat!(3, 2)),
+            Err(ProbError::InvalidProbability(_))
+        ));
+        t.push(tuple![1], rat!(1, 2)).unwrap();
+        assert!(matches!(
+            t.push(tuple![1], rat!(1, 2)),
+            Err(ProbError::DuplicateOutcome(_))
+        ));
+    }
+
+    #[test]
+    fn example6_distribution() {
+        let m = example6().mod_space().unwrap();
+        // P[{(1,2),(3,4),(5,6)}] = 0.4 * 0.3 * 1 = 0.12
+        assert_eq!(
+            m.world_prob(&instance![[1, 2], [3, 4], [5, 6]]),
+            rat!(12, 100)
+        );
+        // P[{(5,6)}] = 0.6 * 0.7 = 0.42
+        assert_eq!(m.world_prob(&instance![[5, 6]]), rat!(42, 100));
+        // (5,6) has probability 1: worlds lacking it have probability 0.
+        assert_eq!(m.world_prob(&Instance::empty(2)), Rat::ZERO);
+        assert_eq!(m.space().total_mass(), Rat::ONE);
+    }
+
+    #[test]
+    fn prop2_marginals_match_declared() {
+        let t = example6();
+        let m = t.mod_space().unwrap();
+        for (tup, p) in t.rows() {
+            assert_eq!(m.tuple_prob(tup), *p);
+        }
+    }
+
+    #[test]
+    fn prop2_events_are_independent() {
+        let t = example6();
+        let m = t.mod_space().unwrap();
+        // P[E_{(1,2)} ∩ E_{(3,4)}] = P[E_{(1,2)}]·P[E_{(3,4)}]
+        let both = m
+            .space()
+            .prob_of(|w| w.contains(&tuple![1, 2]) && w.contains(&tuple![3, 4]));
+        assert_eq!(both, rat!(4, 10) * rat!(3, 10));
+        // Triple-wise too.
+        let all3 = m.space().prob_of(|w| {
+            w.contains(&tuple![1, 2]) && w.contains(&tuple![3, 4]) && w.contains(&tuple![5, 6])
+        });
+        assert_eq!(all3, rat!(4, 10) * rat!(3, 10) * Rat::ONE);
+    }
+
+    #[test]
+    fn pctable_embedding_same_distribution() {
+        let t = example6();
+        let mut g = VarGen::new();
+        let pc = t.to_pctable(&mut g).unwrap();
+        assert!(pc
+            .mod_space()
+            .unwrap()
+            .same_distribution(&t.mod_space().unwrap()));
+    }
+
+    #[test]
+    fn zero_probability_tuple_never_appears() {
+        let t = PTable::from_rows(1, [(tuple![1], Rat::ZERO)]).unwrap();
+        let m = t.mod_space().unwrap();
+        assert_eq!(m.tuple_prob(&tuple![1]), Rat::ZERO);
+        assert_eq!(m.world_prob(&Instance::empty(1)), Rat::ONE);
+    }
+
+    #[test]
+    fn empty_table_is_certain_empty_world() {
+        let t: PTable<Rat> = PTable::new(2);
+        let m = t.mod_space().unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.world_prob(&Instance::empty(2)), Rat::ONE);
+    }
+}

@@ -1,0 +1,211 @@
+//! The §9 connection: c-table conditions **are** lineage.
+//!
+//! "There is a good reason why the c-table algebra was in essence
+//! rediscovered in \[15, 22, 34\] …: the condition that decorates a tuple
+//! `t` in `q̄(T)` can be seen as the lineage, a.k.a. the
+//! why-provenance, of the tuple `t`." (paper §9)
+//!
+//! Executable form: take a c-table with *ground* tuples (e.g. a boolean
+//! c-table); annotate each tuple with its condition in the
+//! [`PosBoolSr`] semiring; evaluate any positive query with the
+//! K-relation semantics; then, tuple by tuple, the resulting annotation
+//! is **logically equivalent** to the condition the c-table algebra
+//! `q̄` computes. [`conditions_match_provenance`] checks this; the crate
+//! tests and `ipdb-bench` exercise it on random tables and queries.
+
+use std::collections::BTreeMap;
+
+use ipdb_logic::{sat, Condition, Var};
+use ipdb_rel::{Domain, Query, Tuple};
+use ipdb_tables::{algebra, CTable};
+
+use crate::error::ProvError;
+use crate::eval::eval;
+use crate::krel::KRelation;
+use crate::semiring::PosBoolSr;
+
+/// Annotates a ground-tuple c-table as a `PosBool` K-relation: each
+/// tuple's annotation is (the disjunction of) its condition(s).
+///
+/// Errors on rows whose tuples contain variables — K-relations annotate
+/// ground tuples (boolean c-tables always qualify).
+pub fn ctable_to_krel(t: &CTable) -> Result<KRelation<PosBoolSr>, ProvError> {
+    let mut out = KRelation::new(t.arity());
+    for row in t.rows() {
+        if !row.is_ground() {
+            return Err(ProvError::NonGroundRow(format!("{row}")));
+        }
+        let tuple: Tuple = row
+            .tuple
+            .iter()
+            .map(|term| term.as_const().expect("checked ground").clone())
+            .collect();
+        out.add(tuple, PosBoolSr::new(row.cond.clone()))?;
+    }
+    Ok(out)
+}
+
+/// The condition a (ground) c-table assigns to tuple `t`: the
+/// disjunction over matching rows — `t`'s event expression / lineage.
+pub fn condition_of(t: &CTable, probe: &Tuple) -> Condition {
+    let probe_terms: Vec<ipdb_logic::Term> = probe
+        .iter()
+        .map(|v| ipdb_logic::Term::Const(v.clone()))
+        .collect();
+    Condition::or(t.rows().iter().map(|row| {
+        Condition::and([
+            algebra::tuples_eq(&row.tuple, &probe_terms),
+            row.cond.clone(),
+        ])
+    }))
+}
+
+/// The §9 theorem check: for a positive query `q` over a ground c-table
+/// `T`, the `PosBool` annotation of every answer tuple is logically
+/// equivalent (over the variables' domains) to the condition `q̄(T)`
+/// assigns it.
+///
+/// Returns the first mismatching tuple if any.
+pub fn conditions_match_provenance(
+    t: &CTable,
+    q: &Query,
+    doms: &BTreeMap<Var, Domain>,
+) -> Result<Option<Tuple>, ProvError> {
+    let annotated = ctable_to_krel(t)?;
+    let prov = eval(q, &annotated)?;
+    let qbar = t.eval_query(q)?;
+    // Compare on the union of supports: provenance support plus every
+    // grounding of q̄(T)'s rows (ground tables stay ground under q̄ for
+    // positive q).
+    let mut probes = std::collections::BTreeSet::new();
+    for (tuple, _) in prov.iter() {
+        probes.insert(tuple.clone());
+    }
+    for row in qbar.rows() {
+        if row.is_ground() {
+            probes.insert(
+                row.tuple
+                    .iter()
+                    .map(|term| term.as_const().expect("ground").clone())
+                    .collect(),
+            );
+        }
+    }
+    for probe in probes {
+        let lhs = prov.get(&probe).0;
+        let rhs = condition_of(&qbar, &probe);
+        let equivalent = sat::equivalent(&lhs, &rhs, doms)
+            .map_err(|e| ProvError::Table(ipdb_tables::TableError::Logic(e)))?;
+        if !equivalent {
+            return Ok(Some(probe));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_logic::Condition;
+    use ipdb_rel::{tuple, Pred};
+    use ipdb_tables::{t_const, t_var, BooleanCTable};
+
+    fn bool_doms(n: u32) -> BTreeMap<Var, Domain> {
+        (0..n).map(|i| (Var(i), Domain::bools())).collect()
+    }
+
+    fn sample_boolean_table() -> CTable {
+        let (a, b) = (Var(0), Var(1));
+        let mut t = BooleanCTable::new(2);
+        t.push(tuple![1, 10], Condition::bvar(a)).unwrap();
+        t.push(
+            tuple![1, 20],
+            Condition::and([Condition::bvar(a), Condition::bvar(b)]),
+        )
+        .unwrap();
+        t.push(tuple![2, 10], Condition::nbvar(b)).unwrap();
+        t.into_ctable()
+    }
+
+    #[test]
+    fn ctable_to_krel_requires_ground_tuples() {
+        let x = Var(0);
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            ctable_to_krel(&t),
+            Err(ProvError::NonGroundRow(_))
+        ));
+    }
+
+    #[test]
+    fn annotation_is_row_condition() {
+        let t = sample_boolean_table();
+        let r = ctable_to_krel(&t).unwrap();
+        assert_eq!(r.get(&tuple![1, 10]).0, Condition::bvar(Var(0)));
+    }
+
+    #[test]
+    fn duplicate_tuples_or_their_conditions() {
+        let t = CTable::builder(1)
+            .row([t_const(1)], Condition::bvar(Var(0)))
+            .row([t_const(1)], Condition::bvar(Var(1)))
+            .build()
+            .unwrap();
+        let r = ctable_to_krel(&t).unwrap();
+        assert_eq!(
+            r.get(&tuple![1]).0,
+            Condition::or([Condition::bvar(Var(0)), Condition::bvar(Var(1))])
+        );
+    }
+
+    #[test]
+    fn section9_connection_on_projection() {
+        let t = sample_boolean_table();
+        let q = Query::project(Query::Input, vec![1]);
+        assert_eq!(
+            conditions_match_provenance(&t, &q, &bool_doms(2)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn section9_connection_on_spju() {
+        let t = sample_boolean_table();
+        let q = Query::union(
+            Query::project(
+                Query::select(
+                    Query::product(Query::Input, Query::Input),
+                    Pred::eq_cols(1, 3),
+                ),
+                vec![0, 2],
+            ),
+            Query::project(Query::Input, vec![0, 0]),
+        );
+        assert_eq!(
+            conditions_match_provenance(&t, &q, &bool_doms(2)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn section9_connection_on_intersection() {
+        let t = sample_boolean_table();
+        let q = Query::intersect(
+            Query::Input,
+            Query::Lit(ipdb_rel::instance![[1, 10], [2, 10]]),
+        );
+        assert_eq!(
+            conditions_match_provenance(&t, &q, &bool_doms(2)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn condition_of_absent_tuple_is_false() {
+        let t = sample_boolean_table();
+        assert_eq!(condition_of(&t, &tuple![9, 9]), Condition::False);
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors for annotated-relation evaluation.
+
+use std::fmt;
+
+use ipdb_rel::RelError;
+use ipdb_tables::TableError;
+
+/// Errors raised by K-relation construction and positive-RA evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvError {
+    /// An underlying relational error.
+    Rel(RelError),
+    /// An underlying table error (from the c-table algebra side of the
+    /// §9 connection).
+    Table(TableError),
+    /// Positive-RA evaluation was given a query using difference, which
+    /// commutative semirings do not interpret (K-relations are a
+    /// positive-algebra framework).
+    DifferenceNotSupported,
+    /// The c-table connection needs ground tuples (variables may appear
+    /// only in conditions).
+    NonGroundRow(String),
+}
+
+impl fmt::Display for ProvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvError::Rel(e) => write!(f, "{e}"),
+            ProvError::Table(e) => write!(f, "{e}"),
+            ProvError::DifferenceNotSupported => {
+                write!(
+                    f,
+                    "difference is not defined on K-relations (positive RA only)"
+                )
+            }
+            ProvError::NonGroundRow(s) => {
+                write!(
+                    f,
+                    "K-relations annotate ground tuples; row {s} has variables"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvError {}
+
+impl From<RelError> for ProvError {
+    fn from(e: RelError) -> Self {
+        ProvError::Rel(e)
+    }
+}
+
+impl From<TableError> for ProvError {
+    fn from(e: TableError) -> Self {
+        ProvError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ProvError::DifferenceNotSupported
+            .to_string()
+            .contains("positive"));
+        let e: ProvError = RelError::RaggedLiteral.into();
+        assert!(matches!(e, ProvError::Rel(_)));
+    }
+}

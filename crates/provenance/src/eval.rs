@@ -1,0 +1,247 @@
+//! Positive relational algebra on K-relations.
+//!
+//! The Green–Karvounarakis–Tannen semantics: union and projection sum
+//! annotations, join multiplies them, selection keeps or zeroes them.
+//! Difference has no commutative-semiring interpretation and is
+//! rejected. Intersection is interpreted as the natural self-join on all
+//! columns: `(R ∩ S)(t) = R(t) · S(t)`.
+
+use ipdb_rel::{Query, Tuple};
+
+use crate::error::ProvError;
+use crate::krel::KRelation;
+use crate::semiring::Semiring;
+
+/// Evaluates a positive-RA query over a K-relation input.
+///
+/// `Lit` relations are annotated with `1` (they are unconditionally
+/// present); `Diff` yields [`ProvError::DifferenceNotSupported`].
+///
+/// ```
+/// use ipdb_provenance::{eval, KRelation, NatSr};
+/// use ipdb_rel::{tuple, Query};
+/// let r = KRelation::from_annotated(2, [
+///     (tuple![1, 10], NatSr(2)),
+///     (tuple![1, 20], NatSr(3)),
+/// ]).unwrap();
+/// // π₁ sums the annotations of merged tuples: 2 + 3 = 5 derivations.
+/// let q = Query::project(Query::Input, vec![0]);
+/// assert_eq!(eval(&q, &r).unwrap().get(&tuple![1]), NatSr(5));
+/// ```
+pub fn eval<K: Semiring>(q: &Query, input: &KRelation<K>) -> Result<KRelation<K>, ProvError> {
+    Ok(match q {
+        Query::Input => input.clone(),
+        Query::Second => return Err(ProvError::Rel(ipdb_rel::RelError::NoSecondInput)),
+        Query::Lit(i) => KRelation::from_instance(i),
+        Query::Project(cols, q) => {
+            let inner = eval(q, input)?;
+            for &c in cols {
+                if c >= inner.arity() {
+                    return Err(ProvError::Rel(ipdb_rel::RelError::ColumnOutOfRange {
+                        col: c,
+                        arity: inner.arity(),
+                    }));
+                }
+            }
+            let mut out = KRelation::new(cols.len());
+            for (t, k) in inner.iter() {
+                let projected = t.project(cols).expect("cols checked");
+                out.add(projected, k.clone())?;
+            }
+            out
+        }
+        Query::Select(p, q) => {
+            let inner = eval(q, input)?;
+            p.validate(inner.arity())?;
+            let mut out = KRelation::new(inner.arity());
+            for (t, k) in inner.iter() {
+                if p.eval(t.values())? {
+                    out.add(t.clone(), k.clone())?;
+                }
+            }
+            out
+        }
+        Query::Product(a, b) => {
+            let ra = eval(a, input)?;
+            let rb = eval(b, input)?;
+            let mut out = KRelation::new(ra.arity() + rb.arity());
+            for (t1, k1) in ra.iter() {
+                for (t2, k2) in rb.iter() {
+                    out.add(t1.concat(t2), k1.times(k2))?;
+                }
+            }
+            out
+        }
+        Query::Union(a, b) => {
+            let ra = eval(a, input)?;
+            let rb = eval(b, input)?;
+            if ra.arity() != rb.arity() {
+                return Err(ProvError::Rel(ipdb_rel::RelError::ArityMismatch {
+                    expected: ra.arity(),
+                    got: rb.arity(),
+                }));
+            }
+            let mut out = ra;
+            for (t, k) in rb.iter() {
+                out.add(t.clone(), k.clone())?;
+            }
+            out
+        }
+        Query::Intersect(a, b) => {
+            let ra = eval(a, input)?;
+            let rb = eval(b, input)?;
+            if ra.arity() != rb.arity() {
+                return Err(ProvError::Rel(ipdb_rel::RelError::ArityMismatch {
+                    expected: ra.arity(),
+                    got: rb.arity(),
+                }));
+            }
+            let mut out = KRelation::new(ra.arity());
+            for (t, k) in ra.iter() {
+                let k2 = rb.get(t);
+                out.add(t.clone(), k.times(&k2))?;
+            }
+            out
+        }
+        Query::Diff(_, _) => return Err(ProvError::DifferenceNotSupported),
+    })
+}
+
+/// Evaluates and returns the annotation of one answer tuple (zero when
+/// absent).
+pub fn annotation_of<K: Semiring>(
+    q: &Query,
+    input: &KRelation<K>,
+    t: &Tuple,
+) -> Result<K, ProvError> {
+    Ok(eval(q, input)?.get(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSr, NatSr, Poly, Token, TropSr, WhySr};
+    use ipdb_rel::{instance, tuple, Pred};
+
+    fn nat_rel() -> KRelation<NatSr> {
+        KRelation::from_annotated(
+            2,
+            [
+                (tuple![1, 10], NatSr(2)),
+                (tuple![1, 20], NatSr(3)),
+                (tuple![2, 10], NatSr(1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bag_semantics_projection_counts() {
+        let q = Query::project(Query::Input, vec![0]);
+        let out = eval(&q, &nat_rel()).unwrap();
+        assert_eq!(out.get(&tuple![1]), NatSr(5));
+        assert_eq!(out.get(&tuple![2]), NatSr(1));
+    }
+
+    #[test]
+    fn join_multiplies() {
+        // Self-join on column 0: π₀ (σ_{#1=#3} (R × R)) — derivation
+        // counts multiply then sum.
+        let q = Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::Input),
+                Pred::eq_cols(0, 2),
+            ),
+            vec![0],
+        );
+        let out = eval(&q, &nat_rel()).unwrap();
+        // key 1: (2+3)² = 25 pairings; key 2: 1.
+        assert_eq!(out.get(&tuple![1]), NatSr(25));
+        assert_eq!(out.get(&tuple![2]), NatSr(1));
+    }
+
+    #[test]
+    fn union_adds_intersect_multiplies() {
+        let a = KRelation::from_annotated(1, [(tuple![1], NatSr(2))]).unwrap();
+        let q_union = Query::union(Query::Input, Query::Lit(instance![[1], [2]]));
+        let u = eval(&q_union, &a).unwrap();
+        assert_eq!(u.get(&tuple![1]), NatSr(3)); // 2 + 1
+        assert_eq!(u.get(&tuple![2]), NatSr(1));
+        let q_meet = Query::intersect(Query::Input, Query::Lit(instance![[1]]));
+        let m = eval(&q_meet, &a).unwrap();
+        assert_eq!(m.get(&tuple![1]), NatSr(2)); // 2 · 1
+    }
+
+    #[test]
+    fn difference_rejected() {
+        let a: KRelation<BoolSr> = KRelation::new(1);
+        let q = Query::diff(Query::Input, Query::Input);
+        assert_eq!(eval(&q, &a).unwrap_err(), ProvError::DifferenceNotSupported);
+    }
+
+    #[test]
+    fn bool_semantics_matches_set_semantics() {
+        let i = instance![[1, 10], [2, 20]];
+        let r: KRelation<BoolSr> = KRelation::from_instance(&i);
+        let q = Query::project(Query::select(Query::Input, Pred::eq_const(0, 1)), vec![1]);
+        let out = eval(&q, &r).unwrap();
+        assert_eq!(out.support(), q.eval(&i).unwrap());
+    }
+
+    #[test]
+    fn why_provenance_through_join() {
+        let (p, q_tok) = (Token(0), Token(1));
+        let r = KRelation::from_annotated(
+            1,
+            [
+                (tuple![1], WhySr::token(p)),
+                (tuple![2], WhySr::token(q_tok)),
+            ],
+        )
+        .unwrap();
+        // R × R: tuple (1,2) has the joint witness {p, q}.
+        let prod = eval(&Query::product(Query::Input, Query::Input), &r).unwrap();
+        let w = prod.get(&tuple![1, 2]);
+        assert_eq!(w.len(), 1);
+        assert!(w.0.contains(&std::collections::BTreeSet::from([p, q_tok])));
+    }
+
+    #[test]
+    fn tropical_cost_of_answer() {
+        let r = KRelation::from_annotated(
+            1,
+            [(tuple![1], TropSr::cost(3)), (tuple![2], TropSr::cost(5))],
+        )
+        .unwrap();
+        // π over everything merges alternatives: min cost.
+        let q = Query::project(Query::Input, vec![]);
+        let out = eval(&q, &r).unwrap();
+        assert_eq!(out.get(&Tuple::empty()), TropSr::cost(3));
+    }
+
+    #[test]
+    fn polynomial_records_structure() {
+        let (x, y) = (Token(0), Token(1));
+        let r = KRelation::from_annotated(
+            1,
+            [(tuple![1], Poly::token(x)), (tuple![2], Poly::token(y))],
+        )
+        .unwrap();
+        // π_[] (R × R) = (x + y)² as a derivation polynomial.
+        let q = Query::project(Query::product(Query::Input, Query::Input), vec![]);
+        let out = eval(&q, &r).unwrap();
+        let p = out.get(&Tuple::empty());
+        // x² + 2xy + y².
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn annotation_of_absent_tuple_is_zero() {
+        let r = nat_rel();
+        assert_eq!(
+            annotation_of(&Query::Input, &r, &tuple![9, 9]).unwrap(),
+            NatSr(0)
+        );
+    }
+}

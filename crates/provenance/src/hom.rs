@@ -1,0 +1,207 @@
+//! Semiring homomorphisms and the universality of `ℕ[X]`.
+//!
+//! `ℕ[X]` is the free commutative semiring on the tokens `X`: any
+//! assignment `X → K` extends uniquely to a homomorphism
+//! `ℕ[X] → K` ([`eval_poly`]). Consequently, computing provenance
+//! polynomials once and specializing commutes with evaluating the query
+//! directly in the target semiring — the "universality" property that
+//! makes `ℕ[X]` the most general annotation. [`specialize`] applies this
+//! to whole K-relations; the property is tested for every semiring in
+//! this crate.
+
+use std::collections::BTreeMap;
+
+use ipdb_rel::Query;
+
+use crate::error::ProvError;
+use crate::eval::eval;
+use crate::krel::KRelation;
+use crate::semiring::{Poly, Semiring, Token};
+
+/// Evaluates a polynomial under a token assignment — the unique
+/// homomorphism `ℕ[X] → K` extending the assignment. Tokens missing
+/// from `assign` default to `0`.
+pub fn eval_poly<K: Semiring>(p: &Poly, assign: &BTreeMap<Token, K>) -> K {
+    let mut total = K::zero();
+    for (monomial, coeff) in p.terms() {
+        // coeff · Π tokᵉ
+        let mut term = nat_to_k::<K>(*coeff);
+        for (tok, e) in monomial {
+            let k = assign.get(tok).cloned().unwrap_or_else(K::zero);
+            for _ in 0..*e {
+                term = term.times(&k);
+            }
+        }
+        total = total.plus(&term);
+    }
+    total
+}
+
+/// The canonical `ℕ → K` (sum of `n` ones).
+fn nat_to_k<K: Semiring>(n: u64) -> K {
+    let mut acc = K::zero();
+    for _ in 0..n {
+        acc = acc.plus(&K::one());
+    }
+    acc
+}
+
+/// Specializes a polynomial-annotated relation to a concrete semiring.
+pub fn specialize<K: Semiring>(r: &KRelation<Poly>, assign: &BTreeMap<Token, K>) -> KRelation<K> {
+    r.map_annotations(|p| eval_poly(p, assign))
+}
+
+/// The universality check, packaged: evaluate `q` on token-annotated
+/// input and specialize, versus specialize the input and evaluate
+/// directly in `K`. Returns both sides for the caller to compare with
+/// its notion of equality.
+pub fn universality_sides<K: Semiring>(
+    q: &Query,
+    tokens: &KRelation<Poly>,
+    assign: &BTreeMap<Token, K>,
+) -> Result<(KRelation<K>, KRelation<K>), ProvError> {
+    let poly_then_spec = specialize(&eval(q, tokens)?, assign);
+    let spec_then_eval = eval(q, &specialize(tokens, assign))?;
+    Ok((poly_then_spec, spec_then_eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSr, FuzzySr, NatSr, PosBoolSr, TropSr, WhySr};
+    use ipdb_logic::Var;
+    use ipdb_rel::{tuple, Pred};
+
+    fn token_rel() -> KRelation<Poly> {
+        KRelation::from_annotated(
+            2,
+            [
+                (tuple![1, 10], Poly::token(Token(0))),
+                (tuple![1, 20], Poly::token(Token(1))),
+                (tuple![2, 10], Poly::token(Token(2))),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn test_query() -> Query {
+        // π₁(σ_{#2=#3}(V × V)) ∪ π₁(V)
+        Query::union(
+            Query::project(
+                Query::select(
+                    Query::product(Query::Input, Query::Input),
+                    Pred::eq_cols(1, 2),
+                ),
+                vec![0],
+            ),
+            Query::project(Query::Input, vec![0]),
+        )
+    }
+
+    #[test]
+    fn eval_poly_basics() {
+        let x = Token(0);
+        let p = Poly::token(x).plus(&Poly::constant(2)); // x + 2
+        let assign = BTreeMap::from([(x, NatSr(5))]);
+        assert_eq!(eval_poly(&p, &assign), NatSr(7));
+        // Missing token defaults to zero.
+        let q = Poly::token(Token(9));
+        assert_eq!(eval_poly::<NatSr>(&q, &assign), NatSr(0));
+        // Exponents.
+        let sq = Poly::token(x).times(&Poly::token(x));
+        assert_eq!(eval_poly(&sq, &assign), NatSr(25));
+    }
+
+    #[test]
+    fn universality_for_nat() {
+        let assign = BTreeMap::from([
+            (Token(0), NatSr(2)),
+            (Token(1), NatSr(3)),
+            (Token(2), NatSr(1)),
+        ]);
+        let (a, b) = universality_sides(&test_query(), &token_rel(), &assign).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn universality_for_bool() {
+        let assign = BTreeMap::from([
+            (Token(0), BoolSr(true)),
+            (Token(1), BoolSr(false)),
+            (Token(2), BoolSr(true)),
+        ]);
+        let (a, b) = universality_sides(&test_query(), &token_rel(), &assign).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn universality_for_trop() {
+        let assign = BTreeMap::from([
+            (Token(0), TropSr::cost(1)),
+            (Token(1), TropSr::cost(4)),
+            (Token(2), TropSr::INF),
+        ]);
+        let (a, b) = universality_sides(&test_query(), &token_rel(), &assign).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn universality_for_fuzzy() {
+        let assign = BTreeMap::from([
+            (Token(0), FuzzySr(80)),
+            (Token(1), FuzzySr(50)),
+            (Token(2), FuzzySr(0)),
+        ]);
+        let (a, b) = universality_sides(&test_query(), &token_rel(), &assign).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn universality_for_why() {
+        let assign = BTreeMap::from([
+            (Token(0), WhySr::token(Token(0))),
+            (Token(1), WhySr::token(Token(1))),
+            (Token(2), WhySr::token(Token(2))),
+        ]);
+        let (a, b) = universality_sides(&test_query(), &token_rel(), &assign).unwrap();
+        // Why is not idempotent-free: ℕ[X] distinguishes 2xy from xy,
+        // Why does not — the homomorphism collapses them, so the two
+        // sides agree.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn universality_for_posbool_up_to_equivalence() {
+        use ipdb_logic::sat;
+        use ipdb_rel::Domain;
+        let assign = BTreeMap::from([
+            (Token(0), PosBoolSr::var(Var(0))),
+            (Token(1), PosBoolSr::var(Var(1))),
+            (Token(2), PosBoolSr::var(Var(2))),
+        ]);
+        let (a, b) = universality_sides(&test_query(), &token_rel(), &assign).unwrap();
+        let doms: BTreeMap<Var, Domain> = (0..3).map(|i| (Var(i), Domain::bools())).collect();
+        assert_eq!(a.support(), b.support());
+        for (t, ka) in a.iter() {
+            let kb = b.get(t);
+            assert!(
+                sat::equivalent(&ka.0, &kb.0, &doms).unwrap(),
+                "tuple {t}: {} vs {}",
+                ka.0,
+                kb.0
+            );
+        }
+    }
+
+    #[test]
+    fn specialize_drops_zeroed_tuples() {
+        let assign = BTreeMap::from([
+            (Token(0), BoolSr(false)),
+            (Token(1), BoolSr(false)),
+            (Token(2), BoolSr(true)),
+        ]);
+        let s = specialize(&token_rel(), &assign);
+        assert_eq!(s.support_size(), 1);
+        assert_eq!(s.get(&tuple![2, 10]), BoolSr(true));
+    }
+}

@@ -1,0 +1,182 @@
+//! K-relations: relations annotated with semiring values.
+//!
+//! A K-relation of arity `n` is a map `Dⁿ → K` with finite support —
+//! tuples not in the map are annotated `0`. Set semantics is the special
+//! case `K = BoolSr`; c-table semantics the case `K = PosBoolSr` (§9).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ipdb_rel::{Instance, RelError, Tuple};
+
+use crate::error::ProvError;
+use crate::semiring::Semiring;
+
+/// A finitely-supported annotated relation.
+///
+/// ```
+/// use ipdb_provenance::{KRelation, NatSr};
+/// use ipdb_rel::tuple;
+/// let mut r = KRelation::new(1);
+/// r.add(tuple![1], NatSr(2)).unwrap();
+/// r.add(tuple![1], NatSr(3)).unwrap(); // annotations combine with +
+/// assert_eq!(r.get(&tuple![1]), NatSr(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KRelation<K> {
+    arity: usize,
+    map: BTreeMap<Tuple, K>,
+}
+
+impl<K: Semiring> KRelation<K> {
+    /// The everywhere-zero K-relation.
+    pub fn new(arity: usize) -> Self {
+        KRelation {
+            arity,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Builds from annotated tuples (duplicates combine with `+`, zeros
+    /// are dropped).
+    pub fn from_annotated(
+        arity: usize,
+        rows: impl IntoIterator<Item = (Tuple, K)>,
+    ) -> Result<Self, ProvError> {
+        let mut r = KRelation::new(arity);
+        for (t, k) in rows {
+            r.add(t, k)?;
+        }
+        Ok(r)
+    }
+
+    /// A conventional instance as a K-relation: every tuple annotated
+    /// `1`.
+    pub fn from_instance(i: &Instance) -> Self {
+        KRelation {
+            arity: i.arity(),
+            map: i.iter().map(|t| (t.clone(), K::one())).collect(),
+        }
+    }
+
+    /// Adds an annotation (combines with `+` if the tuple is present).
+    pub fn add(&mut self, t: Tuple, k: K) -> Result<(), ProvError> {
+        if t.arity() != self.arity {
+            return Err(ProvError::Rel(RelError::ArityMismatch {
+                expected: self.arity,
+                got: t.arity(),
+            }));
+        }
+        if k.is_zero() {
+            return Ok(());
+        }
+        match self.map.get_mut(&t) {
+            Some(existing) => {
+                *existing = existing.plus(&k);
+                if existing.is_zero() {
+                    self.map.remove(&t);
+                }
+            }
+            None => {
+                self.map.insert(t, k);
+            }
+        }
+        Ok(())
+    }
+
+    /// The annotation of `t` (`0` when absent).
+    pub fn get(&self, t: &Tuple) -> K {
+        self.map.get(t).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples with non-zero annotation.
+    pub fn support_size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the support is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the support in canonical order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, Tuple, K> {
+        self.map.iter()
+    }
+
+    /// The support as a conventional instance (the tuples with non-zero
+    /// annotation).
+    pub fn support(&self) -> Instance {
+        let mut i = Instance::empty(self.arity);
+        for t in self.map.keys() {
+            i.insert(t.clone()).expect("arities agree");
+        }
+        i
+    }
+
+    /// Maps annotations through a function (e.g. a semiring
+    /// homomorphism), dropping tuples that become zero.
+    pub fn map_annotations<L: Semiring>(&self, mut f: impl FnMut(&K) -> L) -> KRelation<L> {
+        let mut out = KRelation::new(self.arity);
+        for (t, k) in &self.map {
+            let l = f(k);
+            if !l.is_zero() {
+                out.map.insert(t.clone(), l);
+            }
+        }
+        out
+    }
+}
+
+impl<K: Semiring + fmt::Debug> fmt::Display for KRelation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "K-relation (arity {}):", self.arity)?;
+        for (t, k) in &self.map {
+            writeln!(f, "  {t} : {k:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSr, NatSr};
+    use ipdb_rel::{instance, tuple};
+
+    #[test]
+    fn add_combines_and_drops_zero() {
+        let mut r: KRelation<NatSr> = KRelation::new(1);
+        r.add(tuple![1], NatSr(0)).unwrap();
+        assert!(r.is_empty());
+        r.add(tuple![1], NatSr(2)).unwrap();
+        r.add(tuple![1], NatSr(3)).unwrap();
+        assert_eq!(r.get(&tuple![1]), NatSr(5));
+        assert_eq!(r.support_size(), 1);
+        assert!(r.add(tuple![1, 2], NatSr(1)).is_err());
+    }
+
+    #[test]
+    fn from_instance_annotates_one() {
+        let i = instance![[1], [2]];
+        let r: KRelation<BoolSr> = KRelation::from_instance(&i);
+        assert_eq!(r.get(&tuple![1]), BoolSr(true));
+        assert_eq!(r.get(&tuple![3]), BoolSr(false));
+        assert_eq!(r.support(), i);
+    }
+
+    #[test]
+    fn map_annotations_homomorphism() {
+        let r =
+            KRelation::from_annotated(1, [(tuple![1], NatSr(3)), (tuple![2], NatSr(1))]).unwrap();
+        // ℕ → Bool: n ↦ n > 0 (the support homomorphism).
+        let b = r.map_annotations(|n| BoolSr(n.0 > 0));
+        assert_eq!(b.get(&tuple![1]), BoolSr(true));
+        assert_eq!(b.support_size(), 2);
+    }
+}

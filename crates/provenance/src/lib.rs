@@ -1,0 +1,42 @@
+//! # `ipdb-provenance` — semiring provenance (the paper's §9, made
+//! executable)
+//!
+//! §9 of Green & Tannen observes: *"The condition that decorates a tuple
+//! `t` in `q̄(T)` can be seen as the lineage, a.k.a. the
+//! why-provenance, of the tuple `t`"* — the observation that grew into
+//! the provenance-semiring framework (Green–Karvounarakis–Tannen,
+//! PODS 2007). This crate implements that successor framework from
+//! scratch and ties it back to c-tables:
+//!
+//! * [`Semiring`] — commutative semirings with instances:
+//!   [`BoolSr`] (set semantics), [`NatSr`] (bag semantics / counting),
+//!   [`TropSr`] (min-cost), [`FuzzySr`] (max–min confidence),
+//!   [`WhySr`] (witness-set why-provenance), [`PosBoolSr`] (positive
+//!   boolean event expressions — c-table conditions!), and [`Poly`]
+//!   (provenance polynomials `ℕ[X]`, the free object);
+//! * [`KRelation`] — annotated relations, with positive-RA evaluation
+//!   ([`eval()`](fn@crate::eval)): union = `+`, join = `·`, projection = sums, selection =
+//!   filtering;
+//! * [`hom`] — evaluation of polynomials under token assignments; the
+//!   *universality* of `ℕ[X]` (specialize-then-compute = compute-then-
+//!   specialize) is property-tested;
+//! * [`connection`] — the §9 statement as a theorem-check: annotating a
+//!   ground c-table's tuples with their conditions and evaluating a
+//!   positive query in `PosBool` yields, tuple by tuple, conditions
+//!   logically equivalent to those of `q̄(T)`.
+
+#![warn(missing_docs)]
+
+pub mod connection;
+pub mod error;
+pub mod eval;
+pub mod hom;
+pub mod krel;
+pub mod semiring;
+
+pub use error::ProvError;
+pub use eval::eval;
+pub use krel::KRelation;
+pub use semiring::{
+    BoolSr, FuzzySr, Monomial, NatSr, Poly, PosBoolSr, Semiring, Token, TropSr, WhySr,
+};

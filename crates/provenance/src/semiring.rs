@@ -1,0 +1,533 @@
+//! Commutative semirings and the standard provenance instances.
+//!
+//! A commutative semiring `(K, +, ·, 0, 1)` is what positive relational
+//! algebra needs of its annotations: `+` interprets alternative
+//! derivations (union, projection), `·` joint derivations (join), `0`
+//! absence, `1` unconditional presence. The instances here are the
+//! classical provenance hierarchy, with `ℕ[X]` (provenance polynomials)
+//! as the free — most informative — object.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ipdb_logic::Condition;
+
+/// A commutative semiring.
+///
+/// Laws (property-tested per instance): `+` and `·` are associative and
+/// commutative, `0` is the unit of `+` and annihilates `·`, `1` is the
+/// unit of `·`, and `·` distributes over `+`. For [`PosBoolSr`] the laws
+/// hold up to logical equivalence (its `Eq` is syntactic after
+/// simplification).
+pub trait Semiring: Clone + PartialEq + fmt::Debug {
+    /// Additive identity (absent).
+    fn zero() -> Self;
+    /// Multiplicative identity (unconditionally present).
+    fn one() -> Self;
+    /// Alternative use (union / projection).
+    fn plus(&self, other: &Self) -> Self;
+    /// Joint use (join).
+    fn times(&self, other: &Self) -> Self;
+    /// Whether the annotation means "absent" (used to prune supports).
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// A provenance token: an opaque identifier for a base tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u32);
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Boolean semiring: set semantics.
+// ---------------------------------------------------------------------
+
+/// `({false, true}, ∨, ∧)` — ordinary set semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BoolSr(pub bool);
+
+impl Semiring for BoolSr {
+    fn zero() -> Self {
+        BoolSr(false)
+    }
+    fn one() -> Self {
+        BoolSr(true)
+    }
+    fn plus(&self, o: &Self) -> Self {
+        BoolSr(self.0 || o.0)
+    }
+    fn times(&self, o: &Self) -> Self {
+        BoolSr(self.0 && o.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Natural numbers: bag semantics / derivation counting.
+// ---------------------------------------------------------------------
+
+/// `(ℕ, +, ·)` — bag semantics; counts derivations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NatSr(pub u64);
+
+impl Semiring for NatSr {
+    fn zero() -> Self {
+        NatSr(0)
+    }
+    fn one() -> Self {
+        NatSr(1)
+    }
+    fn plus(&self, o: &Self) -> Self {
+        NatSr(self.0.checked_add(o.0).expect("NatSr overflow"))
+    }
+    fn times(&self, o: &Self) -> Self {
+        NatSr(self.0.checked_mul(o.0).expect("NatSr overflow"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tropical semiring: minimum-cost derivation.
+// ---------------------------------------------------------------------
+
+/// `(ℕ ∪ {∞}, min, +)` — cheapest derivation; `None` is `∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TropSr(pub Option<u64>);
+
+impl TropSr {
+    /// A finite cost.
+    pub const fn cost(c: u64) -> Self {
+        TropSr(Some(c))
+    }
+    /// Unreachable (infinite cost).
+    pub const INF: TropSr = TropSr(None);
+}
+
+impl Semiring for TropSr {
+    fn zero() -> Self {
+        TropSr::INF
+    }
+    fn one() -> Self {
+        TropSr(Some(0))
+    }
+    fn plus(&self, o: &Self) -> Self {
+        match (self.0, o.0) {
+            (Some(a), Some(b)) => TropSr(Some(a.min(b))),
+            (Some(a), None) | (None, Some(a)) => TropSr(Some(a)),
+            (None, None) => TropSr::INF,
+        }
+    }
+    fn times(&self, o: &Self) -> Self {
+        match (self.0, o.0) {
+            (Some(a), Some(b)) => TropSr(Some(a.checked_add(b).expect("TropSr overflow"))),
+            _ => TropSr::INF,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzzy/Viterbi-style confidence: (max, min) on 0..=100.
+// ---------------------------------------------------------------------
+
+/// `(\[0,100\], max, min)` — fuzzy confidence, kept integral so equality
+/// is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FuzzySr(pub u8);
+
+impl FuzzySr {
+    /// Builds a confidence, clamping to `0..=100`.
+    pub fn conf(c: u8) -> Self {
+        FuzzySr(c.min(100))
+    }
+}
+
+impl Semiring for FuzzySr {
+    fn zero() -> Self {
+        FuzzySr(0)
+    }
+    fn one() -> Self {
+        FuzzySr(100)
+    }
+    fn plus(&self, o: &Self) -> Self {
+        FuzzySr(self.0.max(o.0))
+    }
+    fn times(&self, o: &Self) -> Self {
+        FuzzySr(self.0.min(o.0))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Why-provenance: sets of witness sets.
+// ---------------------------------------------------------------------
+
+/// `Why(X)`: sets of witnesses (a witness is a set of base tokens that
+/// jointly derive the tuple). `+` unions the witness sets, `·` unions
+/// witnesses pairwise. Buneman–Khanna–Tan's why-provenance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct WhySr(pub BTreeSet<BTreeSet<Token>>);
+
+impl WhySr {
+    /// The provenance of a base tuple: one singleton witness.
+    pub fn token(t: Token) -> Self {
+        WhySr(BTreeSet::from([BTreeSet::from([t])]))
+    }
+
+    /// Number of witnesses.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no witnesses (the zero).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Semiring for WhySr {
+    fn zero() -> Self {
+        WhySr(BTreeSet::new())
+    }
+    fn one() -> Self {
+        WhySr(BTreeSet::from([BTreeSet::new()]))
+    }
+    fn plus(&self, o: &Self) -> Self {
+        WhySr(self.0.union(&o.0).cloned().collect())
+    }
+    fn times(&self, o: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &o.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        WhySr(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Positive boolean conditions: the c-table connection.
+// ---------------------------------------------------------------------
+
+/// `PosBool`: boolean event expressions under `∨`/`∧` — exactly the
+/// c-table condition language of §2, which §9 identifies with lineage.
+///
+/// Equality is syntactic after smart-constructor simplification, so the
+/// semiring laws hold *up to logical equivalence*; the `connection`
+/// module compares semantically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PosBoolSr(pub Condition);
+
+impl PosBoolSr {
+    /// Wraps (and simplifies) a condition.
+    pub fn new(c: Condition) -> Self {
+        PosBoolSr(c.simplify())
+    }
+
+    /// The annotation of a base tuple guarded by boolean variable `v`.
+    pub fn var(v: ipdb_logic::Var) -> Self {
+        PosBoolSr(Condition::bvar(v))
+    }
+}
+
+impl Semiring for PosBoolSr {
+    fn zero() -> Self {
+        PosBoolSr(Condition::False)
+    }
+    fn one() -> Self {
+        PosBoolSr(Condition::True)
+    }
+    fn plus(&self, o: &Self) -> Self {
+        PosBoolSr(Condition::or([self.0.clone(), o.0.clone()]))
+    }
+    fn times(&self, o: &Self) -> Self {
+        PosBoolSr(Condition::and([self.0.clone(), o.0.clone()]))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Provenance polynomials ℕ[X]: the free commutative semiring.
+// ---------------------------------------------------------------------
+
+/// A monomial: tokens with multiplicities (`x²y`).
+pub type Monomial = BTreeMap<Token, u32>;
+
+/// `ℕ[X]` — provenance polynomials in canonical form (monomial →
+/// coefficient, no zero coefficients). The most general annotation: any
+/// other semiring's value is recovered by evaluating the polynomial
+/// (see `crate::hom`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, u64>,
+}
+
+impl Poly {
+    /// The polynomial `x` for a token.
+    pub fn token(t: Token) -> Poly {
+        Poly {
+            terms: BTreeMap::from([(BTreeMap::from([(t, 1)]), 1)]),
+        }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: u64) -> Poly {
+        if c == 0 {
+            return Poly::default();
+        }
+        Poly {
+            terms: BTreeMap::from([(BTreeMap::new(), c)]),
+        }
+    }
+
+    /// The canonical `(monomial, coefficient)` terms.
+    pub fn terms(&self) -> &BTreeMap<Monomial, u64> {
+        &self.terms
+    }
+
+    /// Number of monomials.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The tokens occurring in the polynomial.
+    pub fn tokens(&self) -> BTreeSet<Token> {
+        self.terms.keys().flat_map(|m| m.keys().copied()).collect()
+    }
+
+    /// Total degree (0 for constants).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.values().sum::<u32>())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Semiring for Poly {
+    fn zero() -> Self {
+        Poly::default()
+    }
+    fn one() -> Self {
+        Poly::constant(1)
+    }
+    fn plus(&self, o: &Self) -> Self {
+        let mut terms = self.terms.clone();
+        for (m, c) in &o.terms {
+            let entry = terms.entry(m.clone()).or_insert(0);
+            *entry = entry.checked_add(*c).expect("Poly overflow");
+        }
+        terms.retain(|_, c| *c != 0);
+        Poly { terms }
+    }
+    fn times(&self, o: &Self) -> Self {
+        let mut terms: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &o.terms {
+                let mut m = m1.clone();
+                for (t, e) in m2 {
+                    let entry = m.entry(*t).or_insert(0);
+                    *entry = entry.checked_add(*e).expect("Poly exponent overflow");
+                }
+                let coeff = c1.checked_mul(*c2).expect("Poly overflow");
+                let entry = terms.entry(m).or_insert(0);
+                *entry = entry.checked_add(coeff).expect("Poly overflow");
+            }
+        }
+        terms.retain(|_, c| *c != 0);
+        Poly { terms }
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c != 1 || m.is_empty() {
+                write!(f, "{c}")?;
+            }
+            for (j, (t, e)) in m.iter().enumerate() {
+                if j > 0 || *c != 1 {
+                    write!(f, "·")?;
+                }
+                write!(f, "{t}")?;
+                if *e > 1 {
+                    write!(f, "^{e}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks the semiring laws on a set of sample values with a custom
+    /// equality (semantic for PosBool).
+    fn check_laws<K: Semiring>(samples: &[K], eq: impl Fn(&K, &K) -> bool) {
+        for a in samples {
+            for b in samples {
+                assert!(eq(&a.plus(b), &b.plus(a)), "+ commutative");
+                assert!(eq(&a.times(b), &b.times(a)), "· commutative");
+                for c in samples {
+                    assert!(eq(&a.plus(b).plus(c), &a.plus(&b.plus(c))), "+ associative");
+                    assert!(
+                        eq(&a.times(b).times(c), &a.times(&b.times(c))),
+                        "· associative"
+                    );
+                    assert!(
+                        eq(&a.times(&b.plus(c)), &a.times(b).plus(&a.times(c))),
+                        "distributivity"
+                    );
+                }
+                assert!(eq(&a.plus(&K::zero()), a), "+ unit");
+                assert!(eq(&a.times(&K::one()), a), "· unit");
+                assert!(eq(&a.times(&K::zero()), &K::zero()), "annihilation");
+            }
+        }
+    }
+
+    #[test]
+    fn bool_laws() {
+        check_laws(&[BoolSr(false), BoolSr(true)], |a, b| a == b);
+    }
+
+    #[test]
+    fn nat_laws() {
+        check_laws(&[NatSr(0), NatSr(1), NatSr(2), NatSr(5)], |a, b| a == b);
+    }
+
+    #[test]
+    fn trop_laws() {
+        check_laws(
+            &[
+                TropSr::INF,
+                TropSr::cost(0),
+                TropSr::cost(3),
+                TropSr::cost(7),
+            ],
+            |a, b| a == b,
+        );
+    }
+
+    #[test]
+    fn fuzzy_laws() {
+        check_laws(
+            &[FuzzySr(0), FuzzySr(30), FuzzySr(70), FuzzySr(100)],
+            |a, b| a == b,
+        );
+    }
+
+    #[test]
+    fn why_laws() {
+        let (p, q, r) = (Token(0), Token(1), Token(2));
+        check_laws(
+            &[
+                WhySr::zero(),
+                WhySr::one(),
+                WhySr::token(p),
+                WhySr::token(q).plus(&WhySr::token(r)),
+                WhySr::token(p).times(&WhySr::token(q)),
+            ],
+            |a, b| a == b,
+        );
+    }
+
+    #[test]
+    fn posbool_laws_up_to_equivalence() {
+        use ipdb_logic::{sat, Var};
+        use ipdb_rel::Domain;
+        let doms: std::collections::BTreeMap<Var, Domain> =
+            (0..3).map(|i| (Var(i), Domain::bools())).collect();
+        let eq = |a: &PosBoolSr, b: &PosBoolSr| sat::equivalent(&a.0, &b.0, &doms).unwrap();
+        check_laws(
+            &[
+                PosBoolSr::zero(),
+                PosBoolSr::one(),
+                PosBoolSr::var(Var(0)),
+                PosBoolSr::var(Var(1)).plus(&PosBoolSr::var(Var(2))),
+                PosBoolSr::var(Var(0)).times(&PosBoolSr::var(Var(1))),
+            ],
+            eq,
+        );
+    }
+
+    #[test]
+    fn poly_laws() {
+        let (x, y) = (Token(0), Token(1));
+        check_laws(
+            &[
+                Poly::zero(),
+                Poly::one(),
+                Poly::token(x),
+                Poly::token(y),
+                Poly::token(x).times(&Poly::token(y)),
+                Poly::token(x).plus(&Poly::constant(2)),
+            ],
+            |a, b| a == b,
+        );
+    }
+
+    #[test]
+    fn poly_canonical_form() {
+        let x = Token(0);
+        // x + x = 2x, x·x = x².
+        let two_x = Poly::token(x).plus(&Poly::token(x));
+        assert_eq!(two_x.terms().len(), 1);
+        assert_eq!(two_x.terms().values().copied().next(), Some(2));
+        let x_sq = Poly::token(x).times(&Poly::token(x));
+        assert_eq!(x_sq.degree(), 2);
+        assert_eq!(two_x.degree(), 1);
+        // (x + 1)(x + 1) = x² + 2x + 1.
+        let xp1 = Poly::token(x).plus(&Poly::one());
+        let sq = xp1.times(&xp1);
+        assert_eq!(sq.len(), 3);
+        assert_eq!(sq.to_string(), "1 + 2·p0 + p0^2");
+    }
+
+    #[test]
+    fn why_tracks_witnesses() {
+        let (p, q) = (Token(0), Token(1));
+        let joint = WhySr::token(p).times(&WhySr::token(q));
+        assert_eq!(joint.len(), 1);
+        let alt = WhySr::token(p).plus(&WhySr::token(q));
+        assert_eq!(alt.len(), 2);
+        // (p ∨ q)·p = {p} ∪ {p,q} — two witnesses, one minimal.
+        let m = alt.times(&WhySr::token(p));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn trop_picks_min_cost() {
+        let cheap = TropSr::cost(2);
+        let pricey = TropSr::cost(9);
+        assert_eq!(cheap.plus(&pricey), cheap);
+        assert_eq!(cheap.times(&pricey), TropSr::cost(11));
+        assert_eq!(TropSr::INF.plus(&cheap), cheap);
+        assert!(TropSr::INF.is_zero());
+    }
+
+    #[test]
+    fn poly_tokens_and_constants() {
+        assert!(Poly::constant(0).is_empty());
+        let x = Token(3);
+        let p = Poly::token(x).plus(&Poly::constant(4));
+        assert_eq!(p.tokens(), BTreeSet::from([x]));
+        assert_eq!(Poly::constant(7).tokens(), BTreeSet::new());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: the §9 connection and ℕ[X] universality on random
+//! inputs.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ipdb_logic::Var;
+use ipdb_provenance::connection::conditions_match_provenance;
+use ipdb_provenance::hom::universality_sides;
+use ipdb_provenance::{KRelation, NatSr, Poly, Token, TropSr};
+use ipdb_rel::strategies::{arb_instance, arb_query_with_arity};
+use ipdb_rel::{Domain, Fragment};
+use ipdb_tables::strategies::arb_boolean_ctable;
+use ipdb_tables::RepresentationSystem;
+
+const NVARS: u32 = 3;
+
+fn bool_doms() -> BTreeMap<Var, Domain> {
+    (0..NVARS).map(|i| (Var(i), Domain::bools())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §9: c-table-algebra conditions ≡ PosBool provenance, on random
+    /// boolean c-tables and random positive (SPJU) queries.
+    #[test]
+    fn section9_holds_on_random_inputs(
+        t in arb_boolean_ctable(2, 3, NVARS, 2),
+        q in arb_query_with_arity(2, 2, 2, Fragment::SPJU, 2)
+    ) {
+        let mismatch =
+            conditions_match_provenance(t.as_ctable(), &q, &bool_doms()).unwrap();
+        prop_assert_eq!(mismatch, None);
+    }
+
+    /// §9 with intersection as well (still positive).
+    #[test]
+    fn section9_holds_with_intersection(
+        t in arb_boolean_ctable(1, 3, NVARS, 2),
+        extra in arb_instance(1, 2, 2)
+    ) {
+        let q = ipdb_rel::Query::intersect(
+            ipdb_rel::Query::Input,
+            ipdb_rel::Query::Lit(extra),
+        );
+        let mismatch =
+            conditions_match_provenance(t.as_ctable(), &q, &bool_doms()).unwrap();
+        prop_assert_eq!(mismatch, None);
+    }
+
+    /// ℕ[X] universality for counting and min-cost semantics on random
+    /// positive queries.
+    #[test]
+    fn universality_on_random_queries(
+        base in arb_instance(2, 4, 2),
+        q in arb_query_with_arity(2, 2, 2, Fragment::SPJU, 2),
+        costs in proptest::collection::vec(0u64..10, 4)
+    ) {
+        // Annotate each base tuple with a token.
+        let tokens: Vec<Token> = (0..base.len() as u32).map(Token).collect();
+        let annotated = KRelation::from_annotated(
+            2,
+            base.iter().cloned().zip(tokens.iter().map(|t| Poly::token(*t))),
+        )
+        .unwrap();
+
+        let nat_assign: BTreeMap<Token, NatSr> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, NatSr(1 + (i as u64 % 3))))
+            .collect();
+        let (a, b) = universality_sides(&q, &annotated, &nat_assign).unwrap();
+        prop_assert_eq!(a, b);
+
+        let trop_assign: BTreeMap<Token, TropSr> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, TropSr::cost(costs[i % costs.len()])))
+            .collect();
+        let (a, b) = universality_sides(&q, &annotated, &trop_assign).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Bool specialization of provenance agrees with plain set-semantics
+    /// evaluation (support check).
+    #[test]
+    fn bool_specialization_matches_set_semantics(
+        base in arb_instance(2, 4, 2),
+        q in arb_query_with_arity(2, 2, 2, Fragment::SPJU, 2)
+    ) {
+        let annotated: KRelation<ipdb_provenance::BoolSr> =
+            KRelation::from_instance(&base);
+        let out = ipdb_provenance::eval(&q, &annotated).unwrap();
+        prop_assert_eq!(out.support(), q.eval(&base).unwrap());
+    }
+
+    /// Sanity: worlds of the boolean c-tables used above stay consistent
+    /// with their PosBool annotations (presence condition satisfiable ⇔
+    /// tuple possible).
+    #[test]
+    fn presence_condition_satisfiable_iff_possible(
+        t in arb_boolean_ctable(1, 3, NVARS, 2)
+    ) {
+        use ipdb_provenance::connection::condition_of;
+        let worlds = t.worlds().unwrap();
+        let all_tuples = worlds.possible_tuples();
+        for probe in all_tuples.iter() {
+            let c = condition_of(t.as_ctable(), probe);
+            let satisfiable = ipdb_logic::sat::satisfiable(&c, &bool_doms()).unwrap();
+            prop_assert!(satisfiable);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types shared across the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by relational operations: arity mismatches, out-of-range
+/// column references, and malformed queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// Two relations that must share an arity (union, difference,
+    /// intersection, instance insertion) do not.
+    ArityMismatch {
+        /// Arity expected by the context.
+        expected: usize,
+        /// Arity actually provided.
+        got: usize,
+    },
+    /// A predicate or projection referenced column `col` of a relation
+    /// with only `arity` columns.
+    ColumnOutOfRange {
+        /// The offending column index (0-based).
+        col: usize,
+        /// The arity of the relation being referenced.
+        arity: usize,
+    },
+    /// A constant relation literal contained tuples of differing arities.
+    RaggedLiteral,
+    /// The query references the second input relation (`W`), but was
+    /// evaluated in a single-relation context.
+    NoSecondInput,
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            RelError::ColumnOutOfRange { col, arity } => {
+                write!(f, "column {col} out of range for arity {arity}")
+            }
+            RelError::RaggedLiteral => write!(f, "relation literal has tuples of differing arity"),
+            RelError::NoSecondInput => write!(
+                f,
+                "query uses the second input relation W outside a two-relation context"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RelError::ArityMismatch {
+                expected: 2,
+                got: 3
+            }
+            .to_string(),
+            "arity mismatch: expected 2, got 3"
+        );
+        assert_eq!(
+            RelError::ColumnOutOfRange { col: 5, arity: 2 }.to_string(),
+            "column 5 out of range for arity 2"
+        );
+        assert!(RelError::RaggedLiteral.to_string().contains("literal"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Relational-algebra fragments.
+//!
+//! The paper's algebraic-completion results (Thms 5–6) are statements
+//! about *fragments* of RA: SPJU, SP, PJ, PU, S⁺P, S⁺PJ, and full RA.
+//! [`Fragment`] names a fragment by the operations it admits; a query is
+//! *in* the fragment when it uses only those operations ([`OpSet`]
+//! records what a query actually used). Every completion construction in
+//! `ipdb-core` asserts membership in the fragment its theorem claims.
+
+use std::fmt;
+
+/// How much selection a fragment admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SelectKind {
+    /// No selection at all.
+    None,
+    /// Only conjunctions of column–column equalities — the selections
+    /// implicit in natural join, admitted by the `PJ` fragment (the
+    /// paper's `J` is the unnamed-algebra equijoin `π(σ_{c=c}(×))`).
+    ColEqOnly,
+    /// Only positive selections (`S⁺`): no negation, no `≠` (Thm 6).
+    PositiveOnly,
+    /// Arbitrary selections.
+    Any,
+}
+
+/// The set of operations a query used (computed by
+/// [`crate::Query::op_set`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpSet {
+    /// Some selection appears.
+    pub select: bool,
+    /// Some selection with negation or `≠` appears.
+    pub nonpositive_select: bool,
+    /// Some selection beyond a conjunction of column equalities appears.
+    pub non_coleq_select: bool,
+    /// Projection appears.
+    pub project: bool,
+    /// Cross product (the unnamed algebra's join) appears.
+    pub product: bool,
+    /// Union appears.
+    pub union: bool,
+    /// Difference appears.
+    pub difference: bool,
+    /// Intersection appears.
+    pub intersection: bool,
+    /// A constant relation literal appears.
+    pub literal: bool,
+}
+
+impl OpSet {
+    /// Component-wise union.
+    pub fn merge(self, other: OpSet) -> OpSet {
+        OpSet {
+            select: self.select || other.select,
+            nonpositive_select: self.nonpositive_select || other.nonpositive_select,
+            non_coleq_select: self.non_coleq_select || other.non_coleq_select,
+            project: self.project || other.project,
+            product: self.product || other.product,
+            union: self.union || other.union,
+            difference: self.difference || other.difference,
+            intersection: self.intersection || other.intersection,
+            literal: self.literal || other.literal,
+        }
+    }
+}
+
+/// A named fragment of the relational algebra.
+///
+/// Constant relation literals (`{c}` singletons) are permitted in every
+/// fragment: the paper's constructions use them freely (e.g. Thm 1's
+/// `C_i := {c}`, Thm 6's appended-column tables), and \[29\]'s fragments are
+/// about *operations*, not constants.
+///
+/// ```
+/// use ipdb_rel::{Fragment, Query, Pred};
+/// // A column-equality selection is an equijoin: PJ admits it …
+/// let j = Query::project(Query::select(Query::Input, Pred::eq_cols(0, 1)), vec![0]);
+/// assert!(Fragment::SP.admits_query(&j, 2).unwrap());
+/// assert!(Fragment::PJ.admits_query(&j, 2).unwrap());
+/// // … but a constant selection needs real S.
+/// let s = Query::select(Query::Input, Pred::eq_const(0, 1));
+/// assert!(Fragment::SP.admits_query(&s, 2).unwrap());
+/// assert!(!Fragment::PJ.admits_query(&s, 2).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragment {
+    /// Human-readable name ("SPJU", "S⁺PJ", …).
+    pub name: &'static str,
+    /// Selection allowance.
+    pub select: SelectKind,
+    /// Projection allowed.
+    pub project: bool,
+    /// Cross product allowed.
+    pub product: bool,
+    /// Union allowed.
+    pub union: bool,
+    /// Difference allowed.
+    pub difference: bool,
+    /// Intersection allowed.
+    pub intersection: bool,
+}
+
+impl Fragment {
+    /// Full relational algebra.
+    pub const RA: Fragment = Fragment {
+        name: "RA",
+        select: SelectKind::Any,
+        project: true,
+        product: true,
+        union: true,
+        difference: true,
+        intersection: true,
+    };
+
+    /// Select–project–join–union (Thm 1/5.1: "we only need the SPJU
+    /// fragment").
+    pub const SPJU: Fragment = Fragment {
+        name: "SPJU",
+        select: SelectKind::Any,
+        project: true,
+        product: true,
+        union: true,
+        difference: false,
+        intersection: false,
+    };
+
+    /// Select–project (Thm 5.2: v-tables + SP are RA-complete).
+    pub const SP: Fragment = Fragment {
+        name: "SP",
+        select: SelectKind::Any,
+        project: true,
+        product: false,
+        union: false,
+        difference: false,
+        intersection: false,
+    };
+
+    /// Project–join (Thm 6.1/6.2/6.3). `J` is the natural join, i.e.
+    /// product plus column-equality selection under a projection.
+    pub const PJ: Fragment = Fragment {
+        name: "PJ",
+        select: SelectKind::ColEqOnly,
+        project: true,
+        product: true,
+        union: false,
+        difference: false,
+        intersection: false,
+    };
+
+    /// Project–union (Thm 6.3).
+    pub const PU: Fragment = Fragment {
+        name: "PU",
+        select: SelectKind::None,
+        project: true,
+        product: false,
+        union: true,
+        difference: false,
+        intersection: false,
+    };
+
+    /// Positive-select–project (Thm 6.2).
+    pub const S_PLUS_P: Fragment = Fragment {
+        name: "S⁺P",
+        select: SelectKind::PositiveOnly,
+        project: true,
+        product: false,
+        union: false,
+        difference: false,
+        intersection: false,
+    };
+
+    /// Positive-select–project–join (Thm 6.4, and the query in the proof
+    /// of Thm 6.1).
+    pub const S_PLUS_PJ: Fragment = Fragment {
+        name: "S⁺PJ",
+        select: SelectKind::PositiveOnly,
+        project: true,
+        product: true,
+        union: false,
+        difference: false,
+        intersection: false,
+    };
+
+    /// Whether a computed [`OpSet`] fits this fragment.
+    pub fn admits(&self, ops: OpSet) -> bool {
+        let select_ok = match self.select {
+            SelectKind::None => !ops.select,
+            SelectKind::ColEqOnly => !ops.non_coleq_select,
+            SelectKind::PositiveOnly => !ops.nonpositive_select,
+            SelectKind::Any => true,
+        };
+        select_ok
+            && (self.project || !ops.project)
+            && (self.product || !ops.product)
+            && (self.union || !ops.union)
+            && (self.difference || !ops.difference)
+            && (self.intersection || !ops.intersection)
+    }
+
+    /// Whether the query (validated at `input_arity`) lies in this
+    /// fragment.
+    pub fn admits_query(
+        &self,
+        q: &crate::Query,
+        input_arity: usize,
+    ) -> Result<bool, crate::RelError> {
+        q.arity(input_arity)?; // validate first so OpSet is meaningful
+        Ok(self.admits(q.op_set()))
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pred, Query};
+
+    #[test]
+    fn opset_merge() {
+        let a = OpSet {
+            select: true,
+            ..OpSet::default()
+        };
+        let b = OpSet {
+            union: true,
+            ..OpSet::default()
+        };
+        let m = a.merge(b);
+        assert!(m.select && m.union && !m.project);
+    }
+
+    #[test]
+    fn fragments_admit_expected_ops() {
+        let sel = OpSet {
+            select: true,
+            non_coleq_select: true,
+            ..OpSet::default()
+        };
+        assert!(Fragment::SP.admits(sel));
+        assert!(!Fragment::PJ.admits(sel));
+        // Column-equality selections (the equijoin of `J`) stay inside PJ.
+        let equijoin_sel = OpSet {
+            select: true,
+            ..OpSet::default()
+        };
+        assert!(Fragment::PJ.admits(equijoin_sel));
+        assert!(!Fragment::PU.admits(equijoin_sel));
+
+        let neg_sel = OpSet {
+            select: true,
+            nonpositive_select: true,
+            ..OpSet::default()
+        };
+        assert!(Fragment::SP.admits(neg_sel));
+        assert!(!Fragment::S_PLUS_P.admits(neg_sel));
+        assert!(Fragment::S_PLUS_P.admits(sel));
+
+        let diff = OpSet {
+            difference: true,
+            ..OpSet::default()
+        };
+        assert!(Fragment::RA.admits(diff));
+        assert!(!Fragment::SPJU.admits(diff));
+    }
+
+    #[test]
+    fn admits_query_end_to_end() {
+        let q = Query::union(
+            Query::project(Query::Input, vec![0]),
+            Query::project(Query::Input, vec![1]),
+        );
+        assert!(Fragment::PU.admits_query(&q, 2).unwrap());
+        assert!(!Fragment::PJ.admits_query(&q, 2).unwrap());
+        assert!(Fragment::RA.admits_query(&q, 2).unwrap());
+        // An equijoin is a PJ query; a constant selection is not.
+        let equijoin = Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::Input),
+                Pred::eq_cols(1, 2),
+            ),
+            vec![0, 3],
+        );
+        assert!(Fragment::PJ.admits_query(&equijoin, 2).unwrap());
+        let const_sel = Query::select(Query::Input, Pred::eq_const(0, 1));
+        assert!(!Fragment::PJ.admits_query(&const_sel, 2).unwrap());
+        assert!(Fragment::S_PLUS_P.admits_query(&const_sel, 2).unwrap());
+    }
+
+    #[test]
+    fn positive_selection_distinction() {
+        let pos = Query::select(Query::Input, Pred::eq_cols(0, 1));
+        let neg = Query::select(Query::Input, Pred::neq_cols(0, 1));
+        assert!(Fragment::S_PLUS_PJ.admits_query(&pos, 2).unwrap());
+        assert!(!Fragment::S_PLUS_PJ.admits_query(&neg, 2).unwrap());
+        assert!(Fragment::SPJU.admits_query(&neg, 2).unwrap());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Fragment::S_PLUS_PJ.to_string(), "S⁺PJ");
+        assert_eq!(Fragment::RA.to_string(), "RA");
+    }
+}

@@ -1,0 +1,309 @@
+//! Finite incomplete databases: sets of possible worlds.
+//!
+//! Definition 1 of the paper: an incomplete database (*i-database*) is a
+//! set of conventional instances `I ⊆ N`. Because the paper's domain `D`
+//! is infinite, i-databases can be infinite; every *executable* artifact
+//! in the paper, however, manipulates finite ones (finite-domain tables,
+//! all of §3's finite systems, Thm 3, Thms 5–8). [`IDatabase`] is that
+//! finite object. Infinite i-databases are handled symbolically by
+//! `ipdb-tables` (c-tables) and compared on finite domain slices.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::RelError;
+use crate::instance::Instance;
+use crate::tuple::Tuple;
+use crate::value::Domain;
+
+/// A finite set of possible worlds, all of the same arity.
+///
+/// ```
+/// use ipdb_rel::{instance, IDatabase};
+/// let db = IDatabase::from_instances(2, [instance![[1, 2]], instance![[2, 1]]]).unwrap();
+/// assert_eq!(db.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IDatabase {
+    arity: usize,
+    instances: BTreeSet<Instance>,
+}
+
+impl IDatabase {
+    /// The empty i-database (no possible worlds at all) of a given arity.
+    ///
+    /// Note this is *not* "zero information" — an i-database with no
+    /// worlds is unsatisfiable. The zero-information database is
+    /// [`IDatabase::all_instances_over`] in the finite-slice setting.
+    pub fn empty(arity: usize) -> Self {
+        IDatabase {
+            arity,
+            instances: BTreeSet::new(),
+        }
+    }
+
+    /// A complete database: exactly one possible world.
+    pub fn single(world: Instance) -> Self {
+        let arity = world.arity();
+        let mut instances = BTreeSet::new();
+        instances.insert(world);
+        IDatabase { arity, instances }
+    }
+
+    /// Builds an i-database from worlds, checking arities agree.
+    pub fn from_instances<I>(arity: usize, worlds: I) -> Result<Self, RelError>
+    where
+        I: IntoIterator<Item = Instance>,
+    {
+        let mut db = IDatabase::empty(arity);
+        for w in worlds {
+            db.insert(w)?;
+        }
+        Ok(db)
+    }
+
+    /// Adds a possible world. Returns whether it was new.
+    pub fn insert(&mut self, world: Instance) -> Result<bool, RelError> {
+        if world.arity() != self.arity {
+            return Err(RelError::ArityMismatch {
+                expected: self.arity,
+                got: world.arity(),
+            });
+        }
+        Ok(self.instances.insert(world))
+    }
+
+    /// Arity shared by all worlds.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of possible worlds.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether there are no possible worlds.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Membership test for a world.
+    pub fn contains(&self, world: &Instance) -> bool {
+        self.instances.contains(world)
+    }
+
+    /// Iterates over the worlds in canonical order.
+    pub fn iter(&self) -> std::collections::btree_set::Iter<'_, Instance> {
+        self.instances.iter()
+    }
+
+    /// The worlds as a set.
+    pub fn instances(&self) -> &BTreeSet<Instance> {
+        &self.instances
+    }
+
+    /// Tuples present in *every* world — the certain answers `⋂ I`.
+    ///
+    /// Returns the empty instance when there are no worlds.
+    pub fn certain_tuples(&self) -> Instance {
+        let mut iter = self.instances.iter();
+        let Some(first) = iter.next() else {
+            return Instance::empty(self.arity);
+        };
+        let mut acc = first.clone();
+        for w in iter {
+            acc = acc.intersect(w).expect("worlds share arity");
+        }
+        acc
+    }
+
+    /// Tuples present in *some* world — the possible answers `⋃ I`.
+    pub fn possible_tuples(&self) -> Instance {
+        let mut acc = Instance::empty(self.arity);
+        for w in &self.instances {
+            acc = acc.union(w).expect("worlds share arity");
+        }
+        acc
+    }
+
+    /// Whether tuple `t` occurs in every world.
+    pub fn is_certain(&self, t: &Tuple) -> bool {
+        !self.instances.is_empty() && self.instances.iter().all(|w| w.contains(t))
+    }
+
+    /// Whether tuple `t` occurs in at least one world.
+    pub fn is_possible(&self, t: &Tuple) -> bool {
+        self.instances.iter().any(|w| w.contains(t))
+    }
+
+    /// Union of all worlds' active domains.
+    pub fn active_domain(&self) -> Domain {
+        let mut d = Domain::empty();
+        for w in &self.instances {
+            d = d.union(&w.active_domain());
+        }
+        d
+    }
+
+    /// The semantic `Z_k` of the paper restricted to a finite domain
+    /// slice: all one-tuple relations `{t}` with `t ∈ dom^k` (§3,
+    /// "Zk consists of all the one-tuple relations of arity k").
+    pub fn z_k_over(dom: &Domain, k: usize) -> IDatabase {
+        let mut db = IDatabase::empty(k);
+        for t in Instance::full_relation(dom, k).iter() {
+            db.instances.insert(Instance::singleton(t.clone()));
+        }
+        db
+    }
+
+    /// The finite slice of the zero-information database `N`: every
+    /// instance over `dom` of the given arity with at most `max_card`
+    /// tuples.
+    ///
+    /// The count is `Σ_{i≤max_card} C(|dom|^arity, i)`; callers keep the
+    /// parameters tiny. Used to exercise Prop. 4 (`q(N) = Z_n`).
+    pub fn all_instances_over(dom: &Domain, arity: usize, max_card: usize) -> IDatabase {
+        let all_tuples: Vec<Tuple> = Instance::full_relation(dom, arity)
+            .iter()
+            .cloned()
+            .collect();
+        let mut db = IDatabase::empty(arity);
+        // Enumerate subsets of size ≤ max_card via a stack of (start, chosen).
+        let mut chosen: Vec<usize> = Vec::new();
+        fn rec(
+            all: &[Tuple],
+            start: usize,
+            chosen: &mut Vec<usize>,
+            max_card: usize,
+            arity: usize,
+            out: &mut BTreeSet<Instance>,
+        ) {
+            let inst = Instance::from_tuples(arity, chosen.iter().map(|&i| all[i].clone()))
+                .expect("tuples share arity");
+            out.insert(inst);
+            if chosen.len() == max_card {
+                return;
+            }
+            for i in start..all.len() {
+                chosen.push(i);
+                rec(all, i + 1, chosen, max_card, arity, out);
+                chosen.pop();
+            }
+        }
+        rec(
+            &all_tuples,
+            0,
+            &mut chosen,
+            max_card,
+            arity,
+            &mut db.instances,
+        );
+        db
+    }
+
+    /// Applies `f` to every world, collecting the images (the direct-image
+    /// construction `q(I) = { q(I) | I ∈ I }` used by Def. 3/7/8).
+    pub fn map_worlds<F>(&self, mut f: F) -> Result<IDatabase, RelError>
+    where
+        F: FnMut(&Instance) -> Result<Instance, RelError>,
+    {
+        let mut worlds: Vec<Instance> = Vec::with_capacity(self.instances.len());
+        for w in &self.instances {
+            worlds.push(f(w)?);
+        }
+        let arity = worlds.first().map_or(self.arity, Instance::arity);
+        IDatabase::from_instances(arity, worlds)
+    }
+}
+
+impl fmt::Display for IDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{ // {} worlds", self.instances.len())?;
+        for w in &self.instances {
+            writeln!(f, "  {w}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instance, tuple};
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut db = IDatabase::empty(2);
+        assert!(db.insert(instance![[1, 2]]).unwrap());
+        assert!(!db.insert(instance![[1, 2]]).unwrap());
+        assert!(db.insert(instance![[1]]).is_err());
+    }
+
+    #[test]
+    fn certain_and_possible() {
+        let db = IDatabase::from_instances(1, [instance![[1], [2]], instance![[1], [3]]]).unwrap();
+        assert_eq!(db.certain_tuples(), instance![[1]]);
+        assert_eq!(db.possible_tuples(), instance![[1], [2], [3]]);
+        assert!(db.is_certain(&tuple![1]));
+        assert!(!db.is_certain(&tuple![2]));
+        assert!(db.is_possible(&tuple![3]));
+        assert!(!db.is_possible(&tuple![4]));
+    }
+
+    #[test]
+    fn certain_of_empty_db() {
+        let db = IDatabase::empty(1);
+        assert!(db.certain_tuples().is_empty());
+        assert!(!db.is_certain(&tuple![1]));
+    }
+
+    #[test]
+    fn z_k_over_counts() {
+        let d = Domain::ints(1..=3);
+        let z2 = IDatabase::z_k_over(&d, 2);
+        assert_eq!(z2.len(), 9); // 3^2 one-tuple relations
+        for w in z2.iter() {
+            assert_eq!(w.len(), 1);
+        }
+    }
+
+    #[test]
+    fn all_instances_over_counts() {
+        let d = Domain::ints(1..=2);
+        // 2^1 = 2 tuples of arity 1; instances of card ≤ 2: {} {1} {2} {1,2} = 4.
+        let n = IDatabase::all_instances_over(&d, 1, 2);
+        assert_eq!(n.len(), 4);
+        // Cardinality cap respected.
+        let n1 = IDatabase::all_instances_over(&d, 1, 1);
+        assert_eq!(n1.len(), 3);
+    }
+
+    #[test]
+    fn map_worlds_projects() {
+        let db = IDatabase::from_instances(2, [instance![[1, 2]], instance![[3, 4]]]).unwrap();
+        let projected = db.map_worlds(|w| w.project(&[0])).unwrap();
+        assert_eq!(projected.arity(), 1);
+        assert_eq!(projected.len(), 2);
+    }
+
+    #[test]
+    fn map_worlds_can_merge_distinct_worlds() {
+        let db = IDatabase::from_instances(2, [instance![[1, 2]], instance![[1, 3]]]).unwrap();
+        let projected = db.map_worlds(|w| w.project(&[0])).unwrap();
+        assert_eq!(projected.len(), 1); // both worlds project to {(1)}
+    }
+
+    #[test]
+    fn active_domain_unions_worlds() {
+        let db = IDatabase::from_instances(1, [instance![[1]], instance![[7]]]).unwrap();
+        assert_eq!(db.active_domain(), Domain::new([1i64, 7]));
+    }
+
+    #[test]
+    fn display_lists_worlds() {
+        let db = IDatabase::single(instance![[1]]);
+        let s = db.to_string();
+        assert!(s.contains("1 worlds") && s.contains("(1)"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Conventional instances: finite `n`-ary relations over `D`.
+//!
+//! An [`Instance`] is an element of `N = { I | I ⊆ Dⁿ, I finite }` —
+//! the "complete information" databases of the paper (§2). Tuples are
+//! stored in a `BTreeSet` so two instances are `==` exactly when they
+//! denote the same relation, which is what every theorem check relies on.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::RelError;
+use crate::tuple::Tuple;
+use crate::value::{Domain, Value};
+
+/// A finite relation of fixed arity: one conventional possible world.
+///
+/// ```
+/// use ipdb_rel::{tuple, Instance};
+/// let i = Instance::from_tuples(2, [tuple![1, 2], tuple![3, 4]]).unwrap();
+/// assert_eq!(i.len(), 2);
+/// assert!(i.contains(&tuple![1, 2]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instance {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Instance {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Instance {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Builds an instance from tuples, checking that each has arity
+    /// `arity`.
+    pub fn from_tuples<I>(arity: usize, tuples: I) -> Result<Self, RelError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut inst = Instance::empty(arity);
+        for t in tuples {
+            inst.insert(t)?;
+        }
+        Ok(inst)
+    }
+
+    /// Builds an instance from rows of raw values (each row must have the
+    /// same length, which becomes the arity).
+    ///
+    /// Convenient for transcribing the paper's examples.
+    pub fn from_rows<R, V>(
+        arity: usize,
+        rows: impl IntoIterator<Item = R>,
+    ) -> Result<Self, RelError>
+    where
+        R: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Instance::from_tuples(arity, rows.into_iter().map(Tuple::new))
+    }
+
+    /// The singleton instance `{t}`; its arity is `t.arity()`.
+    pub fn singleton(t: Tuple) -> Self {
+        let arity = t.arity();
+        let mut tuples = BTreeSet::new();
+        tuples.insert(t);
+        Instance { arity, tuples }
+    }
+
+    /// Arity `n` of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Inserts a tuple, checking its arity. Returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, RelError> {
+        if t.arity() != self.arity {
+            return Err(RelError::ArityMismatch {
+                expected: self.arity,
+                got: t.arity(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Iterates over the tuples in canonical order.
+    pub fn iter(&self) -> std::collections::btree_set::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a set.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    /// `self ∪ other` (arities must match).
+    pub fn union(&self, other: &Instance) -> Result<Instance, RelError> {
+        self.check_arity(other)?;
+        Ok(Instance {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// `self ∩ other` (arities must match).
+    pub fn intersect(&self, other: &Instance) -> Result<Instance, RelError> {
+        self.check_arity(other)?;
+        Ok(Instance {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// `self − other` (arities must match).
+    pub fn difference(&self, other: &Instance) -> Result<Instance, RelError> {
+        self.check_arity(other)?;
+        Ok(Instance {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Cross product `self × other`; arity is the sum of arities.
+    pub fn product(&self, other: &Instance) -> Instance {
+        let mut out = Instance::empty(self.arity + other.arity);
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                out.tuples.insert(t1.concat(t2));
+            }
+        }
+        out
+    }
+
+    /// Projection `π_cols(self)`; columns may repeat and reorder.
+    pub fn project(&self, cols: &[usize]) -> Result<Instance, RelError> {
+        for &c in cols {
+            if c >= self.arity {
+                return Err(RelError::ColumnOutOfRange {
+                    col: c,
+                    arity: self.arity,
+                });
+            }
+        }
+        let mut out = Instance::empty(cols.len());
+        for t in &self.tuples {
+            // Indexes were checked above, so projection cannot fail.
+            out.tuples.insert(t.project(cols).expect("checked cols"));
+        }
+        Ok(out)
+    }
+
+    /// All values appearing in any tuple — the *active domain*, the seed
+    /// of the finite domain slices used to enumerate infinite-domain
+    /// tables.
+    pub fn active_domain(&self) -> Domain {
+        Domain::new(self.tuples.iter().flat_map(|t| t.iter().cloned()))
+    }
+
+    /// All tuples of arity `arity` over `dom` — the finite slice of `Dⁿ`.
+    ///
+    /// There are `|dom|^arity` of them; callers keep parameters small.
+    pub fn full_relation(dom: &Domain, arity: usize) -> Instance {
+        let mut out = Instance::empty(arity);
+        let n = dom.len();
+        if arity == 0 {
+            out.tuples.insert(Tuple::empty());
+            return out;
+        }
+        if n == 0 {
+            return out;
+        }
+        // Odometer over dom^arity.
+        let mut idx = vec![0usize; arity];
+        loop {
+            out.tuples
+                .insert(Tuple::new(idx.iter().map(|&i| dom.values()[i].clone())));
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    return out;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < n {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+
+    fn check_arity(&self, other: &Instance) -> Result<(), RelError> {
+        if self.arity != other.arity {
+            return Err(RelError::ArityMismatch {
+                expected: self.arity,
+                got: other.arity,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builds an [`Instance`] from rows: `instance![\[1, 2\], \[3, 4\]]`.
+///
+/// The arity is taken from the first row; all rows must agree (checked at
+/// runtime). `instance![arity = 2;]` builds an empty instance of a given
+/// arity.
+///
+/// ```
+/// use ipdb_rel::instance;
+/// let i = instance![[1, 2], [3, 4]];
+/// assert_eq!(i.arity(), 2);
+/// let e = instance![arity = 3;];
+/// assert!(e.is_empty());
+/// ```
+#[macro_export]
+macro_rules! instance {
+    (arity = $a:expr ;) => {
+        $crate::Instance::empty($a)
+    };
+    ($([$($v:expr),* $(,)?]),+ $(,)?) => {{
+        let rows = vec![$($crate::Tuple::new([$($crate::Value::from($v)),*])),+];
+        let arity = rows[0].arity();
+        $crate::Instance::from_tuples(arity, rows).expect("instance! rows must share an arity")
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn construction_checks_arity() {
+        let err = Instance::from_tuples(2, [tuple![1, 2], tuple![1]]).unwrap_err();
+        assert_eq!(
+            err,
+            RelError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let i = Instance::from_tuples(1, [tuple![1], tuple![1]]).unwrap();
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = instance![[1], [2]];
+        let b = instance![[2], [3]];
+        assert_eq!(a.union(&b).unwrap(), instance![[1], [2], [3]]);
+        assert_eq!(a.intersect(&b).unwrap(), instance![[2]]);
+        assert_eq!(a.difference(&b).unwrap(), instance![[1]]);
+        let c = instance![[1, 2]];
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn product_concatenates() {
+        let a = instance![[1], [2]];
+        let b = instance![[10, 20]];
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p, instance![[1, 10, 20], [2, 10, 20]]);
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let a = instance![[1]];
+        let e = Instance::empty(2);
+        assert!(a.product(&e).is_empty());
+        assert_eq!(a.product(&e).arity(), 3);
+    }
+
+    #[test]
+    fn projection() {
+        let i = instance![[1, 2], [3, 4]];
+        assert_eq!(i.project(&[1]).unwrap(), instance![[2], [4]]);
+        assert_eq!(i.project(&[1, 0]).unwrap(), instance![[2, 1], [4, 3]]);
+        assert!(i.project(&[2]).is_err());
+        // Projecting to zero columns yields the 0-ary "true" relation when
+        // the input is non-empty.
+        let z = i.project(&[]).unwrap();
+        assert_eq!(z.arity(), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn projection_merges_duplicates() {
+        let i = instance![[1, 9], [1, 8]];
+        assert_eq!(i.project(&[0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn active_domain() {
+        let i = instance![[1, 2], [2, 3]];
+        assert_eq!(i.active_domain(), Domain::ints(1..=3));
+    }
+
+    #[test]
+    fn full_relation_counts() {
+        let d = Domain::ints(1..=3);
+        assert_eq!(Instance::full_relation(&d, 2).len(), 9);
+        assert_eq!(Instance::full_relation(&d, 0).len(), 1);
+        assert_eq!(Instance::full_relation(&Domain::empty(), 2).len(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(instance![[1, 2]].to_string(), "{(1, 2)}");
+        assert_eq!(Instance::empty(1).to_string(), "{}");
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Instance::singleton(tuple![5, 6]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # `ipdb-rel` — the conventional relational substrate
+//!
+//! Green & Tannen (EDBT 2006, §2) formalize everything over "relational
+//! databases over a fixed countably infinite domain `D`", using the
+//! *unnamed* form of the relational algebra and a schema consisting of a
+//! single relation name of arity `n`. This crate provides exactly that
+//! substrate:
+//!
+//! * [`Value`] — elements of the domain `D` (booleans, integers, strings);
+//!   the domain is unbounded, matching the paper's countably infinite `D`.
+//! * [`Tuple`] and [`Instance`] — conventional finite `n`-ary relations,
+//!   i.e. the elements of `N = { I | I ⊆ Dⁿ, I finite }`.
+//! * [`IDatabase`] — a *finite* incomplete database (Def. 1 restricted to
+//!   finitely many possible worlds, which is what every executable check
+//!   in the paper manipulates: finite-domain tables, Thm 3, Thms 5–8, …).
+//! * [`Pred`] and [`Query`] — selection predicates and the unnamed
+//!   relational algebra (`π`, `σ`, `×`, `∪`, `−`, `∩`) with constant
+//!   relation literals (the `{c}` singletons used throughout the paper's
+//!   constructions), an evaluator, and *fragment classification* so that
+//!   completion theorems can verify their queries stay inside the claimed
+//!   fragment (SPJU, SP, PJ, PU, S⁺PJ, …).
+//!
+//! The incomplete/probabilistic layers ([`ipdb-tables`], [`ipdb-prob`])
+//! build on these types; nothing in this crate knows about variables or
+//! probabilities.
+//!
+//! [`ipdb-tables`]: https://docs.rs/ipdb-tables
+//! [`ipdb-prob`]: https://docs.rs/ipdb-prob
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fragment;
+pub mod idb;
+pub mod instance;
+pub mod pred;
+pub mod query;
+pub mod tuple;
+pub mod value;
+
+#[cfg(feature = "strategies")]
+pub mod strategies;
+
+pub use error::RelError;
+pub use fragment::{Fragment, OpSet, SelectKind};
+pub use idb::IDatabase;
+pub use instance::Instance;
+pub use pred::{CmpOp, Operand, Pred};
+pub use query::Query;
+pub use tuple::Tuple;
+pub use value::{Domain, Value};

@@ -1,0 +1,354 @@
+//! Selection predicates.
+//!
+//! The paper's selections (`σ_c`) use boolean combinations of equalities
+//! and inequalities between columns and constants — e.g. Example 4's
+//! `σ_{2=3, 4≠'2'}` and the proof of Prop. 4's `σ_{1≠n+1 ∨ … ∨ n≠2n}`.
+//! [`Pred`] is that language. Positivity (no negation, no `≠`) is tracked
+//! because Theorem 6 distinguishes the `S⁺` fragment.
+
+use std::fmt;
+
+use crate::error::RelError;
+use crate::value::Value;
+
+/// One side of a comparison: a column of the input tuple or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// 0-based column index.
+    Col(usize),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Operand {
+    /// Constant operand helper.
+    pub fn val(v: impl Into<Value>) -> Self {
+        Operand::Const(v.into())
+    }
+
+    fn eval<'a>(&'a self, t: &'a [Value]) -> Result<&'a Value, RelError> {
+        match self {
+            Operand::Col(c) => t.get(*c).ok_or(RelError::ColumnOutOfRange {
+                col: *c,
+                arity: t.len(),
+            }),
+            Operand::Const(v) => Ok(v),
+        }
+    }
+
+    fn max_col(&self) -> Option<usize> {
+        match self {
+            Operand::Col(c) => Some(*c),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // 1-based in display to match the paper's π/σ subscripts.
+            Operand::Col(c) => write!(f, "#{}", c + 1),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operator. The paper's condition language uses only equality
+/// and its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Eq => write!(f, "="),
+            CmpOp::Neq => write!(f, "≠"),
+        }
+    }
+}
+
+/// A selection predicate: boolean combination of (in)equalities between
+/// columns and constants.
+///
+/// ```
+/// use ipdb_rel::{Pred, Value};
+/// // σ_{1=2 ∧ 3≠'a'} in the paper's 1-based notation:
+/// let p = Pred::and([Pred::eq_cols(0, 1), Pred::neq_const(2, "a")]);
+/// assert!(p.eval(&[Value::from(5), Value::from(5), Value::from("b")]).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pred {
+    /// Always true (the trivial selection).
+    True,
+    /// Always false.
+    False,
+    /// `lhs op rhs`.
+    Cmp(CmpOp, Operand, Operand),
+    /// Conjunction; empty conjunction is `True`.
+    And(Vec<Pred>),
+    /// Disjunction; empty disjunction is `False`.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `#i = #j` (0-based columns).
+    pub fn eq_cols(i: usize, j: usize) -> Pred {
+        Pred::Cmp(CmpOp::Eq, Operand::Col(i), Operand::Col(j))
+    }
+
+    /// `#i ≠ #j`.
+    pub fn neq_cols(i: usize, j: usize) -> Pred {
+        Pred::Cmp(CmpOp::Neq, Operand::Col(i), Operand::Col(j))
+    }
+
+    /// `#i = v`.
+    pub fn eq_const(i: usize, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(CmpOp::Eq, Operand::Col(i), Operand::Const(v.into()))
+    }
+
+    /// `#i ≠ v`.
+    pub fn neq_const(i: usize, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(CmpOp::Neq, Operand::Col(i), Operand::Const(v.into()))
+    }
+
+    /// n-ary conjunction.
+    pub fn and(preds: impl IntoIterator<Item = Pred>) -> Pred {
+        Pred::And(preds.into_iter().collect())
+    }
+
+    /// n-ary disjunction.
+    pub fn or(preds: impl IntoIterator<Item = Pred>) -> Pred {
+        Pred::Or(preds.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(p: Pred) -> Pred {
+        Pred::Not(Box::new(p))
+    }
+
+    /// Evaluates the predicate on a tuple.
+    pub fn eval(&self, t: &[Value]) -> Result<bool, RelError> {
+        Ok(match self {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::Cmp(op, l, r) => {
+                let l = l.eval(t)?;
+                let r = r.eval(t)?;
+                match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Neq => l != r,
+                }
+            }
+            Pred::And(ps) => {
+                for p in ps {
+                    if !p.eval(t)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Pred::Or(ps) => {
+                for p in ps {
+                    if p.eval(t)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Pred::Not(p) => !p.eval(t)?,
+        })
+    }
+
+    /// Greatest column index referenced, if any.
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Pred::True | Pred::False => None,
+            Pred::Cmp(_, l, r) => match (l.max_col(), r.max_col()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().filter_map(Pred::max_col).max(),
+            Pred::Not(p) => p.max_col(),
+        }
+    }
+
+    /// Checks all column references are `< arity`.
+    pub fn validate(&self, arity: usize) -> Result<(), RelError> {
+        match self.max_col() {
+            Some(c) if c >= arity => Err(RelError::ColumnOutOfRange { col: c, arity }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether the predicate is *positive*: built from `True`, equality
+    /// atoms, `∧`, `∨` only (no `¬`, no `≠`, no `False`).
+    ///
+    /// This is the `S⁺` selection class of Theorem 6.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::Cmp(CmpOp::Eq, _, _) => true,
+            Pred::Cmp(CmpOp::Neq, _, _) => false,
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().all(Pred::is_positive),
+            Pred::Not(_) => false,
+        }
+    }
+
+    /// Whether the predicate is a conjunction of column–column
+    /// equalities (possibly `True`).
+    ///
+    /// These are the selections implicit in *natural join*: the `J` of
+    /// the unnamed algebra is `π(σ_{cols=cols}(… × …))`, so the paper's
+    /// `PJ` fragment admits exactly this selection class.
+    pub fn is_col_eq_conjunction(&self) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::Cmp(CmpOp::Eq, Operand::Col(_), Operand::Col(_)) => true,
+            Pred::And(ps) => ps.iter().all(Pred::is_col_eq_conjunction),
+            _ => false,
+        }
+    }
+
+    /// Shifts every column reference by `delta` (used when pushing a
+    /// predicate across a product).
+    pub fn shift_cols(&self, delta: usize) -> Pred {
+        match self {
+            Pred::True => Pred::True,
+            Pred::False => Pred::False,
+            Pred::Cmp(op, l, r) => {
+                let f = |o: &Operand| match o {
+                    Operand::Col(c) => Operand::Col(c + delta),
+                    Operand::Const(v) => Operand::Const(v.clone()),
+                };
+                Pred::Cmp(*op, f(l), f(r))
+            }
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.shift_cols(delta)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.shift_cols(delta)).collect()),
+            Pred::Not(p) => Pred::Not(Box::new(p.shift_cols(delta))),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::False => write!(f, "false"),
+            Pred::Cmp(op, l, r) => write!(f, "{l}{op}{r}"),
+            Pred::And(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Or(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Not(p) => write!(f, "¬{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::from(v)).collect()
+    }
+
+    #[test]
+    fn atoms_evaluate() {
+        assert!(Pred::eq_cols(0, 1).eval(&t(&[3, 3])).unwrap());
+        assert!(!Pred::eq_cols(0, 1).eval(&t(&[3, 4])).unwrap());
+        assert!(Pred::neq_cols(0, 1).eval(&t(&[3, 4])).unwrap());
+        assert!(Pred::eq_const(0, 3).eval(&t(&[3])).unwrap());
+        assert!(Pred::neq_const(0, 9).eval(&t(&[3])).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        let err = Pred::eq_cols(0, 5).eval(&t(&[1])).unwrap_err();
+        assert_eq!(err, RelError::ColumnOutOfRange { col: 5, arity: 1 });
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = Pred::and([Pred::eq_const(0, 1), Pred::neq_const(1, 2)]);
+        assert!(p.eval(&t(&[1, 3])).unwrap());
+        assert!(!p.eval(&t(&[1, 2])).unwrap());
+        let q = Pred::or([Pred::eq_const(0, 9), Pred::eq_const(1, 3)]);
+        assert!(q.eval(&t(&[1, 3])).unwrap());
+        assert!(!Pred::not(q).eval(&t(&[1, 3])).unwrap());
+        assert!(Pred::and([]).eval(&t(&[])).unwrap());
+        assert!(!Pred::or([]).eval(&t(&[])).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_does_not_mask_errors_on_taken_path() {
+        // And short-circuits on first false, so later out-of-range atoms
+        // are not touched.
+        let p = Pred::and([Pred::False, Pred::eq_cols(0, 99)]);
+        assert!(!p.eval(&t(&[1])).unwrap());
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(Pred::eq_cols(0, 1).is_positive());
+        assert!(Pred::and([Pred::eq_const(0, 1), Pred::True]).is_positive());
+        assert!(!Pred::neq_cols(0, 1).is_positive());
+        assert!(!Pred::not(Pred::eq_cols(0, 1)).is_positive());
+        assert!(!Pred::or([Pred::False]).is_positive());
+    }
+
+    #[test]
+    fn max_col_and_validate() {
+        let p = Pred::and([Pred::eq_cols(0, 3), Pred::eq_const(1, 5)]);
+        assert_eq!(p.max_col(), Some(3));
+        assert!(p.validate(4).is_ok());
+        assert!(p.validate(3).is_err());
+        assert_eq!(Pred::True.max_col(), None);
+        assert!(Pred::True.validate(0).is_ok());
+    }
+
+    #[test]
+    fn shift_cols() {
+        let p = Pred::eq_cols(0, 1).shift_cols(2);
+        assert_eq!(p, Pred::eq_cols(2, 3));
+        let q = Pred::eq_const(0, 7).shift_cols(1);
+        assert!(q.eval(&t(&[0, 7])).unwrap());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let p = Pred::and([Pred::eq_cols(1, 2), Pred::neq_const(3, 2)]);
+        assert_eq!(p.to_string(), "(#2=#3 ∧ #4≠2)");
+    }
+}

@@ -1,0 +1,448 @@
+//! The unnamed relational algebra.
+//!
+//! §2 of the paper: "We use the unnamed form of the relational algebra"
+//! over a schema with a single relation name. [`Query`] is that algebra:
+//! the input relation, constant relation literals (the `{c}` singletons
+//! appearing throughout the constructions of Thms 1/5/6 and Prop. 4),
+//! projection by index list, selection by [`Pred`], cross product, union,
+//! difference, and intersection.
+//!
+//! Queries are arity-checked ([`Query::arity`]) before evaluation, and
+//! report the operations they use ([`Query::op_set`]) so completion
+//! theorems can verify fragment claims.
+
+use std::fmt;
+
+use crate::error::RelError;
+use crate::fragment::OpSet;
+use crate::idb::IDatabase;
+use crate::instance::Instance;
+use crate::pred::Pred;
+
+/// An unnamed relational-algebra query over one input relation.
+///
+/// ```
+/// use ipdb_rel::{instance, Pred, Query};
+/// // π₁(σ_{#1=#2}(V × V))
+/// let q = Query::project(
+///     Query::select(Query::product(Query::Input, Query::Input), Pred::eq_cols(0, 2)),
+///     vec![0],
+/// );
+/// let input = instance![[1, 10], [2, 20]];
+/// assert_eq!(q.eval(&input).unwrap(), instance![[1], [2]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// The input relation `V`.
+    Input,
+    /// The second input relation `W`.
+    ///
+    /// The paper's §2 footnote ("everything we say can be easily
+    /// reformulated for arbitrary relational schemas") is needed in
+    /// earnest by the Thm 6 completion constructions, which keep a pair
+    /// of tables `(S, T)`. Queries using `Second` must be evaluated with
+    /// [`Query::eval2`]; single-relation evaluation reports
+    /// [`RelError::NoSecondInput`].
+    Second,
+    /// A constant relation (e.g. the singleton `{c}`); independent of the
+    /// input.
+    Lit(Instance),
+    /// `π_cols(q)` — projection by (repeatable, reorderable) index list.
+    Project(Vec<usize>, Box<Query>),
+    /// `σ_p(q)`.
+    Select(Pred, Box<Query>),
+    /// `q₁ × q₂`.
+    Product(Box<Query>, Box<Query>),
+    /// `q₁ ∪ q₂`.
+    Union(Box<Query>, Box<Query>),
+    /// `q₁ − q₂`.
+    Diff(Box<Query>, Box<Query>),
+    /// `q₁ ∩ q₂`.
+    Intersect(Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// `π_cols(q)`.
+    pub fn project(q: Query, cols: Vec<usize>) -> Query {
+        Query::Project(cols, Box::new(q))
+    }
+
+    /// `σ_p(q)`.
+    pub fn select(q: Query, p: Pred) -> Query {
+        Query::Select(p, Box::new(q))
+    }
+
+    /// `a × b`.
+    pub fn product(a: Query, b: Query) -> Query {
+        Query::Product(Box::new(a), Box::new(b))
+    }
+
+    /// Left-associated product of several queries; `None` if empty.
+    pub fn product_all(qs: impl IntoIterator<Item = Query>) -> Option<Query> {
+        qs.into_iter().reduce(Query::product)
+    }
+
+    /// `a ∪ b`.
+    pub fn union(a: Query, b: Query) -> Query {
+        Query::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Left-associated union of several queries; `None` if empty.
+    pub fn union_all(qs: impl IntoIterator<Item = Query>) -> Option<Query> {
+        qs.into_iter().reduce(Query::union)
+    }
+
+    /// `a − b`.
+    pub fn diff(a: Query, b: Query) -> Query {
+        Query::Diff(Box::new(a), Box::new(b))
+    }
+
+    /// `a ∩ b`.
+    pub fn intersect(a: Query, b: Query) -> Query {
+        Query::Intersect(Box::new(a), Box::new(b))
+    }
+
+    /// The constant singleton relation `{(v…)}` used as `{c}` in the
+    /// paper's constructions.
+    pub fn singleton<I, V>(values: I) -> Query
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<crate::Value>,
+    {
+        Query::Lit(Instance::singleton(crate::Tuple::new(values)))
+    }
+
+    /// Output arity given the input relation's arity; validates column
+    /// references and arity agreement along the way. Errors on queries
+    /// using [`Query::Second`] (use [`Query::arity2`]).
+    pub fn arity(&self, input_arity: usize) -> Result<usize, RelError> {
+        self.arity_impl(input_arity, None)
+    }
+
+    /// Output arity in a two-relation context (`V` of arity
+    /// `input_arity`, `W` of arity `second_arity`).
+    pub fn arity2(&self, input_arity: usize, second_arity: usize) -> Result<usize, RelError> {
+        self.arity_impl(input_arity, Some(second_arity))
+    }
+
+    fn arity_impl(&self, input_arity: usize, second: Option<usize>) -> Result<usize, RelError> {
+        match self {
+            Query::Input => Ok(input_arity),
+            Query::Second => second.ok_or(RelError::NoSecondInput),
+            Query::Lit(i) => Ok(i.arity()),
+            Query::Project(cols, q) => {
+                let a = q.arity_impl(input_arity, second)?;
+                for &c in cols {
+                    if c >= a {
+                        return Err(RelError::ColumnOutOfRange { col: c, arity: a });
+                    }
+                }
+                Ok(cols.len())
+            }
+            Query::Select(p, q) => {
+                let a = q.arity_impl(input_arity, second)?;
+                p.validate(a)?;
+                Ok(a)
+            }
+            Query::Product(a, b) => {
+                Ok(a.arity_impl(input_arity, second)? + b.arity_impl(input_arity, second)?)
+            }
+            Query::Union(a, b) | Query::Diff(a, b) | Query::Intersect(a, b) => {
+                let aa = a.arity_impl(input_arity, second)?;
+                let ab = b.arity_impl(input_arity, second)?;
+                if aa != ab {
+                    return Err(RelError::ArityMismatch {
+                        expected: aa,
+                        got: ab,
+                    });
+                }
+                Ok(aa)
+            }
+        }
+    }
+
+    /// Evaluates the query on a conventional instance. Errors on queries
+    /// using [`Query::Second`] (use [`Query::eval2`]).
+    pub fn eval(&self, input: &Instance) -> Result<Instance, RelError> {
+        self.eval_impl(input, None)
+    }
+
+    /// Evaluates in a two-relation context: `V = input`, `W = second`.
+    pub fn eval2(&self, input: &Instance, second: &Instance) -> Result<Instance, RelError> {
+        self.eval_impl(input, Some(second))
+    }
+
+    fn eval_impl(&self, input: &Instance, second: Option<&Instance>) -> Result<Instance, RelError> {
+        match self {
+            Query::Input => Ok(input.clone()),
+            Query::Second => second.cloned().ok_or(RelError::NoSecondInput),
+            Query::Lit(i) => Ok(i.clone()),
+            Query::Project(cols, q) => q.eval_impl(input, second)?.project(cols),
+            Query::Select(p, q) => {
+                let inner = q.eval_impl(input, second)?;
+                p.validate(inner.arity())?;
+                let mut out = Instance::empty(inner.arity());
+                for t in inner.iter() {
+                    if p.eval(t.values())? {
+                        out.insert(t.clone())?;
+                    }
+                }
+                Ok(out)
+            }
+            Query::Product(a, b) => Ok(a
+                .eval_impl(input, second)?
+                .product(&b.eval_impl(input, second)?)),
+            Query::Union(a, b) => a
+                .eval_impl(input, second)?
+                .union(&b.eval_impl(input, second)?),
+            Query::Diff(a, b) => a
+                .eval_impl(input, second)?
+                .difference(&b.eval_impl(input, second)?),
+            Query::Intersect(a, b) => a
+                .eval_impl(input, second)?
+                .intersect(&b.eval_impl(input, second)?),
+        }
+    }
+
+    /// Evaluates world-by-world on a finite incomplete database — the
+    /// direct image `q(I) = { q(I) | I ∈ I }` of Defs. 3/7/8.
+    pub fn eval_idb(&self, input: &IDatabase) -> Result<IDatabase, RelError> {
+        let out_arity = self.arity(input.arity())?;
+        let mut out = IDatabase::empty(out_arity);
+        for w in input.iter() {
+            out.insert(self.eval(w)?)?;
+        }
+        Ok(out)
+    }
+
+    /// The operations used by this query (for fragment checking).
+    pub fn op_set(&self) -> OpSet {
+        match self {
+            Query::Input | Query::Second => OpSet::default(),
+            Query::Lit(_) => OpSet {
+                literal: true,
+                ..OpSet::default()
+            },
+            Query::Project(_, q) => OpSet {
+                project: true,
+                ..OpSet::default()
+            }
+            .merge(q.op_set()),
+            Query::Select(p, q) => OpSet {
+                select: true,
+                nonpositive_select: !p.is_positive(),
+                non_coleq_select: !p.is_col_eq_conjunction(),
+                ..OpSet::default()
+            }
+            .merge(q.op_set()),
+            Query::Product(a, b) => OpSet {
+                product: true,
+                ..OpSet::default()
+            }
+            .merge(a.op_set())
+            .merge(b.op_set()),
+            Query::Union(a, b) => OpSet {
+                union: true,
+                ..OpSet::default()
+            }
+            .merge(a.op_set())
+            .merge(b.op_set()),
+            Query::Diff(a, b) => OpSet {
+                difference: true,
+                ..OpSet::default()
+            }
+            .merge(a.op_set())
+            .merge(b.op_set()),
+            Query::Intersect(a, b) => OpSet {
+                intersection: true,
+                ..OpSet::default()
+            }
+            .merge(a.op_set())
+            .merge(b.op_set()),
+        }
+    }
+
+    /// Number of operator nodes (size of the query tree).
+    pub fn size(&self) -> usize {
+        match self {
+            Query::Input | Query::Second | Query::Lit(_) => 1,
+            Query::Project(_, q) | Query::Select(_, q) => 1 + q.size(),
+            Query::Product(a, b)
+            | Query::Union(a, b)
+            | Query::Diff(a, b)
+            | Query::Intersect(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Whether the query mentions the input relation at all (queries that
+    /// don't are constant, e.g. the `I_i` world-builders of Thm 7).
+    pub fn uses_input(&self) -> bool {
+        match self {
+            Query::Input | Query::Second => true,
+            Query::Lit(_) => false,
+            Query::Project(_, q) | Query::Select(_, q) => q.uses_input(),
+            Query::Product(a, b)
+            | Query::Union(a, b)
+            | Query::Diff(a, b)
+            | Query::Intersect(a, b) => a.uses_input() || b.uses_input(),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Input => write!(f, "V"),
+            Query::Second => write!(f, "W"),
+            Query::Lit(i) => write!(f, "{i}"),
+            Query::Project(cols, q) => {
+                write!(f, "π")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", c + 1)?; // 1-based like the paper
+                }
+                write!(f, "({q})")
+            }
+            Query::Select(p, q) => write!(f, "σ[{p}]({q})"),
+            Query::Product(a, b) => write!(f, "({a} × {b})"),
+            Query::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            Query::Diff(a, b) => write!(f, "({a} − {b})"),
+            Query::Intersect(a, b) => write!(f, "({a} ∩ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instance, Fragment};
+
+    #[test]
+    fn input_and_literal() {
+        let i = instance![[1, 2]];
+        assert_eq!(Query::Input.eval(&i).unwrap(), i);
+        let lit = Query::singleton([9i64]);
+        assert_eq!(lit.eval(&i).unwrap(), instance![[9]]);
+        assert!(!lit.uses_input());
+        assert!(Query::Input.uses_input());
+    }
+
+    #[test]
+    fn arity_checking() {
+        let q = Query::union(Query::Input, Query::singleton([1i64]));
+        assert!(q.arity(1).is_ok());
+        assert!(q.arity(2).is_err());
+        let p = Query::project(Query::Input, vec![3]);
+        assert!(p.arity(2).is_err());
+        let s = Query::select(Query::Input, Pred::eq_cols(0, 5));
+        assert!(s.arity(2).is_err());
+    }
+
+    #[test]
+    fn select_project_product() {
+        let i = instance![[1, 10], [2, 20], [1, 30]];
+        let q = Query::project(Query::select(Query::Input, Pred::eq_const(0, 1)), vec![1]);
+        assert_eq!(q.eval(&i).unwrap(), instance![[10], [30]]);
+
+        let self_join = Query::select(
+            Query::product(Query::Input, Query::Input),
+            Pred::eq_cols(1, 2),
+        );
+        // pairs (a,b),(c,d) joined on b=c: only (1,2)⋈(2,3) matches
+        let chain = instance![[1, 2], [2, 3]];
+        let joined = self_join.eval(&chain).unwrap();
+        assert_eq!(joined, instance![[1, 2, 2, 3]]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let i = instance![[1], [2]];
+        let q = Query::diff(Query::Input, Query::singleton([1i64]));
+        assert_eq!(q.eval(&i).unwrap(), instance![[2]]);
+        let r = Query::intersect(Query::Input, Query::singleton([2i64]));
+        assert_eq!(r.eval(&i).unwrap(), instance![[2]]);
+        let u = Query::union(Query::Input, Query::singleton([3i64]));
+        assert_eq!(u.eval(&i).unwrap(), instance![[1], [2], [3]]);
+    }
+
+    #[test]
+    fn eval_idb_is_worldwise_image() {
+        let db = IDatabase::from_instances(1, [instance![[1]], instance![[2]]]).unwrap();
+        let q = Query::union(Query::Input, Query::singleton([9i64]));
+        let out = q.eval_idb(&db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&instance![[1], [9]]));
+        assert!(out.contains(&instance![[2], [9]]));
+    }
+
+    #[test]
+    fn eval_idb_merges_collapsing_worlds() {
+        let db = IDatabase::from_instances(2, [instance![[1, 2]], instance![[1, 3]]]).unwrap();
+        let q = Query::project(Query::Input, vec![0]);
+        assert_eq!(q.eval_idb(&db).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn op_set_and_fragments() {
+        let q = Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::singleton([1i64])),
+                Pred::eq_cols(0, 1),
+            ),
+            vec![0],
+        );
+        let ops = q.op_set();
+        assert!(ops.select && ops.project && ops.product && ops.literal);
+        assert!(!ops.union && !ops.difference);
+        assert!(Fragment::SPJU.admits(ops));
+        assert!(Fragment::S_PLUS_PJ.admits(ops));
+        assert!(!Fragment::SP.admits(ops));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let q = Query::union(Query::Input, Query::Input);
+        assert_eq!(q.size(), 3);
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        let q = Query::project(Query::select(Query::Input, Pred::eq_cols(1, 2)), vec![0, 2]);
+        assert_eq!(q.to_string(), "π1,3(σ[#2=#3](V))");
+    }
+
+    #[test]
+    fn paper_example4_query_shape() {
+        // q(V) := π123({1}×{2}×V) ∪ π123(σ_{2=3,4≠'2'}({3}×V)) ∪ π512(σ_{3≠'1',3≠4}({4}×{5}×V))
+        // Just check it type-checks at input arity 3 with output arity 3.
+        let part1 = Query::project(
+            Query::product(
+                Query::product(Query::singleton([1i64]), Query::singleton([2i64])),
+                Query::Input,
+            ),
+            vec![0, 1, 2],
+        );
+        let part2 = Query::project(
+            Query::select(
+                Query::product(Query::singleton([3i64]), Query::Input),
+                Pred::and([Pred::eq_cols(1, 2), Pred::neq_const(3, 2)]),
+            ),
+            vec![0, 1, 2],
+        );
+        let part3 = Query::project(
+            Query::select(
+                Query::product(
+                    Query::product(Query::singleton([4i64]), Query::singleton([5i64])),
+                    Query::Input,
+                ),
+                Pred::and([Pred::neq_const(2, 1), Pred::neq_cols(2, 3)]),
+            ),
+            vec![4, 0, 1],
+        );
+        let q = Query::union_all([part1, part2, part3]).unwrap();
+        assert_eq!(q.arity(3).unwrap(), 3);
+        assert!(Fragment::SPJU.admits_query(&q, 3).unwrap());
+    }
+}

@@ -1,0 +1,200 @@
+//! Conventional tuples: rows of constants.
+//!
+//! A [`Tuple`] is an element of `Dⁿ` — a fixed-arity row of [`Value`]s.
+//! Tuples are ordered lexicographically (inheriting the total order on
+//! values) so that instances can be kept canonical.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A row of constants; an element of `Dⁿ` for `n = self.arity()`.
+///
+/// ```
+/// use ipdb_rel::{tuple, Tuple, Value};
+/// let t = tuple![1, "a", true];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], Value::from("a"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Builds a tuple from its component values.
+    pub fn new<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple(values.into_iter().map(Into::into).collect())
+    }
+
+    /// The empty (0-ary) tuple — the single element of `D⁰`, used by
+    /// boolean-valued queries.
+    pub const fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The component values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Component at `i`, or `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Concatenation `t₁ × t₂` used by the cross product.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Projection `π_cols(t)`; `cols` may repeat and reorder components
+    /// (the paper's unnamed projection is an index list, e.g. `π₅₁₂`).
+    ///
+    /// Returns `None` if any index is out of range.
+    pub fn project(&self, cols: &[usize]) -> Option<Tuple> {
+        let mut v = Vec::with_capacity(cols.len());
+        for &c in cols {
+            v.push(self.0.get(c)?.clone());
+        }
+        Some(Tuple(v))
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Builds a [`Tuple`] from a comma-separated list of values convertible
+/// into [`Value`].
+///
+/// ```
+/// use ipdb_rel::tuple;
+/// let t = tuple![1, 2, "phys"];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new([$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1, "a", true];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::from(1));
+        assert_eq!(t.get(2), Some(&Value::from(true)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.to_string(), "()");
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let t = tuple![1, 2].concat(&tuple![3]);
+        assert_eq!(t, tuple![1, 2, 3]);
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.project(&[2, 0, 0]), Some(tuple![30, 10, 10]));
+        assert_eq!(t.project(&[]), Some(Tuple::empty()));
+        assert_eq!(t.project(&[3]), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, 'a')");
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(tuple![1, 2] < tuple![1, 3]);
+        assert!(tuple![1] < tuple![1, 0]);
+    }
+
+    #[test]
+    fn from_iterators() {
+        let t: Tuple = (1..=3).map(|i| i as i64).collect();
+        assert_eq!(t, tuple![1, 2, 3]);
+        let vals = t.clone().into_values();
+        assert_eq!(Tuple::from(vals), t);
+    }
+}

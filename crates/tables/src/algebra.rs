@@ -1,0 +1,490 @@
+//! The c-table algebra `q̄` (Imieliński–Lipski; paper Theorem 4).
+//!
+//! For each relational operation `u` there is an operation `ū` on
+//! c-tables such that (Lemma 1) `ν(q̄(T)) = q(ν(T))` for every valuation
+//! `ν`, hence `Mod(q̄(T)) = q(Mod(T))`: c-tables are **closed** under the
+//! full relational algebra. The definitions implemented here are the ones
+//! the paper spells out in the proof of Theorem 4:
+//!
+//! * projection merges coinciding projected rows by disjoining their
+//!   conditions;
+//! * selection conjoins `c(t)` — the selection predicate instantiated on
+//!   the row's *terms* — onto the row condition;
+//! * cross product / union combine rows pairwise / by concatenation;
+//! * difference ("handled similarly") conjoins, for every row `s` of the
+//!   subtrahend, `¬ψ_s ∨ t ≠ s`, where `t ≠ s` is the disjunction of
+//!   component-wise inequalities; intersection is the dual.
+//!
+//! Lemma 1 is enforced by property tests (`strategies` module and the
+//! crate's integration tests).
+
+use std::collections::BTreeMap;
+
+use ipdb_logic::Condition;
+use ipdb_logic::Term;
+use ipdb_rel::{CmpOp, Instance, Operand, Pred, Query, RelError};
+
+use crate::ctable::{CRow, CTable};
+use crate::error::TableError;
+
+/// Instantiates a selection predicate on a row of terms, producing the
+/// condition `c(t)` of the paper's `σ̄`: column references become the
+/// row's terms, comparisons become condition atoms.
+///
+/// For ground rows this folds to `true`/`false`; for rows with variables
+/// it is "in general a boolean formula on constants and variables"
+/// (paper, proof of Thm 4).
+pub fn pred_on_terms(pred: &Pred, tuple: &[Term]) -> Result<Condition, TableError> {
+    let operand = |o: &Operand| -> Result<Term, TableError> {
+        match o {
+            Operand::Col(c) => {
+                tuple
+                    .get(*c)
+                    .cloned()
+                    .ok_or(TableError::Rel(RelError::ColumnOutOfRange {
+                        col: *c,
+                        arity: tuple.len(),
+                    }))
+            }
+            Operand::Const(v) => Ok(Term::Const(v.clone())),
+        }
+    };
+    Ok(match pred {
+        Pred::True => Condition::True,
+        Pred::False => Condition::False,
+        Pred::Cmp(op, l, r) => {
+            let (l, r) = (operand(l)?, operand(r)?);
+            match op {
+                CmpOp::Eq => Condition::eq(l, r),
+                CmpOp::Neq => Condition::neq(l, r),
+            }
+        }
+        Pred::And(ps) => Condition::and(
+            ps.iter()
+                .map(|p| pred_on_terms(p, tuple))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Pred::Or(ps) => Condition::or(
+            ps.iter()
+                .map(|p| pred_on_terms(p, tuple))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Pred::Not(p) => pred_on_terms(p, tuple)?.negate(),
+    })
+}
+
+/// The condition `t = s` between two term tuples: component-wise
+/// conjunction of equalities (used by `∩̄`).
+pub fn tuples_eq(t: &[Term], s: &[Term]) -> Condition {
+    Condition::and(
+        t.iter()
+            .zip(s.iter())
+            .map(|(a, b)| Condition::eq(a.clone(), b.clone())),
+    )
+}
+
+/// The condition `t ≠ s`: component-wise disjunction of inequalities
+/// (used by `−̄`).
+pub fn tuples_neq(t: &[Term], s: &[Term]) -> Condition {
+    Condition::or(
+        t.iter()
+            .zip(s.iter())
+            .map(|(a, b)| Condition::neq(a.clone(), b.clone())),
+    )
+}
+
+impl CTable {
+    /// `π̄_cols(T)`: projected rows, with coinciding projections merged
+    /// under the disjunction of their conditions.
+    pub fn project_bar(&self, cols: &[usize]) -> Result<CTable, TableError> {
+        for &c in cols {
+            if c >= self.arity() {
+                return Err(TableError::Rel(RelError::ColumnOutOfRange {
+                    col: c,
+                    arity: self.arity(),
+                }));
+            }
+        }
+        // Group by projected term tuple, preserving first-seen order for
+        // readable output.
+        let mut order: Vec<Vec<Term>> = Vec::new();
+        let mut groups: BTreeMap<Vec<Term>, Vec<Condition>> = BTreeMap::new();
+        for row in self.rows() {
+            let proj: Vec<Term> = cols.iter().map(|&c| row.tuple[c].clone()).collect();
+            match groups.get_mut(&proj) {
+                Some(conds) => conds.push(row.cond.clone()),
+                None => {
+                    order.push(proj.clone());
+                    groups.insert(proj, vec![row.cond.clone()]);
+                }
+            }
+        }
+        let rows = order
+            .into_iter()
+            .map(|proj| {
+                let conds = groups.remove(&proj).expect("grouped above");
+                CRow::new(proj, Condition::or(conds))
+            })
+            .collect();
+        CTable::with_domains(cols.len(), rows, self.domains().clone())
+    }
+
+    /// `σ̄_p(T)`: each row keeps its tuple, with `p` instantiated on the
+    /// row's terms conjoined onto its condition.
+    pub fn select_bar(&self, pred: &Pred) -> Result<CTable, TableError> {
+        let rows = self
+            .rows()
+            .iter()
+            .map(|row| {
+                let c = pred_on_terms(pred, &row.tuple)?;
+                Ok(CRow::new(
+                    row.tuple.iter().cloned(),
+                    Condition::and([row.cond.clone(), c]),
+                ))
+            })
+            .collect::<Result<Vec<_>, TableError>>()?;
+        CTable::with_domains(self.arity(), rows, self.domains().clone())
+    }
+
+    /// `T₁ ×̄ T₂`: pairwise concatenation, conditions conjoined.
+    ///
+    /// The operands share the variable space (both descend from the same
+    /// input table, as in `q̄`); shared variables are *the same
+    /// variable*, which is exactly what Lemma 1 needs.
+    pub fn product_bar(&self, other: &CTable) -> Result<CTable, TableError> {
+        let domains = CTable::merge_domains(self.domains(), other.domains())?;
+        let mut rows = Vec::with_capacity(self.len() * other.len());
+        for r1 in self.rows() {
+            for r2 in other.rows() {
+                let mut tuple = Vec::with_capacity(self.arity() + other.arity());
+                tuple.extend(r1.tuple.iter().cloned());
+                tuple.extend(r2.tuple.iter().cloned());
+                rows.push(CRow::new(
+                    tuple,
+                    Condition::and([r1.cond.clone(), r2.cond.clone()]),
+                ));
+            }
+        }
+        CTable::with_domains(self.arity() + other.arity(), rows, domains)
+    }
+
+    /// `T₁ ∪̄ T₂`: row concatenation.
+    pub fn union_bar(&self, other: &CTable) -> Result<CTable, TableError> {
+        if self.arity() != other.arity() {
+            return Err(TableError::Rel(RelError::ArityMismatch {
+                expected: self.arity(),
+                got: other.arity(),
+            }));
+        }
+        let domains = CTable::merge_domains(self.domains(), other.domains())?;
+        let mut rows = Vec::with_capacity(self.len() + other.len());
+        rows.extend(self.rows().iter().cloned());
+        rows.extend(other.rows().iter().cloned());
+        CTable::with_domains(self.arity(), rows, domains)
+    }
+
+    /// `T₁ −̄ T₂`: each row `(t : φ)` of `T₁` survives exactly when no
+    /// row of `T₂` matches it, i.e. under
+    /// `φ ∧ ⋀_{(s:ψ) ∈ T₂} (¬ψ ∨ t ≠ s)`.
+    pub fn diff_bar(&self, other: &CTable) -> Result<CTable, TableError> {
+        if self.arity() != other.arity() {
+            return Err(TableError::Rel(RelError::ArityMismatch {
+                expected: self.arity(),
+                got: other.arity(),
+            }));
+        }
+        let domains = CTable::merge_domains(self.domains(), other.domains())?;
+        let rows = self
+            .rows()
+            .iter()
+            .map(|r1| {
+                let guards = other.rows().iter().map(|r2| {
+                    Condition::or([r2.cond.clone().negate(), tuples_neq(&r1.tuple, &r2.tuple)])
+                });
+                CRow::new(
+                    r1.tuple.iter().cloned(),
+                    Condition::and(std::iter::once(r1.cond.clone()).chain(guards)),
+                )
+            })
+            .collect();
+        CTable::with_domains(self.arity(), rows, domains)
+    }
+
+    /// `T₁ ∩̄ T₂`: each row `(t : φ)` of `T₁` survives exactly when some
+    /// row of `T₂` matches it, i.e. under
+    /// `φ ∧ ⋁_{(s:ψ) ∈ T₂} (ψ ∧ t = s)`.
+    pub fn intersect_bar(&self, other: &CTable) -> Result<CTable, TableError> {
+        if self.arity() != other.arity() {
+            return Err(TableError::Rel(RelError::ArityMismatch {
+                expected: self.arity(),
+                got: other.arity(),
+            }));
+        }
+        let domains = CTable::merge_domains(self.domains(), other.domains())?;
+        let rows =
+            self.rows()
+                .iter()
+                .map(|r1| {
+                    let hits = other.rows().iter().map(|r2| {
+                        Condition::and([r2.cond.clone(), tuples_eq(&r1.tuple, &r2.tuple)])
+                    });
+                    CRow::new(
+                        r1.tuple.iter().cloned(),
+                        Condition::and([r1.cond.clone(), Condition::or(hits)]),
+                    )
+                })
+                .collect();
+        CTable::with_domains(self.arity(), rows, domains)
+    }
+
+    /// The translation `q ↦ q̄` applied to this table: evaluates the
+    /// whole query in the c-table algebra (`Lit` nodes become ground
+    /// subtables, `Input` is `self`).
+    pub fn eval_query(&self, q: &Query) -> Result<CTable, TableError> {
+        Ok(match q {
+            Query::Input => self.clone(),
+            Query::Second => return Err(TableError::Rel(ipdb_rel::RelError::NoSecondInput)),
+            Query::Lit(i) => lit_table(i, self)?,
+            Query::Project(cols, q) => self.eval_query(q)?.project_bar(cols)?,
+            Query::Select(p, q) => self.eval_query(q)?.select_bar(p)?,
+            Query::Product(a, b) => self.eval_query(a)?.product_bar(&self.eval_query(b)?)?,
+            Query::Union(a, b) => self.eval_query(a)?.union_bar(&self.eval_query(b)?)?,
+            Query::Diff(a, b) => self.eval_query(a)?.diff_bar(&self.eval_query(b)?)?,
+            Query::Intersect(a, b) => self.eval_query(a)?.intersect_bar(&self.eval_query(b)?)?,
+        })
+    }
+
+    /// A copy with every row condition simplified (the algebra's smart
+    /// constructors already fold; this re-folds after composition).
+    pub fn simplified(&self) -> CTable {
+        let rows = self
+            .rows()
+            .iter()
+            .map(|r| CRow::new(r.tuple.iter().cloned(), r.cond.simplify()))
+            .collect();
+        CTable::with_domains(self.arity(), rows, self.domains().clone())
+            .expect("same arities and domains")
+    }
+
+    /// A copy without rows whose condition is syntactically `false`
+    /// (sound cleanup after `−̄`/`σ̄`).
+    pub fn without_false_rows(&self) -> CTable {
+        let rows = self
+            .rows()
+            .iter()
+            .filter(|r| r.cond != Condition::False)
+            .cloned()
+            .collect();
+        CTable::with_domains(self.arity(), rows, self.domains().clone())
+            .expect("same arities and domains")
+    }
+}
+
+/// A constant relation literal as a ground c-table, carrying the host
+/// table's domain declarations so later merges cannot conflict.
+fn lit_table(i: &Instance, host: &CTable) -> Result<CTable, TableError> {
+    let mut t = CTable::from_instance(i);
+    for (v, d) in host.domains() {
+        t.set_domain(*v, d.clone())?;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctable::{t_const, t_var};
+    use ipdb_logic::{Valuation, Var};
+    use ipdb_rel::{instance, Domain, Value};
+
+    fn sample() -> CTable {
+        let (x, y) = (Var(0), Var(1));
+        CTable::builder(2)
+            .row([t_const(1), t_var(x)], Condition::True)
+            .row([t_var(x), t_var(y)], Condition::neq_vv(x, y))
+            .build()
+            .unwrap()
+    }
+
+    fn nu(x: i64, y: i64) -> Valuation {
+        Valuation::from_iter([(Var(0), Value::from(x)), (Var(1), Value::from(y))])
+    }
+
+    #[test]
+    fn pred_on_terms_grounds_and_folds() {
+        let terms = [t_const(1), t_var(Var(0))];
+        let p = Pred::eq_const(0, 1);
+        assert_eq!(pred_on_terms(&p, &terms).unwrap(), Condition::True);
+        let p2 = Pred::eq_cols(0, 1);
+        assert_eq!(
+            pred_on_terms(&p2, &terms).unwrap(),
+            Condition::eq_vc(Var(0), 1)
+        );
+        let bad = Pred::eq_cols(0, 9);
+        assert!(pred_on_terms(&bad, &terms).is_err());
+    }
+
+    #[test]
+    fn lemma1_projection() {
+        let t = sample();
+        let q = Query::project(Query::Input, vec![1]);
+        let qt = t.eval_query(&q).unwrap();
+        for v in [nu(1, 2), nu(2, 2), nu(3, 7)] {
+            assert_eq!(
+                qt.apply_valuation(&v).unwrap(),
+                q.eval(&t.apply_valuation(&v).unwrap()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn projection_merges_conditions_disjunctively() {
+        let (x, y) = (Var(0), Var(1));
+        let t = CTable::builder(2)
+            .row([t_const(1), t_var(x)], Condition::eq_vc(y, 1))
+            .row([t_const(2), t_var(x)], Condition::eq_vc(y, 2))
+            .build()
+            .unwrap();
+        let p = t.project_bar(&[1]).unwrap();
+        assert_eq!(p.len(), 1); // both rows project to (x)
+        assert_eq!(
+            p.rows()[0].cond,
+            Condition::or([Condition::eq_vc(y, 1), Condition::eq_vc(y, 2)])
+        );
+    }
+
+    #[test]
+    fn lemma1_selection() {
+        let t = sample();
+        let q = Query::select(Query::Input, Pred::eq_const(0, 1));
+        let qt = t.eval_query(&q).unwrap();
+        for v in [nu(1, 2), nu(2, 1), nu(5, 5)] {
+            assert_eq!(
+                qt.apply_valuation(&v).unwrap(),
+                q.eval(&t.apply_valuation(&v).unwrap()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_product_shares_variables() {
+        let t = sample();
+        let q = Query::product(Query::Input, Query::Input);
+        let qt = t.eval_query(&q).unwrap();
+        assert_eq!(qt.arity(), 4);
+        for v in [nu(1, 2), nu(3, 3)] {
+            assert_eq!(
+                qt.apply_valuation(&v).unwrap(),
+                q.eval(&t.apply_valuation(&v).unwrap()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_union_diff_intersect() {
+        let t = sample();
+        let lit = Query::Lit(instance![[1, 2], [3, 4]]);
+        for q in [
+            Query::union(Query::Input, lit.clone()),
+            Query::diff(Query::Input, lit.clone()),
+            Query::intersect(Query::Input, lit.clone()),
+            Query::diff(lit.clone(), Query::Input),
+        ] {
+            let qt = t.eval_query(&q).unwrap();
+            for v in [nu(1, 2), nu(2, 1), nu(3, 4), nu(4, 4)] {
+                assert_eq!(
+                    qt.apply_valuation(&v).unwrap(),
+                    q.eval(&t.apply_valuation(&v).unwrap()).unwrap(),
+                    "query {q} under {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_produces_guard_conditions() {
+        let x = Var(0);
+        let t1 = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let t2 = CTable::builder(1)
+            .ground_row([3i64], Condition::True)
+            .build()
+            .unwrap();
+        let d = t1.diff_bar(&t2).unwrap();
+        assert_eq!(d.len(), 1);
+        // Row condition must be x ≠ 3 (¬true ∨ x≠3 folds to x≠3).
+        assert_eq!(d.rows()[0].cond, Condition::neq_vc(x, 3));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t1 = CTable::new(1, vec![]).unwrap();
+        let t2 = CTable::new(2, vec![]).unwrap();
+        assert!(t1.union_bar(&t2).is_err());
+        assert!(t1.diff_bar(&t2).is_err());
+        assert!(t1.intersect_bar(&t2).is_err());
+    }
+
+    #[test]
+    fn domain_merge_conflict_detected() {
+        let x = Var(0);
+        let mk = |d: Domain| {
+            CTable::builder(1)
+                .row([t_var(x)], Condition::True)
+                .domain(x, d)
+                .build()
+                .unwrap()
+        };
+        let a = mk(Domain::ints(1..=2));
+        let b = mk(Domain::ints(1..=3));
+        assert_eq!(
+            a.product_bar(&b).unwrap_err(),
+            TableError::DomainConflict(x)
+        );
+    }
+
+    #[test]
+    fn eval_query_example4_shape() {
+        // The Example 4 query, checked q̄(Z₃) ≡ S in ipdb-core; here just
+        // exercise the full pipeline on a c-table input.
+        let t = sample();
+        let q = Query::union(
+            Query::project(
+                Query::select(Query::Input, Pred::neq_cols(0, 1)),
+                vec![1, 0],
+            ),
+            Query::Lit(instance![[9, 9]]),
+        );
+        let qt = t.eval_query(&q).unwrap();
+        for v in [nu(1, 1), nu(1, 2)] {
+            assert_eq!(
+                qt.apply_valuation(&v).unwrap(),
+                q.eval(&t.apply_valuation(&v).unwrap()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn without_false_rows_drops_contradictions() {
+        let x = Var(0);
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::False)
+            .row([t_const(1)], Condition::True)
+            .build()
+            .unwrap();
+        assert_eq!(t.without_false_rows().len(), 1);
+    }
+
+    #[test]
+    fn simplified_folds_conditions() {
+        let x = Var(0);
+        let messy = Condition::And(vec![
+            Condition::True,
+            Condition::Or(vec![Condition::eq_vc(x, 1), Condition::False]),
+        ]);
+        let t = CTable::builder(1).row([t_const(1)], messy).build().unwrap();
+        assert_eq!(t.simplified().rows()[0].cond, Condition::eq_vc(x, 1));
+    }
+}

@@ -1,0 +1,264 @@
+//! Boolean c-tables (paper §3, before Theorem 3).
+//!
+//! The fragment of finite-domain c-tables "where the variables take only
+//! boolean values and are only allowed to appear in conditions (never as
+//! attribute values)". Despite the restriction they remain *finitely
+//! complete* (Thm 3) — and their probabilistic counterpart is *complete*
+//! for probabilistic databases (Thm 8). Every p-`?`-table is a restricted
+//! boolean (p)c-table (§8).
+//!
+//! [`BooleanCTable`] is a validated wrapper around [`CTable`]; the
+//! invariants are enforced at construction so downstream code (BDD
+//! compilation, Thm 8) can rely on them.
+
+use std::fmt;
+
+use ipdb_logic::{Condition, Term, Var, VarGen};
+use ipdb_rel::{Domain, IDatabase, Tuple};
+
+use crate::ctable::{CRow, CTable};
+use crate::error::TableError;
+use crate::repsys::RepresentationSystem;
+
+/// A boolean c-table: ground tuples, boolean conditions, boolean
+/// variable domains.
+///
+/// ```
+/// use ipdb_logic::{Condition, Var};
+/// use ipdb_rel::tuple;
+/// use ipdb_tables::{BooleanCTable, RepresentationSystem};
+/// let mut t = BooleanCTable::new(1);
+/// t.push(tuple![1], Condition::bvar(Var(0))).unwrap();
+/// t.push(tuple![2], Condition::nbvar(Var(0))).unwrap();
+/// // x0=true → {(1)}; x0=false → {(2)}.
+/// assert_eq!(t.worlds().unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanCTable {
+    inner: CTable,
+}
+
+impl BooleanCTable {
+    /// An empty boolean c-table of the given arity.
+    pub fn new(arity: usize) -> Self {
+        BooleanCTable {
+            inner: CTable::new(arity, vec![]).expect("no rows to check"),
+        }
+    }
+
+    /// Appends a ground tuple guarded by a boolean condition.
+    pub fn push(&mut self, tuple: Tuple, cond: Condition) -> Result<(), TableError> {
+        if tuple.arity() != self.inner.arity() {
+            return Err(TableError::RowArity {
+                expected: self.inner.arity(),
+                got: tuple.arity(),
+            });
+        }
+        if !cond.is_boolean() {
+            return Err(TableError::NotBoolean(format!(
+                "condition {cond} has non-boolean atoms"
+            )));
+        }
+        let vars = cond.vars();
+        let mut rows: Vec<CRow> = self.inner.rows().to_vec();
+        rows.push(CRow::new(
+            tuple.iter().map(|v| Term::Const(v.clone())),
+            cond,
+        ));
+        let mut domains = self.inner.domains().clone();
+        for v in vars {
+            domains.insert(v, Domain::bools());
+        }
+        self.inner = CTable::with_domains(self.inner.arity(), rows, domains)?;
+        Ok(())
+    }
+
+    /// Builds from `(tuple, condition)` pairs.
+    pub fn from_rows(
+        arity: usize,
+        rows: impl IntoIterator<Item = (Tuple, Condition)>,
+    ) -> Result<Self, TableError> {
+        let mut t = BooleanCTable::new(arity);
+        for (tup, cond) in rows {
+            t.push(tup, cond)?;
+        }
+        Ok(t)
+    }
+
+    /// Validates an arbitrary c-table as boolean: ground tuples, boolean
+    /// conditions, boolean domains for all variables.
+    pub fn from_ctable(t: CTable) -> Result<Self, TableError> {
+        for row in t.rows() {
+            if !row.is_ground() {
+                return Err(TableError::NotBoolean(format!(
+                    "tuple {:?} contains variables",
+                    row.tuple
+                )));
+            }
+            if !row.cond.is_boolean() {
+                return Err(TableError::NotBoolean(format!(
+                    "condition {} has non-boolean atoms",
+                    row.cond
+                )));
+            }
+        }
+        let mut t = t;
+        for v in t.vars() {
+            match t.domains().get(&v) {
+                None => t.set_domain(v, Domain::bools())?,
+                Some(d) if *d == Domain::bools() => {}
+                Some(d) => {
+                    return Err(TableError::NotBoolean(format!(
+                        "variable {v} has non-boolean domain {d}"
+                    )))
+                }
+            }
+        }
+        Ok(BooleanCTable { inner: t })
+    }
+
+    /// The underlying c-table.
+    pub fn as_ctable(&self) -> &CTable {
+        &self.inner
+    }
+
+    /// Consumes the wrapper.
+    pub fn into_ctable(self) -> CTable {
+        self.inner
+    }
+
+    /// The boolean variables in use.
+    pub fn vars(&self) -> std::collections::BTreeSet<Var> {
+        self.inner.vars()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[CRow] {
+        self.inner.rows()
+    }
+}
+
+impl RepresentationSystem for BooleanCTable {
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+
+    fn worlds(&self) -> Result<IDatabase, TableError> {
+        self.inner.mod_finite()
+    }
+
+    fn to_ctable(&self, _gen: &mut VarGen) -> Result<CTable, TableError> {
+        Ok(self.inner.clone())
+    }
+}
+
+impl fmt::Display for BooleanCTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "boolean {}", self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctable::{t_const, t_var};
+    use ipdb_rel::{instance, tuple};
+
+    #[test]
+    fn push_validates() {
+        let mut t = BooleanCTable::new(1);
+        assert!(t.push(tuple![1, 2], Condition::True).is_err());
+        assert!(matches!(
+            t.push(tuple![1], Condition::eq_vc(Var(0), 3)),
+            Err(TableError::NotBoolean(_))
+        ));
+        assert!(t.push(tuple![1], Condition::bvar(Var(0))).is_ok());
+    }
+
+    #[test]
+    fn from_ctable_rejects_variables_in_tuples() {
+        let x = Var(0);
+        let c = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .domain(x, Domain::bools())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            BooleanCTable::from_ctable(c),
+            Err(TableError::NotBoolean(_))
+        ));
+    }
+
+    #[test]
+    fn from_ctable_rejects_wrong_domain() {
+        let x = Var(0);
+        let c = CTable::builder(1)
+            .row([t_const(1)], Condition::bvar(x))
+            .domain(x, Domain::ints(0..=1))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            BooleanCTable::from_ctable(c),
+            Err(TableError::NotBoolean(_))
+        ));
+    }
+
+    #[test]
+    fn from_ctable_fills_missing_domains() {
+        let x = Var(0);
+        let c = CTable::builder(1)
+            .row([t_const(1)], Condition::bvar(x))
+            .build()
+            .unwrap();
+        let b = BooleanCTable::from_ctable(c).unwrap();
+        assert_eq!(b.as_ctable().domains()[&x], Domain::bools());
+    }
+
+    #[test]
+    fn worlds_of_mutually_exclusive_rows() {
+        let x = Var(0);
+        let t = BooleanCTable::from_rows(
+            1,
+            [
+                (tuple![1], Condition::bvar(x)),
+                (tuple![2], Condition::nbvar(x)),
+            ],
+        )
+        .unwrap();
+        let w = t.worlds().unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(w.contains(&instance![[1]]));
+        assert!(w.contains(&instance![[2]]));
+    }
+
+    #[test]
+    fn shared_variables_correlate_rows() {
+        let (x, y) = (Var(0), Var(1));
+        let t = BooleanCTable::from_rows(
+            1,
+            [
+                (
+                    tuple![1],
+                    Condition::and([Condition::bvar(x), Condition::bvar(y)]),
+                ),
+                (tuple![2], Condition::bvar(x)),
+            ],
+        )
+        .unwrap();
+        let w = t.worlds().unwrap();
+        // x=F: {} ; x=T,y=F: {2}; x=T,y=T: {1,2}
+        assert_eq!(w.len(), 3);
+        assert!(w.contains(&instance![[1], [2]]));
+        assert!(!w.contains(&instance![[1]]));
+    }
+}

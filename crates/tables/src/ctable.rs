@@ -1,0 +1,650 @@
+//! c-tables, v-tables, and Codd tables.
+//!
+//! §2 of the paper: *v-tables* are conventional instances in which
+//! variables may appear alongside constants; *Codd tables* are v-tables
+//! whose variables are all distinct; *c-tables* additionally attach to
+//! each tuple a condition. Def. 6 adds *finite-domain* versions: a finite
+//! `dom(x)` per variable. One type, [`CTable`], covers all of these —
+//! v-/Codd tables are validated special cases, and finite-domain tables
+//! are c-tables whose every variable carries a [`Domain`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ipdb_logic::{Condition, Term, Valuation, Var, VarGen};
+use ipdb_rel::{Domain, Instance, Tuple, Value};
+
+use crate::error::TableError;
+
+/// Shorthand for a variable term (tuple entries and conditions).
+pub fn t_var(v: Var) -> Term {
+    Term::Var(v)
+}
+
+/// Shorthand for a constant term.
+pub fn t_const(v: impl Into<Value>) -> Term {
+    Term::Const(v.into())
+}
+
+/// One row of a c-table: a tuple of terms plus its condition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CRow {
+    /// The row's entries (variables and constants).
+    pub tuple: Vec<Term>,
+    /// The row's local condition `ϕ_t`; `True` for v-table rows.
+    pub cond: Condition,
+}
+
+impl CRow {
+    /// Builds a row.
+    pub fn new(tuple: impl IntoIterator<Item = Term>, cond: Condition) -> CRow {
+        CRow {
+            tuple: tuple.into_iter().collect(),
+            cond,
+        }
+    }
+
+    /// Variables appearing in the tuple entries.
+    pub fn tuple_vars(&self) -> BTreeSet<Var> {
+        self.tuple.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Variables appearing anywhere in the row.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut vs = self.tuple_vars();
+        self.cond.collect_vars(&mut vs);
+        vs
+    }
+
+    /// Whether every tuple entry is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.tuple.iter().all(Term::is_ground)
+    }
+
+    /// Instantiates the row's tuple under a total valuation.
+    pub fn apply(&self, nu: &Valuation) -> Result<Tuple, TableError> {
+        let mut vals = Vec::with_capacity(self.tuple.len());
+        for t in &self.tuple {
+            vals.push(t.eval(nu).map_err(TableError::Logic)?);
+        }
+        Ok(Tuple::from(vals))
+    }
+}
+
+impl fmt::Display for CRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if self.cond != Condition::True {
+            write!(f, " : {}", self.cond)?;
+        }
+        Ok(())
+    }
+}
+
+/// A conditional table (c-table), possibly with finite variable domains.
+///
+/// `Mod(T)` is defined in `crate::worlds`; the algebra `q̄` in
+/// `crate::algebra`.
+///
+/// ```
+/// use ipdb_logic::{Condition, VarGen};
+/// use ipdb_tables::{t_const, t_var, CTable};
+///
+/// // Example 2's c-table S (arity 3).
+/// let mut g = VarGen::new();
+/// let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+/// let s = CTable::builder(3)
+///     .row([t_const(1), t_const(2), t_var(x)], Condition::True)
+///     .row(
+///         [t_const(3), t_var(x), t_var(y)],
+///         Condition::and([Condition::eq_vv(x, y), Condition::neq_vc(z, 2)]),
+///     )
+///     .row(
+///         [t_var(z), t_const(4), t_const(5)],
+///         Condition::or([Condition::neq_vc(x, 1), Condition::neq_vv(x, y)]),
+///     )
+///     .build()
+///     .unwrap();
+/// assert_eq!(s.arity(), 3);
+/// assert_eq!(s.vars().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTable {
+    arity: usize,
+    rows: Vec<CRow>,
+    /// Finite domains for (a subset of) the variables; a variable without
+    /// an entry ranges over the whole infinite domain `D`.
+    domains: BTreeMap<Var, Domain>,
+}
+
+impl CTable {
+    /// Starts a builder for a table of the given arity.
+    pub fn builder(arity: usize) -> CTableBuilder {
+        CTableBuilder {
+            arity,
+            rows: Vec::new(),
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a c-table from rows, checking arities.
+    pub fn new(arity: usize, rows: Vec<CRow>) -> Result<CTable, TableError> {
+        Self::with_domains(arity, rows, BTreeMap::new())
+    }
+
+    /// Builds a finite-domain c-table (Def. 6).
+    pub fn with_domains(
+        arity: usize,
+        rows: Vec<CRow>,
+        domains: BTreeMap<Var, Domain>,
+    ) -> Result<CTable, TableError> {
+        for r in &rows {
+            if r.tuple.len() != arity {
+                return Err(TableError::RowArity {
+                    expected: arity,
+                    got: r.tuple.len(),
+                });
+            }
+        }
+        for (v, d) in &domains {
+            if d.is_empty() {
+                return Err(TableError::EmptyDomain(*v));
+            }
+        }
+        Ok(CTable {
+            arity,
+            rows,
+            domains,
+        })
+    }
+
+    /// A v-table: rows of terms, all conditions `True`.
+    pub fn v_table(
+        arity: usize,
+        rows: impl IntoIterator<Item = Vec<Term>>,
+    ) -> Result<CTable, TableError> {
+        CTable::new(
+            arity,
+            rows.into_iter()
+                .map(|t| CRow::new(t, Condition::True))
+                .collect(),
+        )
+    }
+
+    /// A Codd table: a v-table whose variables are pairwise distinct
+    /// (validated).
+    pub fn codd(
+        arity: usize,
+        rows: impl IntoIterator<Item = Vec<Term>>,
+    ) -> Result<CTable, TableError> {
+        let t = CTable::v_table(arity, rows)?;
+        let mut seen = BTreeSet::new();
+        for r in &t.rows {
+            for term in &r.tuple {
+                if let Some(v) = term.as_var() {
+                    if !seen.insert(v) {
+                        return Err(TableError::CoddDuplicateVar(v));
+                    }
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// A ground table: a conventional instance viewed as a c-table.
+    pub fn from_instance(inst: &Instance) -> CTable {
+        CTable {
+            arity: inst.arity(),
+            rows: inst
+                .iter()
+                .map(|t| CRow::new(t.iter().map(|v| Term::Const(v.clone())), Condition::True))
+                .collect(),
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's `Z_k`: the Codd table with a single row of `k`
+    /// distinct fresh variables (§3, just before Def. 3).
+    pub fn z_k(k: usize, gen: &mut VarGen) -> CTable {
+        let vars = gen.fresh_n(k);
+        CTable {
+            arity: k,
+            rows: vec![CRow::new(vars.into_iter().map(Term::Var), Condition::True)],
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// Table arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[CRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows (represents only the empty
+    /// instance).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The declared finite domains.
+    pub fn domains(&self) -> &BTreeMap<Var, Domain> {
+        &self.domains
+    }
+
+    /// Declares (or replaces) the finite domain of a variable.
+    pub fn set_domain(&mut self, v: Var, d: Domain) -> Result<(), TableError> {
+        if d.is_empty() {
+            return Err(TableError::EmptyDomain(v));
+        }
+        self.domains.insert(v, d);
+        Ok(())
+    }
+
+    /// All variables of the table (tuples and conditions).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut vs = BTreeSet::new();
+        for r in &self.rows {
+            vs.extend(r.tuple.iter().filter_map(Term::as_var));
+            r.cond.collect_vars(&mut vs);
+        }
+        vs
+    }
+
+    /// Variables appearing in tuple positions.
+    pub fn tuple_vars(&self) -> BTreeSet<Var> {
+        self.rows.iter().flat_map(|r| r.tuple_vars()).collect()
+    }
+
+    /// Whether every condition is `True` (the table is a v-table).
+    pub fn is_v_table(&self) -> bool {
+        self.rows.iter().all(|r| r.cond == Condition::True)
+    }
+
+    /// Whether the table is a Codd table (v-table, distinct variables).
+    pub fn is_codd(&self) -> bool {
+        if !self.is_v_table() {
+            return false;
+        }
+        let mut seen = BTreeSet::new();
+        for r in &self.rows {
+            for t in &r.tuple {
+                if let Some(v) = t.as_var() {
+                    if !seen.insert(v) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether every variable carries a finite domain (the table is a
+    /// Def. 6 finite-domain table, so `Mod(T)` is finite and computable).
+    pub fn is_finite_domain(&self) -> bool {
+        let doms = &self.domains;
+        self.vars().iter().all(|v| doms.contains_key(v))
+    }
+
+    /// Constants appearing in tuples and conditions (the table's active
+    /// constants — the seed of enumeration slices).
+    pub fn active_constants(&self) -> Domain {
+        let mut d = Domain::empty();
+        for r in &self.rows {
+            for t in &r.tuple {
+                if let Term::Const(v) = t {
+                    d.insert(v.clone());
+                }
+            }
+            collect_cond_constants(&r.cond, &mut d);
+        }
+        d
+    }
+
+    /// The paper's `ν(T)`: apply a valuation to every row, keep the rows
+    /// whose condition holds, instantiate their tuples (§2).
+    pub fn apply_valuation(&self, nu: &Valuation) -> Result<Instance, TableError> {
+        let mut inst = Instance::empty(self.arity);
+        for r in &self.rows {
+            if r.cond.eval(nu).map_err(TableError::Logic)? {
+                inst.insert(r.apply(nu)?)?;
+            }
+        }
+        Ok(inst)
+    }
+
+    /// Effective per-variable domains for enumeration: a variable's own
+    /// finite domain when declared, otherwise the supplied `slice` of the
+    /// infinite domain.
+    pub fn effective_domains(&self, slice: &Domain) -> BTreeMap<Var, Domain> {
+        self.vars()
+            .into_iter()
+            .map(|v| {
+                let d = self
+                    .domains
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| slice.clone());
+                (v, d)
+            })
+            .collect()
+    }
+
+    /// A copy whose variables are renamed to fresh ones from `gen`
+    /// (injective), with domains carried along. Returns the renaming.
+    pub fn rename_fresh(&self, gen: &mut VarGen) -> (CTable, BTreeMap<Var, Var>) {
+        let map: BTreeMap<Var, Var> = self.vars().into_iter().map(|v| (v, gen.fresh())).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let tuple = r.tuple.iter().map(|t| match t {
+                    Term::Var(v) => Term::Var(map[v]),
+                    Term::Const(_) => t.clone(),
+                });
+                CRow::new(tuple, r.cond.rename(&map))
+            })
+            .collect();
+        let domains = self
+            .domains
+            .iter()
+            .map(|(v, d)| (map[v], d.clone()))
+            .collect();
+        (
+            CTable {
+                arity: self.arity,
+                rows,
+                domains,
+            },
+            map,
+        )
+    }
+
+    /// Merges the finite-domain declarations of two tables (used by the
+    /// binary algebra operations, whose operands share variables).
+    pub(crate) fn merge_domains(
+        a: &BTreeMap<Var, Domain>,
+        b: &BTreeMap<Var, Domain>,
+    ) -> Result<BTreeMap<Var, Domain>, TableError> {
+        let mut out = a.clone();
+        for (v, d) in b {
+            match out.get(v) {
+                None => {
+                    out.insert(*v, d.clone());
+                }
+                Some(existing) if existing == d => {}
+                Some(_) => return Err(TableError::DomainConflict(*v)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn collect_cond_constants(c: &Condition, out: &mut Domain) {
+    match c {
+        Condition::True | Condition::False => {}
+        Condition::Eq(a, b) | Condition::Neq(a, b) => {
+            if let Term::Const(v) = a {
+                out.insert(v.clone());
+            }
+            if let Term::Const(v) = b {
+                out.insert(v.clone());
+            }
+        }
+        Condition::Not(c) => collect_cond_constants(c, out),
+        Condition::And(cs) | Condition::Or(cs) => {
+            for c in cs {
+                collect_cond_constants(c, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for CTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "c-table (arity {}):", self.arity)?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        if !self.domains.is_empty() {
+            write!(f, "  where ")?;
+            for (i, (v, d)) in self.domains.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "dom({v})={d}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CTable`].
+pub struct CTableBuilder {
+    arity: usize,
+    rows: Vec<CRow>,
+    domains: BTreeMap<Var, Domain>,
+}
+
+impl CTableBuilder {
+    /// Adds a row.
+    pub fn row(mut self, tuple: impl IntoIterator<Item = Term>, cond: Condition) -> Self {
+        self.rows.push(CRow::new(tuple, cond));
+        self
+    }
+
+    /// Adds a ground row of constants with a condition.
+    pub fn ground_row<V: Into<Value>>(
+        self,
+        tuple: impl IntoIterator<Item = V>,
+        cond: Condition,
+    ) -> Self {
+        let terms: Vec<Term> = tuple.into_iter().map(|v| Term::Const(v.into())).collect();
+        self.row(terms, cond)
+    }
+
+    /// Declares a variable's finite domain.
+    pub fn domain(mut self, v: Var, d: Domain) -> Self {
+        self.domains.insert(v, d);
+        self
+    }
+
+    /// Finishes, validating arities and domains.
+    pub fn build(self) -> Result<CTable, TableError> {
+        CTable::with_domains(self.arity, self.rows, self.domains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::tuple;
+
+    fn xyz() -> (Var, Var, Var) {
+        (Var(0), Var(1), Var(2))
+    }
+
+    #[test]
+    fn builder_checks_row_arity() {
+        let err = CTable::builder(2)
+            .row([t_const(1)], Condition::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TableError::RowArity {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let (x, _, _) = xyz();
+        let err = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .domain(x, Domain::empty())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TableError::EmptyDomain(x));
+    }
+
+    #[test]
+    fn vtable_and_codd_validation() {
+        let (x, y, _) = xyz();
+        let v =
+            CTable::v_table(2, [vec![t_const(1), t_var(x)], vec![t_var(x), t_const(1)]]).unwrap();
+        assert!(v.is_v_table());
+        assert!(!v.is_codd()); // x repeats
+        let c = CTable::codd(2, [vec![t_var(x), t_var(y)]]).unwrap();
+        assert!(c.is_codd());
+        let err = CTable::codd(2, [vec![t_var(x), t_var(x)]]).unwrap_err();
+        assert_eq!(err, TableError::CoddDuplicateVar(x));
+    }
+
+    #[test]
+    fn z_k_is_single_row_codd() {
+        let mut g = VarGen::new();
+        let z3 = CTable::z_k(3, &mut g);
+        assert_eq!(z3.arity(), 3);
+        assert_eq!(z3.len(), 1);
+        assert!(z3.is_codd());
+        assert_eq!(z3.vars().len(), 3);
+    }
+
+    #[test]
+    fn vars_and_tuple_vars() {
+        let (x, y, z) = xyz();
+        let t = CTable::builder(2)
+            .row([t_const(1), t_var(x)], Condition::eq_vv(y, z))
+            .build()
+            .unwrap();
+        assert_eq!(t.tuple_vars(), BTreeSet::from([x]));
+        assert_eq!(t.vars(), BTreeSet::from([x, y, z]));
+    }
+
+    #[test]
+    fn apply_valuation_filters_and_grounds() {
+        let (x, y, _) = xyz();
+        let t = CTable::builder(2)
+            .row([t_const(1), t_var(x)], Condition::True)
+            .row([t_var(x), t_var(y)], Condition::neq_vv(x, y))
+            .build()
+            .unwrap();
+        let nu = Valuation::from_iter([(x, Value::from(5)), (y, Value::from(5))]);
+        let inst = t.apply_valuation(&nu).unwrap();
+        assert_eq!(inst, ipdb_rel::instance![[1, 5]]); // second row's condition fails
+        let nu2 = Valuation::from_iter([(x, Value::from(5)), (y, Value::from(6))]);
+        let inst2 = t.apply_valuation(&nu2).unwrap();
+        assert!(inst2.contains(&tuple![5, 6]));
+        assert_eq!(inst2.len(), 2);
+    }
+
+    #[test]
+    fn apply_valuation_merges_coinciding_rows() {
+        let (x, _, _) = xyz();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(1)], Condition::True)
+            .build()
+            .unwrap();
+        let nu = Valuation::from_iter([(x, Value::from(1))]);
+        assert_eq!(t.apply_valuation(&nu).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn active_constants_span_tuples_and_conditions() {
+        let (x, y, _) = xyz();
+        let t = CTable::builder(1)
+            .row([t_const(7)], Condition::eq_vc(x, 9))
+            .row([t_var(y)], Condition::True)
+            .build()
+            .unwrap();
+        let d = t.active_constants();
+        assert!(d.contains(&Value::from(7)) && d.contains(&Value::from(9)));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn effective_domains_prefer_declared() {
+        let (x, y, _) = xyz();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::eq_vv(x, y))
+            .domain(x, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let slice = Domain::ints(1..=9);
+        let eff = t.effective_domains(&slice);
+        assert_eq!(eff[&x], Domain::ints(1..=2));
+        assert_eq!(eff[&y], slice);
+        assert!(!t.is_finite_domain());
+    }
+
+    #[test]
+    fn rename_fresh_is_injective_and_carries_domains() {
+        let (x, y, _) = xyz();
+        let t = CTable::builder(2)
+            .row([t_var(x), t_var(y)], Condition::eq_vv(x, y))
+            .domain(x, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let mut g = VarGen::avoiding(t.vars());
+        let (r, map) = t.rename_fresh(&mut g);
+        assert_eq!(map.len(), 2);
+        assert!(r.vars().is_disjoint(&t.vars()));
+        assert_eq!(r.domains().len(), 1);
+        assert_eq!(r.domains()[&map[&x]], Domain::ints(1..=2));
+    }
+
+    #[test]
+    fn from_instance_is_ground() {
+        let i = ipdb_rel::instance![[1, 2], [3, 4]];
+        let t = CTable::from_instance(&i);
+        assert_eq!(t.len(), 2);
+        assert!(t.vars().is_empty());
+        assert!(t.is_v_table());
+        let nu = Valuation::new();
+        assert_eq!(t.apply_valuation(&nu).unwrap(), i);
+    }
+
+    #[test]
+    fn merge_domains_detects_conflicts() {
+        let x = Var(0);
+        let a = BTreeMap::from([(x, Domain::ints(1..=2))]);
+        let b = BTreeMap::from([(x, Domain::ints(1..=3))]);
+        assert_eq!(
+            CTable::merge_domains(&a, &b),
+            Err(TableError::DomainConflict(x))
+        );
+        let same = CTable::merge_domains(&a, &a.clone()).unwrap();
+        assert_eq!(same.len(), 1);
+    }
+
+    #[test]
+    fn display_contains_rows_and_domains() {
+        let x = Var(0);
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::neq_vc(x, 1))
+            .domain(x, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let s = t.to_string();
+        assert!(s.contains("x0 : x0≠1"));
+        assert!(s.contains("dom(x0)={1, 2}"));
+    }
+}

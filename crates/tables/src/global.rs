@@ -1,0 +1,240 @@
+//! c-tables with global conditions (the \[17\] variant the paper's §9
+//! lists as not-considered; implemented here as an extension).
+//!
+//! A *global* condition `Φ` filters valuations before they produce
+//! worlds: `Mod(T, Φ) = { ν(T) | ν ⊨ Φ }`. Globals add real power over
+//! plain c-tables in one specific way: they can make the set of worlds
+//! *smaller than any row-local filtering can* — e.g. force every world
+//! to satisfy a constraint tying rows together — while staying closed
+//! under the same algebra `q̄` (the global is untouched by row-level
+//! operations). The embedding [`GlobalCTable::to_ctable`] shows plain
+//! c-tables simulate satisfiable globals by conjoining `Φ` onto every
+//! row *when the empty world is acceptable*; the difference surfaces
+//! exactly when `Φ` is unsatisfiable or when `ν ⊭ Φ` should yield *no*
+//! world rather than the empty one — which is why Grahne \[17\] treats
+//! globals as a separate device.
+
+use std::fmt;
+
+use ipdb_logic::{Condition, Valuation};
+use ipdb_rel::{Domain, IDatabase, Query, Tuple};
+
+use crate::ctable::CTable;
+use crate::error::TableError;
+
+/// A c-table together with a global condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalCTable {
+    table: CTable,
+    global: Condition,
+}
+
+impl GlobalCTable {
+    /// Wraps a c-table with a global condition.
+    pub fn new(table: CTable, global: Condition) -> Self {
+        GlobalCTable { table, global }
+    }
+
+    /// The underlying c-table.
+    pub fn table(&self) -> &CTable {
+        &self.table
+    }
+
+    /// The global condition `Φ`.
+    pub fn global(&self) -> &Condition {
+        &self.global
+    }
+
+    /// All variables (table + global).
+    pub fn vars(&self) -> std::collections::BTreeSet<ipdb_logic::Var> {
+        let mut vs = self.table.vars();
+        self.global.collect_vars(&mut vs);
+        vs
+    }
+
+    /// `ν(T)` under the global: `None` when `ν ⊭ Φ` (the valuation is
+    /// ruled out entirely).
+    pub fn apply_valuation(
+        &self,
+        nu: &Valuation,
+    ) -> Result<Option<ipdb_rel::Instance>, TableError> {
+        if !self.global.eval(nu).map_err(TableError::Logic)? {
+            return Ok(None);
+        }
+        Ok(Some(self.table.apply_valuation(nu)?))
+    }
+
+    /// `Mod(T, Φ)` over a finite slice (declared finite domains take
+    /// precedence, as for plain c-tables). May be *empty* — the one
+    /// thing plain c-tables can never express.
+    pub fn mod_over(&self, slice: &Domain) -> Result<IDatabase, TableError> {
+        let mut doms = self.table.effective_domains(slice);
+        for v in self.global.vars() {
+            doms.entry(v).or_insert_with(|| slice.clone());
+        }
+        for (v, d) in &doms {
+            if d.is_empty() {
+                return Err(TableError::EmptyDomain(*v));
+            }
+        }
+        let mut out = IDatabase::empty(self.table.arity());
+        for nu in Valuation::all_over(&doms) {
+            if let Some(world) = self.apply_valuation(&nu)? {
+                out.insert(world)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Closure under RA: `q̄` acts on the rows, the global rides along
+    /// (Lemma 1 extends: `ν(q̄(T), Φ) = q(ν(T, Φ))` for `ν ⊨ Φ`, and
+    /// both sides are undefined otherwise).
+    pub fn eval_query(&self, q: &Query) -> Result<GlobalCTable, TableError> {
+        Ok(GlobalCTable {
+            table: self.table.eval_query(q)?,
+            global: self.global.clone(),
+        })
+    }
+
+    /// The plain-c-table simulation: conjoin `Φ` onto every row. Sound
+    /// for world *contents*, but the simulation maps "ν ruled out" to
+    /// "ν yields the empty world": `Mod` of the result equals
+    /// `Mod(T, Φ) ∪ {∅}` whenever some valuation violates `Φ`.
+    pub fn to_ctable(&self) -> CTable {
+        let rows = self
+            .table
+            .rows()
+            .iter()
+            .map(|r| {
+                crate::ctable::CRow::new(
+                    r.tuple.iter().cloned(),
+                    Condition::and([self.global.clone(), r.cond.clone()]),
+                )
+            })
+            .collect();
+        CTable::with_domains(self.table.arity(), rows, self.table.domains().clone())
+            .expect("same arities and domains")
+    }
+
+    /// Certain membership of `t` over the slice (∅ of worlds ⇒ nothing
+    /// is certain, by convention).
+    pub fn certain_tuple_over(&self, t: &Tuple, slice: &Domain) -> Result<bool, TableError> {
+        Ok(self.mod_over(slice)?.is_certain(t))
+    }
+}
+
+impl fmt::Display for GlobalCTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} global: {}", self.table, self.global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctable::{t_const, t_var};
+    use ipdb_logic::Var;
+    use ipdb_rel::instance;
+
+    fn xy() -> (Var, Var) {
+        (Var(0), Var(1))
+    }
+
+    #[test]
+    fn global_filters_valuations() {
+        let (x, y) = xy();
+        let t = CTable::builder(2)
+            .row([t_var(x), t_var(y)], Condition::True)
+            .domain(x, Domain::ints(1..=2))
+            .domain(y, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let g = GlobalCTable::new(t, Condition::neq_vv(x, y));
+        let worlds = g.mod_over(&Domain::empty()).unwrap();
+        // Only x≠y valuations survive: {(1,2)}, {(2,1)}.
+        assert_eq!(worlds.len(), 2);
+        assert!(worlds.contains(&instance![[1, 2]]));
+        assert!(worlds.contains(&instance![[2, 1]]));
+    }
+
+    #[test]
+    fn unsatisfiable_global_empties_mod() {
+        let (x, _) = xy();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .domain(x, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let g = GlobalCTable::new(t, Condition::False);
+        // No worlds at all — inexpressible by any plain c-table.
+        assert_eq!(g.mod_over(&Domain::empty()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn simulation_differs_exactly_by_empty_world() {
+        let (x, y) = xy();
+        let t = CTable::builder(2)
+            .row([t_var(x), t_var(y)], Condition::True)
+            .domain(x, Domain::ints(1..=2))
+            .domain(y, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let g = GlobalCTable::new(t, Condition::neq_vv(x, y));
+        let simulated = g.to_ctable().mod_finite().unwrap();
+        let real = g.mod_over(&Domain::empty()).unwrap();
+        // Simulation = real worlds plus the empty world (from ν ⊭ Φ).
+        assert_eq!(simulated.len(), real.len() + 1);
+        assert!(simulated.contains(&ipdb_rel::Instance::empty(2)));
+        for w in real.iter() {
+            assert!(simulated.contains(w));
+        }
+    }
+
+    #[test]
+    fn closure_keeps_global() {
+        let (x, y) = xy();
+        let t = CTable::builder(2)
+            .row([t_var(x), t_var(y)], Condition::True)
+            .row([t_const(9), t_var(x)], Condition::True)
+            .domain(x, Domain::ints(1..=2))
+            .domain(y, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let g = GlobalCTable::new(t, Condition::neq_vv(x, y));
+        let q = Query::project(Query::Input, vec![1]);
+        let answered = g.eval_query(&q).unwrap();
+        assert_eq!(answered.global(), g.global());
+        // Worldwise image agrees.
+        let lhs = answered.mod_over(&Domain::empty()).unwrap();
+        let rhs = q.eval_idb(&g.mod_over(&Domain::empty()).unwrap()).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn global_with_fresh_vars_only_in_global() {
+        // A global over a variable absent from the table: acts as a
+        // side-constraint; with dom {1,2} and Φ: z=1, half the
+        // valuations survive but the worlds coincide.
+        let (x, _) = xy();
+        let z = Var(7);
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .domain(x, Domain::ints(1..=2))
+            .build()
+            .unwrap();
+        let g = GlobalCTable::new(t, Condition::eq_vc(z, 1));
+        let worlds = g.mod_over(&Domain::ints(1..=2)).unwrap();
+        assert_eq!(worlds.len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_global() {
+        let (x, _) = xy();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let g = GlobalCTable::new(t, Condition::neq_vc(x, 3));
+        assert!(g.to_string().contains("global: x0≠3"));
+    }
+}

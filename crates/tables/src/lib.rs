@@ -1,0 +1,61 @@
+//! # `ipdb-tables` — representation systems for incomplete information
+//!
+//! The finite, syntactic representations of incomplete databases that the
+//! paper discusses, compares, and relates (§2–§5):
+//!
+//! * [`CTable`] — Imieliński–Lipski c-tables, with v-tables and Codd
+//!   tables as validated restrictions, and *finite-domain* variants
+//!   (Def. 6) via per-variable [`Domain`]s;
+//! * [`BooleanCTable`] — boolean c-tables (§3): two-valued variables
+//!   appearing only in conditions; finitely complete (Thm 3);
+//! * [`QTable`] — `?`-tables (tuples optionally marked "maybe missing");
+//! * [`OrSetTable`] / [`OrSetQTable`] — or-set tables and their `?`
+//!   combination, equivalent to finite-domain Codd tables (§3);
+//! * [`RSets`] — Def. 14: blocks of tuples, choose one (or at most one
+//!   from `?` blocks);
+//! * [`RXorEquiv`] — Def. 15: tuples under `⊕` (exclusive-or) and `≡`
+//!   (co-occurrence) constraints;
+//! * [`RAProp`] — Def. 16: or-set tuples under an arbitrary propositional
+//!   formula (the finitely complete system of Sarma et al.);
+//! * the **c-table algebra** `q̄` ([`algebra`]) — the closure construction
+//!   of Theorem 4, satisfying Lemma 1: `ν(q̄(T)) = q(ν(T))`;
+//! * **world enumeration** ([`worlds`]) — `Mod(T)` for finite-domain
+//!   tables, finite *slices* of `Mod(T)` for infinite-domain c-tables,
+//!   and possible/certain tuple membership via the active-domain +
+//!   fresh-constants technique.
+//!
+//! Every finite system implements [`RepresentationSystem`]: `Mod(T)` as
+//! an explicit [`IDatabase`] plus the standard embedding into c-tables
+//! the paper describes.
+//!
+//! [`Domain`]: ipdb_rel::Domain
+//! [`IDatabase`]: ipdb_rel::IDatabase
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod boolean;
+pub mod ctable;
+pub mod error;
+pub mod global;
+pub mod orset;
+pub mod qtable;
+pub mod raprop;
+pub mod repsys;
+pub mod rsets;
+pub mod rxor;
+pub mod worlds;
+
+#[cfg(feature = "strategies")]
+pub mod strategies;
+
+pub use boolean::BooleanCTable;
+pub use ctable::{t_const, t_var, CRow, CTable, CTableBuilder};
+pub use error::TableError;
+pub use global::GlobalCTable;
+pub use orset::{OrSetQTable, OrSetTable, OrSetValue};
+pub use qtable::QTable;
+pub use raprop::RAProp;
+pub use repsys::RepresentationSystem;
+pub use rsets::{RBlock, RSets};
+pub use rxor::{RConstraint, RXorEquiv};

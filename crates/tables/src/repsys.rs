@@ -1,0 +1,74 @@
+//! The representation-system interface (paper Def. 2).
+//!
+//! A representation system is a set of tables plus a function `Mod`
+//! mapping each table to the incomplete database it denotes. The systems
+//! of §3 are all *finite* (their `Mod` is a finite set of worlds), so the
+//! trait exposes `Mod` directly as an [`IDatabase`]; c-tables implement
+//! it through their finite-domain restriction ([`CTable::mod_finite`]).
+//!
+//! Each system also knows its standard embedding into c-tables — the
+//! comparisons of §3 ("finite-domain Codd tables are equivalent to
+//! or-set tables", "`?`-tables are boolean c-tables with single-variable
+//! conditions", …) are implemented as these conversions and tested to be
+//! `Mod`-preserving.
+
+use ipdb_logic::VarGen;
+use ipdb_rel::IDatabase;
+
+use crate::ctable::CTable;
+use crate::error::TableError;
+
+/// A representation system with finite semantics (Def. 2 restricted to
+/// finitely many worlds, as in all systems of §3).
+pub trait RepresentationSystem {
+    /// The arity of the represented relation.
+    fn arity(&self) -> usize;
+
+    /// `Mod(T)`: the finite set of possible worlds.
+    fn worlds(&self) -> Result<IDatabase, TableError>;
+
+    /// The standard embedding of this table into a (finite-domain)
+    /// c-table, using `gen` for any fresh variables it needs.
+    ///
+    /// Contract (tested per system): the embedding preserves `Mod`.
+    fn to_ctable(&self, gen: &mut VarGen) -> Result<CTable, TableError>;
+}
+
+impl RepresentationSystem for CTable {
+    fn arity(&self) -> usize {
+        CTable::arity(self)
+    }
+
+    /// `Mod(T)` of a finite-domain c-table; errors when some variable has
+    /// no finite domain (then `Mod(T)` is infinite — see
+    /// [`CTable::mod_over`]).
+    fn worlds(&self) -> Result<IDatabase, TableError> {
+        self.mod_finite()
+    }
+
+    fn to_ctable(&self, _gen: &mut VarGen) -> Result<CTable, TableError> {
+        Ok(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctable::t_var;
+    use ipdb_logic::{Condition, Var};
+    use ipdb_rel::Domain;
+
+    #[test]
+    fn ctable_implements_the_trait() {
+        let x = Var(0);
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .domain(x, Domain::ints(1..=3))
+            .build()
+            .unwrap();
+        assert_eq!(RepresentationSystem::arity(&t), 1);
+        assert_eq!(t.worlds().unwrap().len(), 3);
+        let mut g = VarGen::new();
+        assert_eq!(t.to_ctable(&mut g).unwrap(), t);
+    }
+}

@@ -1,0 +1,310 @@
+//! `R_sets` (paper Definition 14).
+//!
+//! A table is a multiset of *blocks* (sets of tuples), each optionally
+//! labeled "?". `Mod(T)` is obtained by choosing exactly one tuple from
+//! each unlabeled block and at most one tuple from each "?" block.
+//!
+//! The embedding into c-tables gives each block a fresh selector
+//! variable ranging over its tuples (plus an extra "absent" value for
+//! "?" blocks).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ipdb_logic::{Condition, Term, VarGen};
+use ipdb_rel::{Domain, IDatabase, Instance, Tuple};
+
+use crate::ctable::{CRow, CTable};
+use crate::error::TableError;
+use crate::repsys::RepresentationSystem;
+
+/// One block: a non-empty set of candidate tuples, optionally "?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RBlock {
+    tuples: Vec<Tuple>,
+    optional: bool,
+}
+
+impl RBlock {
+    /// Builds a block (tuples deduplicated; must be non-empty).
+    pub fn new(
+        tuples: impl IntoIterator<Item = Tuple>,
+        optional: bool,
+    ) -> Result<Self, TableError> {
+        let set: BTreeSet<Tuple> = tuples.into_iter().collect();
+        if set.is_empty() {
+            return Err(TableError::EmptyBlock);
+        }
+        Ok(RBlock {
+            tuples: set.into_iter().collect(),
+            optional,
+        })
+    }
+
+    /// The candidate tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Whether the block is labeled "?".
+    pub fn is_optional(&self) -> bool {
+        self.optional
+    }
+}
+
+/// An `R_sets` table: a multiset of blocks.
+///
+/// ```
+/// use ipdb_rel::tuple;
+/// use ipdb_tables::{RBlock, RSets, RepresentationSystem};
+/// let t = RSets::from_blocks(1, [
+///     RBlock::new([tuple![1], tuple![2]], false).unwrap(), // choose one
+///     RBlock::new([tuple![3]], true).unwrap(),             // at most one
+/// ]).unwrap();
+/// assert_eq!(t.worlds().unwrap().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RSets {
+    arity: usize,
+    blocks: Vec<RBlock>,
+}
+
+impl RSets {
+    /// An empty table (no blocks: the single empty world).
+    pub fn new(arity: usize) -> Self {
+        RSets {
+            arity,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Builds from blocks, checking arities.
+    pub fn from_blocks(
+        arity: usize,
+        blocks: impl IntoIterator<Item = RBlock>,
+    ) -> Result<Self, TableError> {
+        let mut t = RSets::new(arity);
+        for b in blocks {
+            t.push(b)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends a block.
+    pub fn push(&mut self, b: RBlock) -> Result<(), TableError> {
+        for t in &b.tuples {
+            if t.arity() != self.arity {
+                return Err(TableError::RowArity {
+                    expected: self.arity,
+                    got: t.arity(),
+                });
+            }
+        }
+        self.blocks.push(b);
+        Ok(())
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[RBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl RepresentationSystem for RSets {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn worlds(&self) -> Result<IDatabase, TableError> {
+        // Odometer over per-block choices; optional blocks have one extra
+        // "absent" choice.
+        let sizes: Vec<usize> = self
+            .blocks
+            .iter()
+            .map(|b| b.tuples.len() + usize::from(b.optional))
+            .collect();
+        let mut idx = vec![0usize; self.blocks.len()];
+        let mut out = IDatabase::empty(self.arity);
+        loop {
+            let mut inst = Instance::empty(self.arity);
+            for (b, block) in self.blocks.iter().enumerate() {
+                let choice = idx[b];
+                if choice < block.tuples.len() {
+                    inst.insert(block.tuples[choice].clone())?;
+                } // else: the "absent" choice of an optional block
+            }
+            out.insert(inst)?;
+            let mut pos = self.blocks.len();
+            loop {
+                if pos == 0 {
+                    return Ok(out);
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < sizes[pos] {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+
+    /// One fresh selector variable per block: `dom(x) = {0..#tuples}`
+    /// (with an extra sentinel for "?"), each candidate tuple guarded by
+    /// `x = its index`.
+    fn to_ctable(&self, gen: &mut VarGen) -> Result<CTable, TableError> {
+        let mut rows = Vec::new();
+        let mut domains = BTreeMap::new();
+        for block in &self.blocks {
+            let x = gen.fresh();
+            let hi = block.tuples.len() as i64 - 1 + i64::from(block.optional);
+            domains.insert(x, Domain::ints(0..=hi.max(0)));
+            if block.tuples.len() == 1 && !block.optional {
+                // Degenerate block: the tuple is certain.
+                rows.push(CRow::new(
+                    block.tuples[0].iter().map(|v| Term::Const(v.clone())),
+                    Condition::True,
+                ));
+                domains.remove(&x);
+                continue;
+            }
+            for (i, t) in block.tuples.iter().enumerate() {
+                rows.push(CRow::new(
+                    t.iter().map(|v| Term::Const(v.clone())),
+                    Condition::eq_vc(x, i as i64),
+                ));
+            }
+            // For optional blocks the extra domain value `hi` selects no
+            // tuple.
+        }
+        CTable::with_domains(self.arity, rows, domains)
+    }
+}
+
+impl fmt::Display for RSets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "R_sets (arity {}):", self.arity)?;
+        for b in &self.blocks {
+            write!(f, "  {{")?;
+            for (i, t) in b.tuples.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            writeln!(f, "}}{}", if b.optional { " ?" } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::{instance, tuple};
+
+    #[test]
+    fn empty_block_rejected() {
+        assert_eq!(
+            RBlock::new(Vec::<Tuple>::new(), false).unwrap_err(),
+            TableError::EmptyBlock
+        );
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = RSets::new(1);
+        let b = RBlock::new([tuple![1, 2]], false).unwrap();
+        assert!(t.push(b).is_err());
+    }
+
+    #[test]
+    fn worlds_choose_one_per_block() {
+        let t = RSets::from_blocks(
+            1,
+            [
+                RBlock::new([tuple![1], tuple![2]], false).unwrap(),
+                RBlock::new([tuple![3], tuple![4]], false).unwrap(),
+            ],
+        )
+        .unwrap();
+        let w = t.worlds().unwrap();
+        assert_eq!(w.len(), 4);
+        assert!(w.contains(&instance![[1], [3]]));
+        assert!(w.contains(&instance![[2], [4]]));
+    }
+
+    #[test]
+    fn optional_block_adds_absent_choice() {
+        let t = RSets::from_blocks(
+            1,
+            [
+                RBlock::new([tuple![1]], false).unwrap(),
+                RBlock::new([tuple![2], tuple![3]], true).unwrap(),
+            ],
+        )
+        .unwrap();
+        let w = t.worlds().unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(w.contains(&instance![[1]]));
+        assert!(w.contains(&instance![[1], [2]]));
+        assert!(w.contains(&instance![[1], [3]]));
+    }
+
+    #[test]
+    fn overlapping_blocks_collapse_worlds() {
+        // Both blocks can choose (1): worlds {1}, {1,2}, {2,1}… dedup.
+        let t = RSets::from_blocks(
+            1,
+            [
+                RBlock::new([tuple![1], tuple![2]], false).unwrap(),
+                RBlock::new([tuple![1], tuple![2]], false).unwrap(),
+            ],
+        )
+        .unwrap();
+        let w = t.worlds().unwrap();
+        // choices: (1,1)->{1}, (1,2)->{1,2}, (2,1)->{1,2}, (2,2)->{2}
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn to_ctable_preserves_mod() {
+        let t = RSets::from_blocks(
+            2,
+            [
+                RBlock::new([tuple![1, 2], tuple![3, 4]], false).unwrap(),
+                RBlock::new([tuple![5, 6]], true).unwrap(),
+                RBlock::new([tuple![7, 8]], false).unwrap(), // degenerate
+            ],
+        )
+        .unwrap();
+        let mut g = VarGen::new();
+        let c = t.to_ctable(&mut g).unwrap();
+        assert_eq!(c.mod_finite().unwrap(), t.worlds().unwrap());
+    }
+
+    #[test]
+    fn no_blocks_single_empty_world() {
+        let t = RSets::new(2);
+        let w = t.worlds().unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(w.contains(&Instance::empty(2)));
+    }
+
+    #[test]
+    fn display_marks_optional_blocks() {
+        let t = RSets::from_blocks(1, [RBlock::new([tuple![1]], true).unwrap()]).unwrap();
+        assert!(t.to_string().contains("} ?"));
+    }
+}

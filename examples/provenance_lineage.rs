@@ -1,0 +1,127 @@
+//! §9 made executable: c-table conditions are lineage, and semiring
+//! provenance generalizes both.
+//!
+//! Run with `cargo run --example provenance_lineage`.
+
+use std::collections::BTreeMap;
+
+use ipdb::prelude::*;
+use ipdb::provenance::{
+    connection, eval, hom, KRelation, NatSr, Poly, PosBoolSr, Token, TropSr, WhySr,
+};
+use ipdb::rel::Query;
+
+fn main() {
+    // A boolean c-table: claims from two extraction pipelines (a, b).
+    let (a, b) = (Var(0), Var(1));
+    let mut claims = BooleanCTable::new(2);
+    claims
+        .push(tuple!["doc1", "acme"], Condition::bvar(a))
+        .unwrap();
+    claims
+        .push(
+            tuple!["doc1", "globex"],
+            Condition::and([Condition::bvar(a), Condition::bvar(b)]),
+        )
+        .unwrap();
+    claims
+        .push(tuple!["doc2", "acme"], Condition::bvar(b))
+        .unwrap();
+    println!("{claims}");
+
+    // Which companies are mentioned? π₂(V).
+    let q = Query::project(Query::Input, vec![1]);
+
+    // (1) The c-table algebra computes conditions (Thm 4) …
+    let qbar = claims.as_ctable().eval_query(&q).unwrap().simplified();
+    println!("q̄(T):\n{qbar}");
+
+    // (2) … and the PosBool semiring computes provenance. §9: they are
+    // the same thing.
+    let annotated = connection::ctable_to_krel(claims.as_ctable()).unwrap();
+    let prov = eval(&q, &annotated).unwrap();
+    println!("PosBool provenance of q:");
+    for (t, k) in prov.iter() {
+        println!("  {t} : {}", k.0);
+    }
+    let doms: BTreeMap<Var, Domain> = [(a, Domain::bools()), (b, Domain::bools())]
+        .into_iter()
+        .collect();
+    assert_eq!(
+        connection::conditions_match_provenance(claims.as_ctable(), &q, &doms).unwrap(),
+        None
+    );
+    println!("§9 connection verified: conditions ≡ provenance ✓\n");
+
+    // (3) Provenance polynomials ℕ[X] are the free semiring: annotate
+    // with tokens, evaluate once, specialize everywhere.
+    let base = KRelation::from_annotated(
+        2,
+        [
+            (tuple!["doc1", "acme"], Poly::token(Token(0))),
+            (tuple!["doc1", "globex"], Poly::token(Token(1))),
+            (tuple!["doc2", "acme"], Poly::token(Token(2))),
+        ],
+    )
+    .unwrap();
+    let self_join = Query::project(
+        Query::select(
+            Query::product(Query::Input, Query::Input),
+            Pred::eq_cols(1, 3),
+        ),
+        vec![1],
+    );
+    let poly = eval(&self_join, &base).unwrap();
+    println!("ℕ[X] provenance of the company self-join:");
+    for (t, p) in poly.iter() {
+        println!("  {t} : {p}");
+    }
+
+    // Specialize to counting (bag semantics): how many derivations?
+    let counts: BTreeMap<Token, NatSr> = (0..3).map(|i| (Token(i), NatSr(1))).collect();
+    let bag = hom::specialize(&poly, &counts);
+    println!("derivation counts:");
+    for (t, n) in bag.iter() {
+        println!("  {t} : {}", n.0);
+    }
+
+    // Specialize to min-cost: each source tuple has an acquisition cost.
+    let costs: BTreeMap<Token, TropSr> = [
+        (Token(0), TropSr::cost(3)),
+        (Token(1), TropSr::cost(10)),
+        (Token(2), TropSr::cost(1)),
+    ]
+    .into_iter()
+    .collect();
+    let cheapest = hom::specialize(&poly, &costs);
+    println!("cheapest derivations:");
+    for (t, c) in cheapest.iter() {
+        println!("  {t} : {:?}", c.0);
+    }
+
+    // Why-provenance: the witness sets.
+    let why: BTreeMap<Token, WhySr> = (0..3).map(|i| (Token(i), WhySr::token(Token(i)))).collect();
+    let witnesses = hom::specialize(&poly, &why);
+    println!("why-provenance (witness sets):");
+    for (t, w) in witnesses.iter() {
+        println!("  {t} : {} witnesses", w.len());
+    }
+
+    // And back to event expressions: tokens ↦ boolean conditions gives
+    // exactly the q̄ conditions again (universality).
+    let to_cond: BTreeMap<Token, PosBoolSr> = [
+        (Token(0), PosBoolSr::new(Condition::bvar(a))),
+        (
+            Token(1),
+            PosBoolSr::new(Condition::and([Condition::bvar(a), Condition::bvar(b)])),
+        ),
+        (Token(2), PosBoolSr::new(Condition::bvar(b))),
+    ]
+    .into_iter()
+    .collect();
+    let events = hom::specialize(&eval(&q, &base).unwrap(), &to_cond);
+    println!("events via ℕ[X] → PosBool specialization:");
+    for (t, k) in events.iter() {
+        println!("  {t} : {}", k.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration tests for the §9 future-work extensions: global-condition
+//! c-tables, chain (conditionally dependent) pc-tables, and possibilistic
+//! c-tables — each checked for its own closure property against the
+//! worldwise image, on random inputs.
+
+use proptest::prelude::*;
+
+use ipdb::prelude::*;
+use ipdb::prob::chain::{ChainPcTable, CondDist};
+use ipdb::prob::possibilistic::{PossCTable, PossDist, FULLY};
+use ipdb::prob::FiniteSpace;
+use ipdb::rel::strategies::arb_query;
+use ipdb::tables::strategies::arb_finite_ctable;
+use ipdb::tables::GlobalCTable;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Global c-tables: `q̄` commutes with `Mod` (the global rides
+    /// along; Lemma 1 extends to the filtered valuation set).
+    #[test]
+    fn global_ctable_closure(
+        t in arb_finite_ctable(2, 3, 2, 1),
+        q in arb_query(2, 2, 2, 1),
+        which in 0u8..3
+    ) {
+        let vars: Vec<Var> = t.vars().into_iter().collect();
+        let global = match (which, vars.as_slice()) {
+            (_, []) => Condition::True,
+            (0, [v, ..]) => Condition::neq_vc(*v, 0),
+            (1, [v, rest @ ..]) => match rest.first() {
+                Some(w) => Condition::eq_vv(*v, *w),
+                None => Condition::eq_vc(*v, 1),
+            },
+            (_, [v, ..]) => Condition::or([
+                Condition::eq_vc(*v, 0),
+                Condition::eq_vc(*v, 1),
+            ]),
+        };
+        let g = GlobalCTable::new(t, global);
+        let slice = Domain::ints(0..=1);
+        let answered = g.eval_query(&q).unwrap();
+        let lhs = answered.mod_over(&slice).unwrap();
+        let rhs = q.eval_idb(&g.mod_over(&slice).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Chain pc-tables: closure under queries (distribution equality
+    /// with exact rationals).
+    #[test]
+    fn chain_pctable_closure(q in arb_query(2, 2, 2, 1)) {
+        let chain = correlated_chain();
+        let lhs = chain.eval_query(&q).unwrap().mod_space().unwrap();
+        let rhs = chain.mod_space().unwrap().map_query(&q).unwrap();
+        prop_assert!(lhs.same_distribution(&rhs));
+    }
+
+    /// Possibilistic c-tables: (max, min) closure against the max-image.
+    #[test]
+    fn possibilistic_closure(q in arb_query(1, 1, 2, 1)) {
+        let t = sample_poss();
+        let lhs = t.eval_query(&q).unwrap().mod_space().unwrap();
+        let rhs = t.mod_space().unwrap().map_query(&q).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+/// A two-variable chain: x marginal; y's distribution depends on x.
+fn correlated_chain() -> ChainPcTable<Rat> {
+    let (x, y) = (Var(0), Var(1));
+    let table = CTable::builder(2)
+        .row([t_var(x), t_var(y)], Condition::True)
+        .row([t_const(0), t_var(x)], Condition::neq_vv(x, y))
+        .build()
+        .unwrap();
+    let dist = |pairs: &[(i64, Rat)]| {
+        FiniteSpace::new(pairs.iter().map(|(v, p)| (Value::from(*v), *p))).unwrap()
+    };
+    let x_dist = CondDist::marginal(dist(&[(0, Rat::new(1, 2)), (1, Rat::new(1, 2))]));
+    let y_dist = CondDist::conditional(
+        vec![x],
+        [
+            (
+                vec![Value::from(0)],
+                dist(&[(0, Rat::new(3, 4)), (1, Rat::new(1, 4))]),
+            ),
+            (
+                vec![Value::from(1)],
+                dist(&[(0, Rat::new(1, 4)), (1, Rat::new(3, 4))]),
+            ),
+        ],
+    );
+    ChainPcTable::new(table, vec![x, y], [(x, x_dist), (y, y_dist)]).unwrap()
+}
+
+fn sample_poss() -> PossCTable {
+    let x = Var(0);
+    let table = CTable::builder(1)
+        .row([t_var(x)], Condition::True)
+        .row([t_const(1)], Condition::neq_vc(x, 1))
+        .build()
+        .unwrap();
+    let d = PossDist::new([(Value::from(0), FULLY), (Value::from(1), 700)]).unwrap();
+    PossCTable::new(table, [(x, d)]).unwrap()
+}
+
+/// Global conditions strictly extend c-tables: `Mod = ∅` is expressible.
+#[test]
+fn global_conditions_add_power() {
+    let x = Var(0);
+    let t = CTable::builder(1)
+        .row([t_var(x)], Condition::True)
+        .domain(x, Domain::ints(1..=2))
+        .build()
+        .unwrap();
+    let g = GlobalCTable::new(t.clone(), Condition::False);
+    assert!(g.mod_over(&Domain::empty()).unwrap().is_empty());
+    // No plain c-table has an empty Mod: its simulation differs by {∅}.
+    let sim = g.to_ctable().mod_finite().unwrap();
+    assert_eq!(sim.len(), 1);
+    assert!(sim.contains(&ipdb::rel::Instance::empty(1)));
+}
+
+/// The chain marginal on the dependent variable matches the hand
+/// computation (law of total probability).
+#[test]
+fn chain_total_probability() {
+    let chain = correlated_chain();
+    let m = chain.mod_space().unwrap();
+    // P[y=0] = 1/2·3/4 + 1/2·1/4 = 1/2; world (x,y)=(0,0) has the
+    // second row suppressed (x=y): world {(0,0)} with mass 3/8.
+    assert_eq!(m.world_prob(&ipdb::rel::instance![[0, 0]]), Rat::new(3, 8));
+    // (x,y)=(0,1): both rows: {(0,1),(0,0)} at 1/2·1/4.
+    assert_eq!(
+        m.world_prob(&ipdb::rel::instance![[0, 1], [0, 0]]),
+        Rat::new(1, 8)
+    );
+    assert_eq!(m.space().total_mass(), Rat::ONE);
+}
+
+/// Possibility/necessity duality on the sample table.
+#[test]
+fn possibilistic_duality() {
+    let t = sample_poss();
+    let m = t.mod_space().unwrap();
+    // Worlds: x=0 → {0, 1} at 1000; x=1 → {1} at 700.
+    assert_eq!(m.world_degree(&ipdb::rel::instance![[0], [1]]), FULLY);
+    assert_eq!(m.world_degree(&ipdb::rel::instance![[1]]), 700);
+    assert!(m.is_normalized());
+    // (1) is in both worlds: fully possible AND fully necessary.
+    assert_eq!(m.tuple_degree(&tuple![1]), FULLY);
+    assert_eq!(m.tuple_necessity(&tuple![1]), FULLY);
+    // (0) is possible at 1000 but necessary only at 1000-700 = 300.
+    assert_eq!(m.tuple_degree(&tuple![0]), FULLY);
+    assert_eq!(m.tuple_necessity(&tuple![0]), 300);
+}
+
+/// Certain answers through the façade (core::answers).
+#[test]
+fn certain_answers_end_to_end() {
+    let (x, y) = (Var(0), Var(1));
+    let t = CTable::builder(2)
+        .row([t_const("fixed"), t_const("row")], Condition::True)
+        .row([t_var(x), t_var(y)], Condition::True)
+        .build()
+        .unwrap();
+    let q = ipdb::rel::Query::Input;
+    let certain = ipdb::theory::answers::certain_answers(&t, &q).unwrap();
+    assert_eq!(certain, ipdb::rel::instance![["fixed", "row"]]);
+}

@@ -1,0 +1,214 @@
+//! The §3 comparisons between representation systems (expressiveness
+//! claims and Mod-preserving conversions), plus the Prop. 1 non-closure
+//! witnesses (E09).
+
+use ipdb::prelude::*;
+use ipdb::rel::instance;
+use ipdb::tables::{OrSetValue, RBlock, RConstraint, RSets, RXorEquiv, RepresentationSystem};
+use ipdb::theory::nonclosure;
+
+/// §3: "finite-domain v-tables are strictly more expressive than finite
+/// Codd tables. Indeed … the set of instances represented by the finite
+/// v-table {(1,x),(x,1)} where dom(x) = {1,2} cannot be represented by
+/// any finite Codd table."
+#[test]
+fn finite_vtables_strictly_beat_codd() {
+    let x = Var(0);
+    let mut v =
+        CTable::v_table(2, [vec![t_const(1), t_var(x)], vec![t_var(x), t_const(1)]]).unwrap();
+    v.set_domain(x, Domain::ints(1..=2)).unwrap();
+    let target = v.mod_finite().unwrap();
+    // Worlds: x=1 → {(1,1)}; x=2 → {(1,2),(2,1)}.
+    assert_eq!(target.len(), 2);
+    assert!(target.contains(&instance![[1, 1]]));
+    assert!(target.contains(&instance![[1, 2], [2, 1]]));
+    // The correlated worlds defeat any or-set table (= finite Codd
+    // table): with independent cells, representing both worlds forces
+    // spurious mixtures. Exhaustive check over candidate or-set tables
+    // with ≤ 2 rows and cells drawn from {1,2}:
+    let cells: Vec<OrSetValue> = vec![
+        OrSetValue::single(1),
+        OrSetValue::single(2),
+        OrSetValue::new([1i64, 2]).unwrap(),
+    ];
+    let mut found = false;
+    for r in 0..=2usize {
+        // All r-row tables over 2 columns of the 3 candidate cells.
+        let mut stack = vec![Vec::new()];
+        for _ in 0..(2 * r) {
+            let mut next = Vec::new();
+            for partial in stack {
+                for c in &cells {
+                    let mut p = partial.clone();
+                    p.push(c.clone());
+                    next.push(p);
+                }
+            }
+            stack = next;
+        }
+        for flat in stack {
+            let rows: Vec<Vec<OrSetValue>> = flat.chunks(2).map(|ch| ch.to_vec()).collect();
+            let t = OrSetTable::from_rows(2, rows).unwrap();
+            if t.worlds().unwrap() == target {
+                found = true;
+            }
+        }
+    }
+    assert!(!found, "no finite Codd/or-set table represents the v-table");
+}
+
+/// §3: "finite-domain v-tables are themselves finitely incomplete: the
+/// i-database {{(1,2)},{(2,1)}} cannot be represented by any finite
+/// v-table" — certified by the emptiness/cardinality structure: v-table
+/// rows always instantiate, so a 1-row table gives 1-tuple worlds of the
+/// form {ν(t)} … but the two target worlds force the row to be (x, y)
+/// patterns that also produce e.g. (1,1). Exhaustive check over 1-row
+/// finite v-tables on dom {1,2}.
+#[test]
+fn finite_vtables_are_finitely_incomplete() {
+    let target = IDatabase::from_instances(2, [instance![[1, 2]], instance![[2, 1]]]).unwrap();
+    // 1-row v-tables over terms {1, 2, x, y} with dom {1,2}: enumerate.
+    let (x, y) = (Var(0), Var(1));
+    let terms = [t_const(1), t_const(2), t_var(x), t_var(y)];
+    let mut found = false;
+    for a in &terms {
+        for b in &terms {
+            let mut t = CTable::v_table(2, [vec![a.clone(), b.clone()]]).unwrap();
+            for v in t.vars() {
+                t.set_domain(v, Domain::ints(1..=2)).unwrap();
+            }
+            if t.mod_finite().unwrap() == target {
+                found = true;
+            }
+        }
+    }
+    assert!(!found);
+    // Multi-row tables only add more tuples per world (rows always
+    // instantiate), but target worlds have exactly one tuple, and rows
+    // (x,y)(x,y) coincide only under equal valuations — 2 distinct rows
+    // can coincide on SOME valuations but then other valuations give
+    // 2-tuple worlds not in the target. The boolean c-table of Thm 3, of
+    // course, represents it:
+    let bc = ipdb::theory::finite_complete::theorem3_table(&target, &mut VarGen::new()).unwrap();
+    assert_eq!(bc.worlds().unwrap(), target);
+}
+
+/// §3: or-set tables are strictly less expressive than R_sets ([29],
+/// used in Thm 6.3's proof): the R_sets block {(1),(2)} with one choice
+/// is not an or-set table's Mod... it is! ({〈1,2〉}). A real separator:
+/// blocks of non-rectangular tuples.
+#[test]
+fn rsets_beat_orset_tables() {
+    // One block: choose (1,1) or (2,2) — correlated columns.
+    let t = RSets::from_blocks(
+        2,
+        [RBlock::new([tuple![1, 1], tuple![2, 2]], false).unwrap()],
+    )
+    .unwrap();
+    let target = t.worlds().unwrap();
+    assert_eq!(target.len(), 2);
+    // Any 1-row or-set table with cells ⊆ {1,2} either fixes a column or
+    // mixes (1,2)/(2,1) in. Exhaustive check:
+    let cells: Vec<OrSetValue> = vec![
+        OrSetValue::single(1),
+        OrSetValue::single(2),
+        OrSetValue::new([1i64, 2]).unwrap(),
+    ];
+    for a in &cells {
+        for b in &cells {
+            let cand = OrSetTable::from_rows(2, [vec![a.clone(), b.clone()]]).unwrap();
+            assert_ne!(cand.worlds().unwrap(), target);
+        }
+    }
+}
+
+/// All weaker systems embed into c-tables with the same Mod (the
+/// yardstick claim of §3): spot-check one instance of each.
+#[test]
+fn all_embeddings_preserve_mod() {
+    let mut gen = VarGen::new();
+
+    let q = QTable::from_rows(1, [(tuple![1], false), (tuple![2], true)]).unwrap();
+    assert_eq!(
+        q.to_ctable(&mut gen).unwrap().mod_finite().unwrap(),
+        q.worlds().unwrap()
+    );
+
+    let o = OrSetTable::from_rows(
+        1,
+        [
+            vec![OrSetValue::new([1i64, 2]).unwrap()],
+            vec![OrSetValue::single(3)],
+        ],
+    )
+    .unwrap();
+    assert_eq!(
+        o.to_ctable(&mut gen).unwrap().mod_finite().unwrap(),
+        o.worlds().unwrap()
+    );
+
+    let r = RSets::from_blocks(
+        1,
+        [
+            RBlock::new([tuple![1], tuple![2]], false).unwrap(),
+            RBlock::new([tuple![3]], true).unwrap(),
+        ],
+    )
+    .unwrap();
+    assert_eq!(
+        r.to_ctable(&mut gen).unwrap().mod_finite().unwrap(),
+        r.worlds().unwrap()
+    );
+
+    let xr = RXorEquiv::new(
+        1,
+        vec![tuple![1], tuple![2], tuple![3]],
+        vec![RConstraint::Xor(0, 1), RConstraint::Equiv(1, 2)],
+    )
+    .unwrap();
+    assert_eq!(
+        xr.to_ctable(&mut gen).unwrap().mod_finite().unwrap(),
+        xr.worlds().unwrap()
+    );
+
+    let ra = ipdb::tables::RAProp::new(
+        1,
+        vec![
+            vec![OrSetValue::new([1i64, 2]).unwrap()],
+            vec![OrSetValue::single(3)],
+        ],
+        Condition::or([Condition::bvar(Var(0)), Condition::bvar(Var(1))]),
+    )
+    .unwrap();
+    assert_eq!(
+        ra.to_ctable(&mut gen).unwrap().mod_finite().unwrap(),
+        ra.worlds().unwrap()
+    );
+}
+
+/// E09 — Prop. 1: the selection witness escapes every unconditional-row
+/// system; the join witness escapes ?-tables, R_sets, and (bounded
+/// search) R⊕≡.
+#[test]
+fn e09_nonclosure_witnesses() {
+    let sel = nonclosure::selection_witness().unwrap();
+    assert!(nonclosure::unrepresentable_by_unconditional_tables(
+        &sel.target
+    ));
+
+    let join = nonclosure::qtable_join_witness().unwrap();
+    assert!(nonclosure::qtable_representing(&join.target).is_none());
+    assert!(nonclosure::rsets_unrepresentable_via_singletons(
+        &join.target
+    ));
+    // ... but the *source* of each witness is representable in its own
+    // system, so these really are closure failures, not vacuities.
+    assert!(nonclosure::qtable_representing(&join.source_worlds).is_some());
+}
+
+/// E09 (R⊕≡, bounded search — the expensive certificate).
+#[test]
+fn e09_rxor_join_witness_bounded() {
+    let w = nonclosure::rxor_join_witness(4).unwrap();
+    assert_eq!(w.system, "R_⊕≡ (join)");
+}
