@@ -12,7 +12,10 @@ fn rel_arity_errors_surface() {
     let q = Query::union(Query::Input, Query::singleton([1i64, 2]));
     assert!(matches!(
         q.arity(1),
-        Err(RelError::ArityMismatch { expected: 1, got: 2 })
+        Err(RelError::ArityMismatch {
+            expected: 1,
+            got: 2
+        })
     ));
     // Out-of-range projection.
     let q = Query::project(Query::Input, vec![5]);
@@ -115,7 +118,10 @@ fn theory_layer_errors_surface() {
     let host = IDatabase::single(ipdb::rel::instance![[9]]);
     assert!(matches!(
         completion::theorem7_query(&host, &target),
-        Err(CoreError::HostTooSmall { needed: 2, available: 1 })
+        Err(CoreError::HostTooSmall {
+            needed: 2,
+            available: 1
+        })
     ));
 }
 

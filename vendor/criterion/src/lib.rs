@@ -1,0 +1,230 @@
+//! Vendored minimal stand-in for the parts of `criterion` 0.5 this
+//! workspace uses.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the bench harness API (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`) is
+//! re-implemented here. It performs real wall-clock measurement with a
+//! warm-up phase and prints a `ns/iter` summary per benchmark — enough
+//! to compare runs of the `ipdb-bench` suites — but does no statistical
+//! analysis, HTML reporting, or outlier rejection.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    /// Substring filter taken from the first CLI argument, mirroring
+    /// `cargo bench -- <filter>`.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; ignore flags, keep the first
+        // free-standing argument as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::from_name(name);
+        let mut group = self.benchmark_group(name.to_string());
+        group.run_one(&id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named identifier: function name plus a displayed parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+
+    fn from_name(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id, f);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one<F>(&mut self, id: &BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.name);
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench: {:<60} {:>14.1} ns/iter ({} iters)",
+            full_name, bencher.ns_per_iter, bencher.iters
+        );
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Measurement: run ~sample_size batches filling measurement_time.
+        let batch =
+            ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9) / self.sample_size as f64)
+                .ceil() as u64)
+                .max(1);
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+            if measure_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+        let elapsed = measure_start.elapsed();
+        self.iters = total_iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

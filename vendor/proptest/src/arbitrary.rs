@@ -1,0 +1,58 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::generate(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.bool()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let s = any::<bool>();
+        let mut rng = TestRng::for_case("arbitrary-tests", 0);
+        let trues = (0..1000).filter(|_| s.sample(&mut rng)).count();
+        assert!((300..700).contains(&trues), "trues={trues}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Strategies for collections (`Vec`, `BTreeSet`).
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size range for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.int_in(self.lo as i128, self.hi as i128) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for a `Vec` whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for a `BTreeSet` whose cardinality falls in `size` (best
+/// effort: a narrow element strategy may not reach the lower bound, as
+/// in real proptest).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        let max_attempts = 32 + 16 * target.max(self.size.lo);
+        while out.len() < target.max(self.size.lo) && attempts < max_attempts {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("collection-tests", 0)
+    }
+
+    #[test]
+    fn vec_lengths_cover_range() {
+        let s = vec(0..100u32, 0..=4);
+        let mut r = rng();
+        let mut seen = [false; 5];
+        for _ in 0..400 {
+            let v = s.sample(&mut r);
+            assert!(v.len() <= 4);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let s = vec(0..10u8, 3usize);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r).len(), 3);
+        }
+    }
+
+    #[test]
+    fn btree_set_meets_lower_bound_when_feasible() {
+        let s = btree_set(0..100i64, 1..=3);
+        let mut r = rng();
+        for _ in 0..200 {
+            let set = s.sample(&mut r);
+            assert!((1..=3).contains(&set.len()));
+        }
+    }
+}

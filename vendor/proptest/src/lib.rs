@@ -1,0 +1,146 @@
+//! Vendored minimal stand-in for the parts of `proptest` 1.x this
+//! workspace uses.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the property-testing surface the suites rely on —
+//! [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, [`strategy::Just`], [`strategy::Union`],
+//! weighted [`prop_oneof!`], [`collection`] strategies, [`sample::select`],
+//! [`arbitrary::any`], and the [`proptest!`] test macro — is
+//! re-implemented here.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the case index and the
+//!   per-case seed; cases are fully deterministic (fixed base seed mixed
+//!   with the test name and case index), so failures reproduce exactly
+//!   on re-run without persistence files. `proptest-regressions/`
+//!   directories are therefore never written.
+//! - **Case counts are pinned.** `ProptestConfig::with_cases(n)` runs
+//!   exactly `n` cases; the `PROPTEST_CASES` environment variable
+//!   overrides every suite's count at once (used to keep CI within a
+//!   time budget, or to crank counts up locally).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Chooses between several strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property-test assertion; panics (with the values) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0..10i64, v in collection::vec(0..5u32, 1..=3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each test runs its strategies for the configured number of cases.
+/// Later strategy expressions are evaluated after earlier arguments are
+/// bound, and every case is seeded deterministically from the test name
+/// and case index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                        // Bodies may `return Ok(())` early, as in real
+                        // proptest where they run in a Result context.
+                        let __proptest_outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (move || {
+                            $body
+                            Ok(())
+                        })();
+                        if let ::std::result::Result::Err(e) = __proptest_outcome {
+                            panic!("proptest case rejected: {}", e);
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}

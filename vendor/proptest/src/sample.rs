@@ -1,0 +1,39 @@
+//! Strategies that sample from explicit collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy that picks one element of `values` uniformly.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires a non-empty Vec");
+    Select { values }
+}
+
+#[derive(Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.values[rng.index(self.values.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_hits_every_element() {
+        let s = select(vec![10, 20, 30]);
+        let mut rng = TestRng::for_case("select-tests", 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no value-tree / shrinking layer: a
+/// strategy is just a deterministic sampler over a [`TestRng`] stream.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, map }
+    }
+
+    /// Recursive strategies: `self` generates leaves, `expand` wraps a
+    /// strategy for depth-`d` values into one for depth-`d+1` values.
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility; recursion depth alone bounds the output here.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At every level, fall back to a leaf half the time so that
+            // generated sizes stay small even at full depth.
+            current =
+                Union::new_weighted(vec![(1, leaf.clone()), (1, expand(current).boxed())]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.map)(self.source.sample(rng)).sample(rng)
+    }
+}
+
+/// Picks one of several strategies of the same type, with weights.
+#[derive(Clone)]
+pub struct Union<S> {
+    options: Vec<(u32, S)>,
+    total_weight: u64,
+}
+
+impl<S: Strategy> Union<S> {
+    pub fn new(options: impl IntoIterator<Item = S>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(options: Vec<(u32, S)>) -> Self {
+        assert!(!options.is_empty(), "Union requires at least one option");
+        let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "Union weights must not all be zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        let mut pick = rng.next_u128() as u64 % self.total_weight;
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {}..{}", self.start, self.end
+                );
+                rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let s = (0..10i64).prop_map(|x| x * 2);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let s = Union::new_weighted(vec![(3, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let mut r = rng();
+        let ones = (0..4000).filter(|_| s.sample(&mut r) == 1).count();
+        assert!((2600..3400).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let s = (1..5usize).prop_flat_map(|n| crate::collection::vec(0..10u32, n));
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        let s = (0..10i64)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 3, |inner| {
+                crate::collection::vec(inner, 1..=3).prop_map(Tree::Node)
+            });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut r = rng();
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = s.sample(&mut r);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node);
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic case runner: config, per-case RNG, and the driver the
+//! [`proptest!`](crate::proptest) macro expands to.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The number of cases actually run: the config's count unless the
+/// `PROPTEST_CASES` environment variable overrides it globally. A
+/// malformed or zero override panics rather than silently running a
+/// different number of cases than the user asked for.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => {
+            let n: u32 = s
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid PROPTEST_CASES value {s:?}: {e}"));
+            assert!(n > 0, "PROPTEST_CASES must be at least 1, got {s:?}");
+            n
+        }
+        Err(_) => config.cases,
+    }
+}
+
+/// The error type property-test bodies may `return Err(..)` with; a
+/// plain message, since this stand-in does no shrinking or rejection
+/// bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-case random number generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one case of one named test; the stream depends only on
+    /// the test name and case index, so every run is reproducible.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform index in `0..n` (`n` must be nonzero).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick an index from an empty collection");
+        (self.next_u128() % n as u128) as usize
+    }
+
+    /// Uniform integer in `lo..=hi` over `i128` (covers every primitive
+    /// integer range this workspace samples).
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo) as u128 + 1;
+        if span == 0 {
+            // Full i128 range wrapped to zero: any value is in range.
+            return self.next_u128() as i128;
+        }
+        lo.wrapping_add((self.next_u128() % span) as i128)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Runs `body` for the configured number of deterministic cases. If a
+/// case panics, the test name and case index are printed on the way out
+/// so the failure can be replayed (cases are seeded from exactly those
+/// two values).
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, test_name: &str, mut body: F) {
+    struct ReplayNote<'a> {
+        test_name: &'a str,
+        case: u32,
+        cases: u32,
+    }
+
+    impl Drop for ReplayNote<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest case failed: {} (case {} of {}); cases are \
+                     deterministic, re-running the test replays it",
+                    self.test_name, self.case, self.cases
+                );
+            }
+        }
+    }
+
+    let cases = effective_cases(&config);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        let note = ReplayNote {
+            test_name,
+            case,
+            cases,
+        };
+        body(&mut rng);
+        std::mem::forget(note);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let mut c = TestRng::for_case("t", 4);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn int_in_covers_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.int_in(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn run_cases_honours_count() {
+        let mut n = 0;
+        run_cases(ProptestConfig::with_cases(17), "count", |_| n += 1);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(n, 17);
+        }
+    }
+}

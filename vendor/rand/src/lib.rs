@@ -1,0 +1,172 @@
+//! Vendored minimal stand-in for the parts of `rand` 0.8 this workspace
+//! uses (`StdRng::seed_from_u64`, `Rng::gen_range`, `Rng::gen_bool`).
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the handful of external APIs the benches rely on are
+//! re-implemented here on top of a SplitMix64 generator. Everything is
+//! deterministic given the seed, which is all the workload generators in
+//! `ipdb-bench` need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator (SplitMix64 under the hood, not
+/// the ChaCha12 of the real `StdRng` — statistical quality is more than
+/// enough for generating benchmark workloads).
+pub mod rngs {
+    /// The standard RNG, seeded explicitly for reproducibility.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One mixing round so that nearby seeds give unrelated streams.
+        let mut rng = StdRng { state: seed };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let r = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                ((self.start as i128).wrapping_add(r as i128)) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let r = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                ((lo as i128).wrapping_add(r as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// i128/u128 need widening-free span arithmetic, so they get their own
+// impls rather than the macro above.
+macro_rules! impl_sample_range_128 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end.wrapping_sub(self.start)) as u128;
+                let r = ((((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span) as $t;
+                self.start.wrapping_add(r)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi.wrapping_sub(lo) as u128).wrapping_add(1);
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let r = if span == 0 { raw } else { raw % span } as $t;
+                lo.wrapping_add(r)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_128!(i128, u128);
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    fn gen_range<T, SR: SampleRange<T>>(&mut self, range: SR) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 uniform mantissa bits are plenty for workload generation.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: u32 = rng.gen_range(1..=7);
+            assert!((1..=7).contains(&y));
+            let z: usize = rng.gen_range(0..=0);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}
