@@ -1,0 +1,95 @@
+//! E09 — the query pipeline: naive tree-walking evaluation vs. the
+//! optimized plan, on product-heavy workloads.
+//!
+//! The optimizer's headline rewrite is selection pushdown through `×`:
+//! naive evaluation materializes the full n² cross product before
+//! filtering, while the optimized plan filters each factor first. The
+//! same effect is measured on the c-table algebra, where shrinking the
+//! factors also shrinks the quadratic blow-up of row *conditions*.
+//! A third group measures front-end overhead (parse + plan + optimize).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipdb_bench::random_ctable;
+use ipdb_engine::{Backend, Engine};
+use ipdb_rel::{Instance, Tuple, Value};
+
+/// A selective self-join over `V × V`: `#0=1` prunes the left factor to
+/// ~1/8 of its rows, `#2=2` the right factor likewise, and `#1=#3`
+/// spans the product so it must stay above it.
+const PRODUCT_HEAVY: &str = "pi[1](sigma[and(#0=1, #2=2, #1=#3)](V x V))";
+
+/// `rows` distinct tuples `(i mod 8, i div 8)`: 8 join-key groups, so
+/// each pushed-down selection keeps rows/8 tuples.
+fn skewed_instance(rows: usize) -> Instance {
+    Instance::from_tuples(
+        2,
+        (0..rows).map(|i| Tuple::new([Value::from((i % 8) as i64), Value::from((i / 8) as i64)])),
+    )
+    .expect("fixed arity")
+}
+
+fn bench_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_instance");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let stmt = Engine::new()
+        .prepare_text(PRODUCT_HEAVY, 2)
+        .expect("well-typed");
+    let naive = stmt.naive_query();
+    let optimized = stmt.query();
+    for rows in [16usize, 64, 256] {
+        let i = skewed_instance(rows);
+        assert_eq!(i.run(naive).unwrap(), i.run(optimized).unwrap());
+        group.bench_with_input(BenchmarkId::new("naive", rows), &i, |b, i| {
+            b.iter(|| i.run(naive).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", rows), &i, |b, i| {
+            b.iter(|| i.run(optimized).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ctable");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let stmt = Engine::new()
+        .prepare_text(PRODUCT_HEAVY, 2)
+        .expect("well-typed");
+    let naive = stmt.naive_query();
+    let optimized = stmt.query();
+    for rows in [4usize, 16, 64] {
+        let t = random_ctable(rows, 2, 6, 4, 0xE9 + rows as u64);
+        group.bench_with_input(BenchmarkId::new("naive", rows), &t, |b, t| {
+            b.iter(|| t.run(naive).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", rows), &t, |b, t| {
+            b.iter(|| t.run(optimized).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_prepare");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let engine = Engine::new();
+    group.bench_function(BenchmarkId::new("parse_plan_optimize", "spj"), |b| {
+        b.iter(|| engine.prepare_text(PRODUCT_HEAVY, 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instances, bench_ctables, bench_prepare);
+criterion_main!(benches);

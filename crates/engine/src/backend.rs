@@ -1,0 +1,192 @@
+//! The execution backends: one planned query, three semantics.
+//!
+//! [`Backend`] abstracts "something a [`Query`] can run against". The
+//! three models the paper relates all implement it:
+//!
+//! * [`Instance`] — conventional evaluation (§2);
+//! * [`CTable`] — the c-table algebra `q̄` of Theorem 4, with the output
+//!   passed through [`CTable::simplified`] so composed row conditions
+//!   are re-folded;
+//! * [`PcTable`] — Theorem 9 closure: `q̄` on the underlying c-table
+//!   with the variable distributions carried along (and the same
+//!   condition simplification applied).
+//!
+//! Because every optimizer rewrite is a worldwise identity, a plan
+//! prepared once executes on any backend with the same meaning — which
+//! is the paper's uniformity claim made operational.
+
+use ipdb_prob::{PcTable, Weight};
+use ipdb_rel::{Instance, Query, RelError};
+use ipdb_tables::{CTable, TableError};
+
+use crate::error::EngineError;
+
+/// The engine's c-table executor: the same `q̄` operators as
+/// [`CTable::eval_query`], but with every intermediate result passed
+/// through [`CTable::simplified`] + [`CTable::without_false_rows`].
+///
+/// Pruning between operators is sound — a row whose condition folds to
+/// `false` contributes to no possible world, so `ν(T)` is unchanged for
+/// every valuation `ν`, and by Lemma 1 so is every `ν(q̄(T))` — and it
+/// is what lets the optimizer's selection pushdown actually shrink a
+/// product: ground rows that fail a pushed-down selection drop out of
+/// the factor instead of entering the cross product carrying a `false`
+/// condition.
+fn eval_ctable_pruned(t: &CTable, q: &Query) -> Result<CTable, TableError> {
+    let prune = |x: CTable| x.simplified().without_false_rows();
+    Ok(match q {
+        // Leaves carry no freshly-composed conditions, so pruning them
+        // would only re-simplify the (possibly shared) input once per
+        // occurrence; operators below prune their own outputs.
+        Query::Input => t.clone(),
+        Query::Second => return Err(TableError::Rel(RelError::NoSecondInput)),
+        // Delegate literal embedding (ground subtable + domain carry-over).
+        Query::Lit(_) => t.eval_query(q)?,
+        Query::Project(cols, q) => prune(eval_ctable_pruned(t, q)?.project_bar(cols)?),
+        Query::Select(p, q) => prune(eval_ctable_pruned(t, q)?.select_bar(p)?),
+        Query::Product(a, b) => {
+            prune(eval_ctable_pruned(t, a)?.product_bar(&eval_ctable_pruned(t, b)?)?)
+        }
+        Query::Union(a, b) => {
+            prune(eval_ctable_pruned(t, a)?.union_bar(&eval_ctable_pruned(t, b)?)?)
+        }
+        Query::Diff(a, b) => prune(eval_ctable_pruned(t, a)?.diff_bar(&eval_ctable_pruned(t, b)?)?),
+        Query::Intersect(a, b) => {
+            prune(eval_ctable_pruned(t, a)?.intersect_bar(&eval_ctable_pruned(t, b)?)?)
+        }
+    })
+}
+
+/// An input relation a planned query can execute against.
+pub trait Backend {
+    /// The result type (each semantics is closed: instances produce
+    /// instances, c-tables produce c-tables, pc-tables produce
+    /// pc-tables).
+    type Output;
+
+    /// Arity of the input relation (checked against the plan's expected
+    /// input arity before execution).
+    fn input_arity(&self) -> usize;
+
+    /// Runs a (already planned/optimized) query against this input.
+    fn run(&self, q: &Query) -> Result<Self::Output, EngineError>;
+}
+
+impl Backend for Instance {
+    type Output = Instance;
+
+    fn input_arity(&self) -> usize {
+        self.arity()
+    }
+
+    fn run(&self, q: &Query) -> Result<Instance, EngineError> {
+        Ok(q.eval(self)?)
+    }
+}
+
+impl Backend for CTable {
+    type Output = CTable;
+
+    fn input_arity(&self) -> usize {
+        self.arity()
+    }
+
+    fn run(&self, q: &Query) -> Result<CTable, EngineError> {
+        Ok(eval_ctable_pruned(self, q)?)
+    }
+}
+
+impl<W: Weight> Backend for PcTable<W> {
+    type Output = PcTable<W>;
+
+    fn input_arity(&self) -> usize {
+        self.arity()
+    }
+
+    fn run(&self, q: &Query) -> Result<PcTable<W>, EngineError> {
+        // Theorem 9 closure via the pruning executor; dropping a
+        // distribution whose variable vanished marginalizes it, which is
+        // exactly the image-space semantics (see `PcTable::eval_query`).
+        let qt = eval_ctable_pruned(self.table(), q)?;
+        let vars = qt.vars();
+        let dists = self
+            .dists()
+            .iter()
+            .filter(|(v, _)| vars.contains(v))
+            .map(|(v, d)| (*v, d.clone()))
+            .collect::<Vec<_>>();
+        Ok(PcTable::new(qt, dists)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_logic::{Condition, Valuation, VarGen};
+    use ipdb_prob::{rat, FiniteSpace, Rat};
+    use ipdb_rel::{instance, tuple, Pred, Value};
+    use ipdb_tables::{t_const, t_var};
+
+    fn query() -> Query {
+        // π₀(σ_{#0=#1}(V × V)) over arity-1 inputs.
+        Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::Input),
+                Pred::eq_cols(0, 1),
+            ),
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn instance_backend_matches_eval() {
+        let i = instance![[1], [2]];
+        assert_eq!(i.input_arity(), 1);
+        assert_eq!(i.run(&query()).unwrap(), query().eval(&i).unwrap());
+    }
+
+    #[test]
+    fn ctable_backend_simplifies_conditions() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(3)], Condition::True)
+            .build()
+            .unwrap();
+        let out = t.run(&query()).unwrap();
+        // Worldwise agreement with conventional evaluation.
+        for val in [1i64, 3] {
+            let nu = Valuation::from_iter([(x, Value::from(val))]);
+            assert_eq!(
+                out.apply_valuation(&nu).unwrap(),
+                query().eval(&t.apply_valuation(&nu).unwrap()).unwrap()
+            );
+        }
+        // And the composed conditions were re-folded: the self-join of a
+        // row with itself gets condition x=x ∧ … which simplifies away.
+        assert!(out
+            .rows()
+            .iter()
+            .any(|r| r.tuple == vec![t_var(x)] && r.cond == Condition::True));
+    }
+
+    #[test]
+    fn pctable_backend_carries_distributions() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let dist =
+            FiniteSpace::new([(Value::from(1), rat!(1, 2)), (Value::from(2), rat!(1, 2))]).unwrap();
+        let pc = PcTable::new(t, [(x, dist)]).unwrap();
+        let out = pc.run(&query()).unwrap();
+        assert_eq!(out.arity(), 1);
+        let lhs = out.mod_space().unwrap();
+        let rhs = pc.eval_query(&query()).unwrap().mod_space().unwrap();
+        assert!(lhs.same_distribution(&rhs));
+        assert_eq!(lhs.tuple_prob(&tuple![1]), Rat::new(1, 2));
+    }
+}

@@ -1,0 +1,91 @@
+//! Errors for the query pipeline.
+
+use std::fmt;
+
+use ipdb_prob::ProbError;
+use ipdb_rel::RelError;
+use ipdb_tables::TableError;
+
+/// Errors raised by parsing, planning, optimization, or execution.
+// No `Eq`: `ProbError` wraps weights that are only `PartialEq`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The surface-syntax parser rejected the input at byte offset `at`.
+    Parse {
+        /// Byte offset of the offending token in the source text.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The prepared plan expects an input of one arity but the backend
+    /// supplied another.
+    InputArityMismatch {
+        /// Arity the plan was prepared for.
+        expected: usize,
+        /// Arity of the backend's input relation.
+        got: usize,
+    },
+    /// An underlying relational error (arity mismatch, bad column, use of
+    /// `W` outside a two-relation context).
+    Rel(RelError),
+    /// An underlying c-table algebra error.
+    Table(TableError),
+    /// An underlying probabilistic-layer error.
+    Prob(ProbError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            EngineError::InputArityMismatch { expected, got } => write!(
+                f,
+                "plan prepared for input arity {expected}, backend has arity {got}"
+            ),
+            EngineError::Rel(e) => write!(f, "{e}"),
+            EngineError::Table(e) => write!(f, "{e}"),
+            EngineError::Prob(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RelError> for EngineError {
+    fn from(e: RelError) -> Self {
+        EngineError::Rel(e)
+    }
+}
+
+impl From<TableError> for EngineError {
+    fn from(e: TableError) -> Self {
+        EngineError::Table(e)
+    }
+}
+
+impl From<ProbError> for EngineError {
+    fn from(e: ProbError) -> Self {
+        EngineError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::Parse {
+            at: 3,
+            msg: "expected ')'".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        let m = EngineError::InputArityMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(m.to_string().contains("arity 2"));
+        let r: EngineError = RelError::NoSecondInput.into();
+        assert!(r.to_string().contains("second input"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # `ipdb-engine` — the query pipeline
+//!
+//! The paper's central claim is uniformity: *one* relational algebra
+//! evaluates over complete instances (§2), c-tables (Theorem 4), and
+//! probabilistic c-tables (Theorem 9). This crate turns that claim into
+//! an engine with a conventional four-stage pipeline:
+//!
+//! 1. **parse** ([`parser`]) — a compact textual RA surface syntax
+//!    (`pi`, `sigma`, `x`, `union`, `diff`, `intersect`, 0-based column
+//!    refs `#i`, relation literals) producing the [`Query`] AST, with a
+//!    canonical renderer such that `parse(render(q)) == q`;
+//! 2. **plan** ([`plan`]) — an arity-annotated logical plan IR,
+//!    well-typed by construction;
+//! 3. **optimize** ([`optimize`]) — rule-based rewrites (selection
+//!    pushdown, predicate fusion, projection pruning, dead-branch
+//!    elimination, idempotent set ops, constant folding), each a
+//!    worldwise identity, iterated to a fixpoint bounded by
+//!    [`Query::depth`];
+//! 4. **execute** ([`backend`]) — the [`Backend`] trait, implemented by
+//!    [`Instance`](ipdb_rel::Instance), [`CTable`](ipdb_tables::CTable)
+//!    (with [`simplified`](ipdb_tables::CTable::simplified) condition
+//!    pruning), and [`PcTable`](ipdb_prob::PcTable), so one prepared
+//!    plan runs under all three semantics.
+//!
+//! ```
+//! use ipdb_engine::{parser, Engine};
+//! use ipdb_rel::instance;
+//!
+//! // Parse the surface syntax; `#i` and `pi[...]` columns are 0-based.
+//! let q = parser::parse("pi[0](sigma[and(#1=#2, #3!=7)](V x V))").unwrap();
+//! assert_eq!(parser::parse(&parser::render(&q)).unwrap(), q);
+//!
+//! // Prepare once (plan + optimize), execute on any backend.
+//! let stmt = Engine::new().prepare(&q, 2).unwrap();
+//! let chain = instance![[1, 2], [2, 3]];
+//! assert_eq!(stmt.execute(&chain).unwrap(), instance![[1]]);
+//! println!("{}", stmt.explain());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod error;
+pub mod optimize;
+pub mod parser;
+pub mod pipeline;
+pub mod plan;
+
+pub use backend::Backend;
+pub use error::EngineError;
+pub use optimize::{optimize, optimize_plan};
+pub use parser::{parse, render};
+pub use pipeline::{Engine, Prepared};
+pub use plan::{Plan, PlanNode};
+
+// Re-exported so doctests and downstream callers can name the AST types
+// without an explicit `ipdb-rel` dependency.
+pub use ipdb_rel::{Pred, Query};

@@ -1,0 +1,449 @@
+//! The rule-based plan optimizer.
+//!
+//! Rewrites applied (all are worldwise identities of the relational
+//! algebra, so they are sound on every backend — conventional instances,
+//! c-tables via Lemma 1, and pc-tables via Theorem 9):
+//!
+//! * **predicate fusion** — `σ_p(σ_q(e)) → σ_{q∧p}(e)` (via
+//!   [`Pred::conj`], so conjunctions stay flat);
+//! * **selection pushdown** — through `∪` (both sides), `−`/`∩` (left
+//!   side), and `×` (conjuncts split by the column ranges they touch,
+//!   with right-side conjuncts re-based);
+//! * **projection pruning** — `π_cols(π_inner(e)) → π_{inner∘cols}(e)`
+//!   and identity projections dropped;
+//! * **dead-branch elimination** — `q − q → ∅`, `σ_false(e) → ∅`, and
+//!   empty-literal propagation through every operator;
+//! * **idempotent set ops** — `q ∪ q → q`, `q ∩ q → q`;
+//! * **constant folding** — any operator whose children are all literals
+//!   is evaluated at plan time.
+//!
+//! Passes run bottom-up. Upward effects (empty propagation, fusion)
+//! complete within one pass; downward effects (pushdown) descend one
+//! operator per pass, so the fixpoint loop is bounded using the plan's
+//! [`Query::depth`] measure rather than iterating blindly.
+
+use ipdb_rel::{Instance, Pred, Query};
+
+use crate::error::EngineError;
+use crate::plan::{Plan, PlanNode};
+
+/// Optimizes a query in a single-input context: plan, rewrite to
+/// fixpoint, lower back to an executable [`Query`].
+pub fn optimize(q: &Query, input_arity: usize) -> Result<Query, EngineError> {
+    Ok(optimize_plan(&Plan::from_query(q, input_arity)?).to_query())
+}
+
+/// Rewrites a plan to fixpoint.
+pub fn optimize_plan(plan: &Plan) -> Plan {
+    // Each pass finishes all upward rewrites and moves pushed-down
+    // selections at least one level, so `depth` passes reach the
+    // fixpoint; the loop also stops as soon as a pass changes nothing.
+    // (+2: one pass to observe stability, one for rewrites enabled by
+    // the final pushdown step, e.g. fusing into a child selection.)
+    let bound = 2 * plan.depth() + 2;
+    let mut cur = plan.clone();
+    for _ in 0..bound {
+        let next = pass(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// One bottom-up rewrite pass.
+fn pass(plan: &Plan) -> Plan {
+    let arity = plan.arity;
+    let node = match &plan.node {
+        PlanNode::Input => PlanNode::Input,
+        PlanNode::Second => PlanNode::Second,
+        PlanNode::Lit(i) => PlanNode::Lit(i.clone()),
+        PlanNode::Project(cols, p) => PlanNode::Project(cols.clone(), Box::new(pass(p))),
+        PlanNode::Select(pred, p) => PlanNode::Select(pred.clone(), Box::new(pass(p))),
+        PlanNode::Product(a, b) => PlanNode::Product(Box::new(pass(a)), Box::new(pass(b))),
+        PlanNode::Union(a, b) => PlanNode::Union(Box::new(pass(a)), Box::new(pass(b))),
+        PlanNode::Diff(a, b) => PlanNode::Diff(Box::new(pass(a)), Box::new(pass(b))),
+        PlanNode::Intersect(a, b) => PlanNode::Intersect(Box::new(pass(a)), Box::new(pass(b))),
+    };
+    rewrite(Plan { node, arity })
+}
+
+/// Applies the first matching local rule at the root, or returns the
+/// plan unchanged.
+fn rewrite(plan: Plan) -> Plan {
+    let arity = plan.arity;
+    match plan.node {
+        PlanNode::Project(cols, child) => rewrite_project(cols, *child),
+        PlanNode::Select(pred, child) => rewrite_select(pred, *child, arity),
+        PlanNode::Product(a, b) => {
+            if a.is_empty_lit() || b.is_empty_lit() {
+                return Plan::empty(arity);
+            }
+            if let (PlanNode::Lit(x), PlanNode::Lit(y)) = (&a.node, &b.node) {
+                return lit(x.product(y));
+            }
+            Plan {
+                node: PlanNode::Product(a, b),
+                arity,
+            }
+        }
+        PlanNode::Union(a, b) => {
+            if a.is_empty_lit() || a == b {
+                return *b;
+            }
+            if b.is_empty_lit() {
+                return *a;
+            }
+            if let (PlanNode::Lit(x), PlanNode::Lit(y)) = (&a.node, &b.node) {
+                return lit(x.union(y).expect("arities checked at plan build"));
+            }
+            Plan {
+                node: PlanNode::Union(a, b),
+                arity,
+            }
+        }
+        PlanNode::Diff(a, b) => {
+            if a == b || a.is_empty_lit() {
+                return Plan::empty(arity);
+            }
+            if b.is_empty_lit() {
+                return *a;
+            }
+            if let (PlanNode::Lit(x), PlanNode::Lit(y)) = (&a.node, &b.node) {
+                return lit(x.difference(y).expect("arities checked at plan build"));
+            }
+            Plan {
+                node: PlanNode::Diff(a, b),
+                arity,
+            }
+        }
+        PlanNode::Intersect(a, b) => {
+            if a.is_empty_lit() || b.is_empty_lit() {
+                return Plan::empty(arity);
+            }
+            if a == b {
+                return *a;
+            }
+            if let (PlanNode::Lit(x), PlanNode::Lit(y)) = (&a.node, &b.node) {
+                return lit(x.intersect(y).expect("arities checked at plan build"));
+            }
+            Plan {
+                node: PlanNode::Intersect(a, b),
+                arity,
+            }
+        }
+        leaf => Plan { node: leaf, arity },
+    }
+}
+
+fn lit(i: Instance) -> Plan {
+    Plan {
+        arity: i.arity(),
+        node: PlanNode::Lit(i),
+    }
+}
+
+fn rewrite_project(cols: Vec<usize>, child: Plan) -> Plan {
+    if let PlanNode::Lit(i) = &child.node {
+        return lit(i.project(&cols).expect("columns checked at plan build"));
+    }
+    // Identity projection: π_{0,1,…,n−1} of an arity-n child.
+    if cols.len() == child.arity && cols.iter().enumerate().all(|(i, &c)| i == c) {
+        return child;
+    }
+    // π_cols(π_inner(e)) → π_{composed}(e).
+    if let PlanNode::Project(inner, e) = child.node {
+        let composed: Vec<usize> = cols.iter().map(|&c| inner[c]).collect();
+        return Plan {
+            arity: composed.len(),
+            node: PlanNode::Project(composed, e),
+        };
+    }
+    Plan {
+        arity: cols.len(),
+        node: PlanNode::Project(cols, Box::new(child)),
+    }
+}
+
+fn rewrite_select(pred: Pred, child: Plan, arity: usize) -> Plan {
+    // Normalize the conjunction structure first: `and()` is `true`,
+    // `and(p)` is `p`, nested `and`s flatten, `false` absorbs. This is
+    // what lets the `true`/`false` rules below fire on every spelling.
+    let pred = {
+        let mut conjuncts = Vec::new();
+        flatten_conj(&pred, &mut conjuncts);
+        Pred::conj_all(conjuncts)
+    };
+    match pred {
+        Pred::True => return child,
+        Pred::False => return Plan::empty(arity),
+        _ => {}
+    }
+    if child.is_empty_lit() {
+        return Plan::empty(arity);
+    }
+    match child.node {
+        // Constant folding: plans are validated, so `Pred::eval` cannot
+        // report out-of-range columns here.
+        PlanNode::Lit(i) => {
+            let mut out = Instance::empty(i.arity());
+            for t in i.iter() {
+                if pred.eval(t.values()).expect("predicate validated") {
+                    out.insert(t.clone()).expect("same arity");
+                }
+            }
+            lit(out)
+        }
+        // Fusion: σ_p(σ_q(e)) filters by q then p, i.e. by q ∧ p.
+        PlanNode::Select(q, e) => Plan {
+            arity,
+            node: PlanNode::Select(q.conj(pred), e),
+        },
+        PlanNode::Union(a, b) => Plan {
+            arity,
+            node: PlanNode::Union(
+                Box::new(select(pred.clone(), *a)),
+                Box::new(select(pred, *b)),
+            ),
+        },
+        // σ_p(a − b) = σ_p(a) − b and σ_p(a ∩ b) = σ_p(a) ∩ b: the
+        // right side only decides membership, the surviving tuples come
+        // from the left.
+        PlanNode::Diff(a, b) => Plan {
+            arity,
+            node: PlanNode::Diff(Box::new(select(pred, *a)), b),
+        },
+        PlanNode::Intersect(a, b) => Plan {
+            arity,
+            node: PlanNode::Intersect(Box::new(select(pred, *a)), b),
+        },
+        PlanNode::Product(a, b) => push_through_product(pred, *a, *b, arity),
+        other => Plan {
+            arity,
+            node: PlanNode::Select(pred, Box::new(Plan { node: other, arity })),
+        },
+    }
+}
+
+fn select(pred: Pred, child: Plan) -> Plan {
+    Plan {
+        arity: child.arity,
+        node: PlanNode::Select(pred, Box::new(child)),
+    }
+}
+
+/// Splits `σ_p(a × b)` by the column ranges each top-level conjunct of
+/// `p` touches: left-only conjuncts move onto `a`, right-only conjuncts
+/// are re-based and move onto `b`, column-free conjuncts are decided now,
+/// and spanning conjuncts stay above the product.
+fn push_through_product(pred: Pred, a: Plan, b: Plan, arity: usize) -> Plan {
+    let la = a.arity;
+    let mut conjuncts = Vec::new();
+    flatten_conj(&pred, &mut conjuncts);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut rest = Vec::new();
+    let mut dropped_const = false;
+    for c in conjuncts {
+        match (c.min_col(), c.max_col()) {
+            (None, None) => {
+                // Column-free: a constant truth value.
+                if c.eval(&[]).expect("no column references") {
+                    dropped_const = true;
+                } else {
+                    return Plan::empty(arity);
+                }
+            }
+            (_, Some(max)) if max < la => left.push(c),
+            (Some(min), _) if min >= la => right.push(c.unshift_cols(la)),
+            _ => rest.push(c),
+        }
+    }
+    if left.is_empty() && right.is_empty() && !dropped_const {
+        // Nothing to push: restore the original shape so the rewrite is
+        // a no-op rather than an infinite loop.
+        return select(
+            pred,
+            Plan {
+                arity,
+                node: PlanNode::Product(Box::new(a), Box::new(b)),
+            },
+        );
+    }
+    let a = maybe_select(Pred::conj_all(left), a);
+    let b = maybe_select(Pred::conj_all(right), b);
+    let prod = Plan {
+        arity,
+        node: PlanNode::Product(Box::new(a), Box::new(b)),
+    };
+    maybe_select(Pred::conj_all(rest), prod)
+}
+
+fn maybe_select(pred: Pred, child: Plan) -> Plan {
+    if pred == Pred::True {
+        child
+    } else {
+        select(pred, child)
+    }
+}
+
+fn flatten_conj(p: &Pred, out: &mut Vec<Pred>) {
+    match p {
+        Pred::And(ps) => {
+            for q in ps {
+                flatten_conj(q, out);
+            }
+        }
+        _ => out.push(p.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, render};
+    use ipdb_rel::instance;
+
+    fn opt(src: &str, input_arity: usize) -> String {
+        render(&optimize(&parse(src).unwrap(), input_arity).unwrap())
+    }
+
+    #[test]
+    fn fuses_stacked_selections() {
+        assert_eq!(
+            opt("sigma[#0=1](sigma[#1=2](V))", 2),
+            "sigma[and(#1=2,#0=1)](V)"
+        );
+        // Three deep fuses flat, not nested.
+        assert_eq!(
+            opt("sigma[#0=1](sigma[#1=2](sigma[#0=#1](V)))", 2),
+            "sigma[and(#0=#1,#1=2,#0=1)](V)"
+        );
+    }
+
+    #[test]
+    fn pushes_selection_through_product() {
+        // #0 and #1 live in the left factor, #2 in the right; #1=#2 spans.
+        assert_eq!(
+            opt("sigma[and(#0=1,#2=3,#1=#2)](V x pi[0](V))", 2),
+            "sigma[#1=#2]((sigma[#0=1](V) x sigma[#0=3](pi[0](V))))"
+        );
+        // Fully-left predicate leaves nothing above the product.
+        assert_eq!(opt("sigma[#0=#1](V x V)", 2), "(sigma[#0=#1](V) x V)");
+        // A spanning predicate stays put.
+        assert_eq!(opt("sigma[#1=#2](V x V)", 2), "sigma[#1=#2]((V x V))");
+    }
+
+    #[test]
+    fn pushes_selection_through_set_ops() {
+        assert_eq!(
+            opt("sigma[#0=1](V union V)", 1),
+            // ∪-idempotence collapses the child first (passes run
+            // bottom-up), leaving a plain selection over V.
+            "sigma[#0=1](V)"
+        );
+        assert_eq!(
+            opt("sigma[#0=1](V union pi[1](V x V))", 1),
+            "(sigma[#0=1](V) union sigma[#0=1](pi[1]((V x V))))"
+        );
+        assert_eq!(
+            opt("sigma[#0=1](pi[0](V) diff pi[1](V))", 2),
+            "(sigma[#0=1](pi[0](V)) diff pi[1](V))"
+        );
+        assert_eq!(
+            opt("sigma[#0=1](pi[0](V) intersect pi[1](V))", 2),
+            "(sigma[#0=1](pi[0](V)) intersect pi[1](V))"
+        );
+    }
+
+    #[test]
+    fn prunes_projections() {
+        assert_eq!(opt("pi[0,1](V)", 2), "V");
+        assert_eq!(opt("pi[1](pi[2,0](V))", 3), "pi[0](V)");
+        assert_eq!(opt("pi[0,0](pi[1](V))", 2), "pi[1,1](V)");
+        // Non-identity projections survive.
+        assert_eq!(opt("pi[1,0](V)", 2), "pi[1,0](V)");
+    }
+
+    #[test]
+    fn eliminates_dead_branches() {
+        assert_eq!(opt("V diff V", 2), "{:2}");
+        assert_eq!(opt("sigma[false](V)", 2), "{:2}");
+        assert_eq!(opt("V x (pi[0](V) diff pi[0](V))", 2), "{:3}");
+        assert_eq!(opt("V union (V diff V)", 2), "V");
+        assert_eq!(opt("V intersect (V diff V)", 2), "{:2}");
+        assert_eq!(opt("pi[0](V diff V)", 2), "{:1}");
+        assert_eq!(opt("(V diff V) diff V", 2), "{:2}");
+        assert_eq!(opt("V diff (V diff V)", 2), "V");
+        assert_eq!(opt("sigma[#0=1](V diff V)", 2), "{:2}");
+    }
+
+    #[test]
+    fn idempotent_set_ops_collapse() {
+        assert_eq!(opt("V union V", 2), "V");
+        assert_eq!(opt("V intersect V", 2), "V");
+        assert_eq!(opt("pi[0](V) union pi[0](V)", 2), "pi[0](V)");
+        // Different subplans do not collapse.
+        assert_eq!(
+            opt("pi[0](V) union pi[1](V)", 2),
+            "(pi[0](V) union pi[1](V))"
+        );
+    }
+
+    #[test]
+    fn trivial_selections_vanish() {
+        assert_eq!(opt("sigma[true](V)", 2), "V");
+        assert_eq!(opt("sigma[and()](V)", 2), "V");
+        // Column-free conjuncts are decided at plan time.
+        assert_eq!(
+            opt("sigma[and(1=1,#0=#1)](V x V)", 1),
+            "sigma[#0=#1]((V x V))"
+        );
+        assert_eq!(opt("sigma[and(1=2,#0=#1)](V x V)", 1), "{:2}");
+    }
+
+    #[test]
+    fn folds_constant_subtrees() {
+        assert_eq!(opt("{(1),(2)} union {(2),(3)}", 1), "{(1),(2),(3)}");
+        assert_eq!(opt("sigma[#0=1]({(1),(2)})", 1), "{(1)}");
+        assert_eq!(opt("pi[1]({(1,2)})", 1), "{(2)}");
+        assert_eq!(opt("{(1)} x {(2)}", 1), "{(1,2)}");
+        assert_eq!(opt("{(1),(2)} diff {(2)}", 1), "{(1)}");
+        assert_eq!(opt("{(1),(2)} intersect {(2),(3)}", 1), "{(2)}");
+        // Constant folding composes with the input-dependent part.
+        assert_eq!(opt("V union ({(1)} diff {(1)})", 1), "V");
+    }
+
+    #[test]
+    fn optimized_queries_still_evaluate_identically() {
+        let i = instance![[1, 10], [2, 20], [3, 10]];
+        for src in [
+            "sigma[#0=1](sigma[#1=10](V))",
+            "sigma[and(#1=10,#2=20,#1=#3)](V x V)",
+            "pi[1](pi[1,0](V))",
+            "sigma[#0=2](V union V)",
+            "(V diff V) union sigma[true](V)",
+            "pi[0,1](V) intersect pi[0,1](V)",
+        ] {
+            let q = parse(src).unwrap();
+            let o = optimize(&q, 2).unwrap();
+            assert_eq!(q.eval(&i).unwrap(), o.eval(&i).unwrap(), "query {src}");
+        }
+    }
+
+    #[test]
+    fn optimize_rejects_ill_typed_input() {
+        assert!(optimize(&parse("pi[9](V)").unwrap(), 2).is_err());
+    }
+
+    #[test]
+    fn deep_pushdown_reaches_fixpoint_within_bound() {
+        // σ over a four-deep product chain: the selection must descend
+        // all the way to the leftmost factor.
+        let src = "sigma[#0=1](V x (V x (V x V)))";
+        let out = opt(src, 1);
+        assert_eq!(out, "(sigma[#0=1](V) x (V x (V x V)))");
+    }
+}

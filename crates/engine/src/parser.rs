@@ -1,0 +1,784 @@
+//! A compact textual surface syntax for the unnamed relational algebra.
+//!
+//! The grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query   := prod (("union" | "diff" | "intersect") prod)*     left-assoc
+//! prod    := atom ("x" atom)*                                  left-assoc
+//! atom    := "V" | "W" | literal
+//!          | "pi" "[" int ("," int)* "]" "(" query ")"
+//!          | "sigma" "[" pred "]" "(" query ")"
+//!          | "(" query ")"
+//! literal := "{" ":" int "}"                  empty relation of that arity
+//!          | "{" tuple ("," tuple)* "}"
+//! tuple   := "(" (value ("," value)*)? ")"
+//! pred    := "true" | "false" | operand ("=" | "!=") operand
+//!          | "and" "(" (pred ("," pred)*)? ")"
+//!          | "or"  "(" (pred ("," pred)*)? ")"
+//!          | "not" "(" pred ")"
+//! operand := "#" int | value
+//! value   := int | "'" chars "'" | "true" | "false"
+//! ```
+//!
+//! Column references `#i` and projection lists are **0-based** (matching
+//! the `Pred`/`Query` constructor APIs; the paper-style `Display` of
+//! those types stays 1-based). String literals escape `'` and `\` with a
+//! backslash.
+//!
+//! [`render`] emits this syntax canonically (binary operators fully
+//! parenthesized, predicates in functional form), and [`parse`] inverts
+//! it exactly: `parse(render(q)) == q` for every [`Query`] — including
+//! n-ary `and`/`or` predicate nodes and empty relation literals, which
+//! is why the canonical form is functional rather than infix.
+
+use std::fmt::Write as _;
+
+use ipdb_rel::{CmpOp, Instance, Operand, Pred, Query, Tuple, Value};
+
+use crate::error::EngineError;
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+/// Renders a query in the canonical surface syntax accepted by [`parse`].
+pub fn render(q: &Query) -> String {
+    let mut s = String::new();
+    render_query(q, &mut s);
+    s
+}
+
+fn render_query(q: &Query, out: &mut String) {
+    match q {
+        Query::Input => out.push('V'),
+        Query::Second => out.push('W'),
+        Query::Lit(i) => render_literal(i, out),
+        Query::Project(cols, q) => {
+            out.push_str("pi[");
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("](");
+            render_query(q, out);
+            out.push(')');
+        }
+        Query::Select(p, q) => {
+            out.push_str("sigma[");
+            render_pred(p, out);
+            out.push_str("](");
+            render_query(q, out);
+            out.push(')');
+        }
+        Query::Product(a, b) => render_binary(a, "x", b, out),
+        Query::Union(a, b) => render_binary(a, "union", b, out),
+        Query::Diff(a, b) => render_binary(a, "diff", b, out),
+        Query::Intersect(a, b) => render_binary(a, "intersect", b, out),
+    }
+}
+
+fn render_binary(a: &Query, op: &str, b: &Query, out: &mut String) {
+    out.push('(');
+    render_query(a, out);
+    let _ = write!(out, " {op} ");
+    render_query(b, out);
+    out.push(')');
+}
+
+fn render_literal(i: &Instance, out: &mut String) {
+    if i.is_empty() {
+        let _ = write!(out, "{{:{}}}", i.arity());
+        return;
+    }
+    out.push('{');
+    for (n, t) in i.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push('(');
+        for (m, v) in t.values().iter().enumerate() {
+            if m > 0 {
+                out.push(',');
+            }
+            render_value(v, out);
+        }
+        out.push(')');
+    }
+    out.push('}');
+}
+
+/// Renders a predicate in the canonical (functional) surface syntax.
+pub fn render_pred_string(p: &Pred) -> String {
+    let mut s = String::new();
+    render_pred(p, &mut s);
+    s
+}
+
+fn render_pred(p: &Pred, out: &mut String) {
+    match p {
+        Pred::True => out.push_str("true"),
+        Pred::False => out.push_str("false"),
+        Pred::Cmp(op, l, r) => {
+            render_operand(l, out);
+            out.push_str(match op {
+                CmpOp::Eq => "=",
+                CmpOp::Neq => "!=",
+            });
+            render_operand(r, out);
+        }
+        Pred::And(ps) => render_connective("and", ps, out),
+        Pred::Or(ps) => render_connective("or", ps, out),
+        Pred::Not(p) => {
+            out.push_str("not(");
+            render_pred(p, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_connective(name: &str, ps: &[Pred], out: &mut String) {
+    out.push_str(name);
+    out.push('(');
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_pred(p, out);
+    }
+    out.push(')');
+}
+
+fn render_operand(o: &Operand, out: &mut String) {
+    match o {
+        Operand::Col(c) => {
+            let _ = write!(out, "#{c}");
+        }
+        Operand::Const(v) => render_value(v, out),
+    }
+}
+
+fn render_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Str(s) => {
+            out.push('\'');
+            for ch in s.chars() {
+                if ch == '\'' || ch == '\\' {
+                    out.push('\\');
+                }
+                out.push(ch);
+            }
+            out.push('\'');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Hash,
+    Eq,
+    Neq,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "'{s}'"),
+            Tok::Int(i) => write!(f, "'{i}'"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBracket => write!(f, "'['"),
+            Tok::RBracket => write!(f, "']'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::Hash => write!(f, "'#'"),
+            Tok::Eq => write!(f, "'='"),
+            Tok::Neq => write!(f, "'!='"),
+        }
+    }
+}
+
+fn err(at: usize, msg: impl Into<String>) -> EngineError {
+    EngineError::Parse {
+        at,
+        msg: msg.into(),
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, EngineError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let tok = match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b',' => Tok::Comma,
+            b':' => Tok::Colon,
+            b'#' => Tok::Hash,
+            b'=' => Tok::Eq,
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Neq));
+                    i += 2;
+                    continue;
+                }
+                return Err(err(i, "expected '=' after '!'"));
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some(b'\'') => break,
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(&c @ (b'\'' | b'\\')) => s.push(c as char),
+                                _ => return Err(err(i, "bad escape; only \\' and \\\\ allowed")),
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Consume one full UTF-8 character.
+                            let ch = src[i..].chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push((start, Tok::Str(s)));
+                i += 1; // closing quote
+                continue;
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                if b == b'-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        return Err(err(start, "expected digits after '-'"));
+                    }
+                }
+                while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| err(start, format!("integer '{text}' out of range")))?;
+                toks.push((start, Tok::Int(n)));
+                continue;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while bytes
+                    .get(i)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+                continue;
+            }
+            _ => {
+                let ch = src[i..].chars().next().expect("in bounds");
+                return Err(err(i, format!("unexpected character '{ch}'")));
+            }
+        };
+        toks.push((i, tok));
+        i += 1;
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// Parses the surface syntax into a [`Query`] AST.
+///
+/// ```
+/// use ipdb_engine::parser::parse;
+/// use ipdb_rel::{instance, Pred, Query};
+/// let q = parse("pi[0](sigma[#0=#2](V x V))").unwrap();
+/// let expect = Query::project(
+///     Query::select(Query::product(Query::Input, Query::Input), Pred::eq_cols(0, 2)),
+///     vec![0],
+/// );
+/// assert_eq!(q, expect);
+/// assert_eq!(parse("{(1,2),(3,4)}").unwrap(), Query::Lit(instance![[1, 2], [3, 4]]));
+/// ```
+pub fn parse(src: &str) -> Result<Query, EngineError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: src.len(),
+    };
+    let q = p.query()?;
+    if let Some((at, t)) = p.peek_at() {
+        return Err(err(at, format!("trailing input starting with {t}")));
+    }
+    Ok(q)
+}
+
+/// Parses a predicate in the surface syntax (the `[...]` argument of
+/// `sigma`), e.g. `and(#0=#1, #2!='a')`.
+pub fn parse_pred(src: &str) -> Result<Pred, EngineError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: src.len(),
+    };
+    let pred = p.pred()?;
+    if let Some((at, t)) = p.peek_at() {
+        return Err(err(at, format!("trailing input starting with {t}")));
+    }
+    Ok(pred)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek_at(&self) -> Option<(usize, &Tok)> {
+        self.toks.get(self.pos).map(|(at, t)| (*at, t))
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.end, |(at, _)| *at)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), EngineError> {
+        let at = self.here();
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(err(at, format!("expected {want}, found {t}"))),
+            None => Err(err(at, format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, EngineError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(n),
+            Some(t) => Err(err(at, format!("expected an integer, found {t}"))),
+            None => Err(err(at, "expected an integer, found end of input")),
+        }
+    }
+
+    fn expect_index(&mut self) -> Result<usize, EngineError> {
+        let at = self.here();
+        let n = self.expect_int()?;
+        usize::try_from(n).map_err(|_| err(at, format!("index {n} must be non-negative")))
+    }
+
+    // query := prod (("union"|"diff"|"intersect") prod)*
+    fn query(&mut self) -> Result<Query, EngineError> {
+        let mut q = self.prod()?;
+        while let Some(Tok::Ident(id)) = self.peek() {
+            let ctor = match id.as_str() {
+                "union" => Query::union,
+                "diff" => Query::diff,
+                "intersect" => Query::intersect,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.prod()?;
+            q = ctor(q, rhs);
+        }
+        Ok(q)
+    }
+
+    // prod := atom ("x" atom)*
+    fn prod(&mut self) -> Result<Query, EngineError> {
+        let mut q = self.atom()?;
+        while matches!(self.peek(), Some(Tok::Ident(id)) if id == "x") {
+            self.bump();
+            let rhs = self.atom()?;
+            q = Query::product(q, rhs);
+        }
+        Ok(q)
+    }
+
+    fn atom(&mut self) -> Result<Query, EngineError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "V" => Ok(Query::Input),
+                "W" => Ok(Query::Second),
+                "pi" => {
+                    self.expect(&Tok::LBracket)?;
+                    let mut cols = Vec::new();
+                    if self.peek() != Some(&Tok::RBracket) {
+                        loop {
+                            cols.push(self.expect_index()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RBracket)?;
+                    self.expect(&Tok::LParen)?;
+                    let q = self.query()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Query::project(q, cols))
+                }
+                "sigma" => {
+                    self.expect(&Tok::LBracket)?;
+                    let p = self.pred()?;
+                    self.expect(&Tok::RBracket)?;
+                    self.expect(&Tok::LParen)?;
+                    let q = self.query()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Query::select(q, p))
+                }
+                other => Err(err(
+                    at,
+                    format!(
+                        "expected a query (V, W, pi, sigma, a literal, or '('), found '{other}'"
+                    ),
+                )),
+            },
+            Some(Tok::LParen) => {
+                let q = self.query()?;
+                self.expect(&Tok::RParen)?;
+                Ok(q)
+            }
+            Some(Tok::LBrace) => self.literal(at),
+            Some(t) => Err(err(at, format!("expected a query, found {t}"))),
+            None => Err(err(at, "expected a query, found end of input")),
+        }
+    }
+
+    // Called with the opening '{' already consumed.
+    fn literal(&mut self, at: usize) -> Result<Query, EngineError> {
+        if self.peek() == Some(&Tok::Colon) {
+            self.bump();
+            let arity = self.expect_index()?;
+            self.expect(&Tok::RBrace)?;
+            return Ok(Query::Lit(Instance::empty(arity)));
+        }
+        let mut tuples = Vec::new();
+        loop {
+            self.expect(&Tok::LParen)?;
+            let mut vals = Vec::new();
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    vals.push(self.value()?);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            tuples.push(Tuple::new(vals));
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        let arity = tuples[0].arity();
+        let inst = Instance::from_tuples(arity, tuples).map_err(|e| {
+            err(
+                at,
+                format!("relation literal has tuples of differing arity ({e})"),
+            )
+        })?;
+        Ok(Query::Lit(inst))
+    }
+
+    fn value(&mut self) -> Result<Value, EngineError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Value::Int(n)),
+            Some(Tok::Str(s)) => Ok(Value::str(s)),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                other => Err(err(at, format!("expected a value, found '{other}'"))),
+            },
+            Some(t) => Err(err(at, format!("expected a value, found {t}"))),
+            None => Err(err(at, "expected a value, found end of input")),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, EngineError> {
+        let at = self.here();
+        match self.peek().cloned() {
+            Some(Tok::Ident(id)) => match id.as_str() {
+                // `true`/`false` are predicates unless followed by a
+                // comparison, in which case they are boolean operands
+                // (e.g. `true=#0`).
+                "true" | "false"
+                    if !matches!(
+                        self.toks.get(self.pos + 1).map(|(_, t)| t),
+                        Some(Tok::Eq) | Some(Tok::Neq)
+                    ) =>
+                {
+                    self.bump();
+                    Ok(if id == "true" {
+                        Pred::True
+                    } else {
+                        Pred::False
+                    })
+                }
+                "and" => {
+                    self.bump();
+                    Ok(Pred::And(self.pred_list()?))
+                }
+                "or" => {
+                    self.bump();
+                    Ok(Pred::Or(self.pred_list()?))
+                }
+                "not" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let p = self.pred()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Pred::not(p))
+                }
+                _ => self.cmp(),
+            },
+            Some(Tok::Hash | Tok::Int(_) | Tok::Str(_)) => self.cmp(),
+            Some(t) => Err(err(at, format!("expected a predicate, found {t}"))),
+            None => Err(err(at, "expected a predicate, found end of input")),
+        }
+    }
+
+    fn pred_list(&mut self) -> Result<Vec<Pred>, EngineError> {
+        self.expect(&Tok::LParen)?;
+        let mut ps = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                ps.push(self.pred()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(ps)
+    }
+
+    fn cmp(&mut self) -> Result<Pred, EngineError> {
+        let l = self.operand()?;
+        let at = self.here();
+        let op = match self.bump() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Neq) => CmpOp::Neq,
+            Some(t) => return Err(err(at, format!("expected '=' or '!=', found {t}"))),
+            None => return Err(err(at, "expected '=' or '!=', found end of input")),
+        };
+        let r = self.operand()?;
+        Ok(Pred::Cmp(op, l, r))
+    }
+
+    fn operand(&mut self) -> Result<Operand, EngineError> {
+        if self.peek() == Some(&Tok::Hash) {
+            self.bump();
+            return Ok(Operand::Col(self.expect_index()?));
+        }
+        Ok(Operand::Const(self.value()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::instance;
+
+    fn roundtrip(q: &Query) {
+        let text = render(q);
+        let back = parse(&text).unwrap_or_else(|e| panic!("re-parsing '{text}': {e}"));
+        assert_eq!(&back, q, "canonical form was '{text}'");
+    }
+
+    #[test]
+    fn roundtrip_every_constructor() {
+        let lit = Query::Lit(instance![[1, 2], [3, 4]]);
+        for q in [
+            Query::Input,
+            Query::Second,
+            lit.clone(),
+            Query::Lit(Instance::empty(3)),
+            Query::Lit(instance![[true], [false]]),
+            Query::project(Query::Input, vec![1, 0, 1]),
+            Query::project(Query::Input, vec![]),
+            Query::select(Query::Input, Pred::eq_cols(0, 1)),
+            Query::product(Query::Input, lit.clone()),
+            Query::union(Query::Input, lit.clone()),
+            Query::diff(Query::Input, lit.clone()),
+            Query::intersect(Query::Input, lit.clone()),
+        ] {
+            roundtrip(&q);
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_pred_form() {
+        for p in [
+            Pred::True,
+            Pred::False,
+            Pred::eq_cols(0, 1),
+            Pred::neq_const(2, -5),
+            Pred::eq_const(0, "it's \\ here"),
+            Pred::Cmp(CmpOp::Eq, Operand::val(true), Operand::Col(0)),
+            Pred::Cmp(CmpOp::Neq, Operand::val("a"), Operand::val(3)),
+            Pred::And(vec![]),
+            Pred::Or(vec![]),
+            Pred::And(vec![Pred::True]),
+            Pred::and([
+                Pred::eq_cols(0, 1),
+                Pred::or([Pred::False, Pred::neq_cols(1, 2)]),
+            ]),
+            Pred::not(Pred::eq_const(0, 1)),
+        ] {
+            roundtrip(&Query::select(Query::Input, p.clone()));
+            assert_eq!(parse_pred(&render_pred_string(&p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested_query() {
+        let q = Query::union(
+            Query::project(
+                Query::select(
+                    Query::product(Query::Input, Query::product(Query::Input, Query::Second)),
+                    Pred::and([Pred::eq_cols(1, 3), Pred::neq_const(0, "x")]),
+                ),
+                vec![0, 2],
+            ),
+            Query::diff(
+                Query::Lit(instance![[1, 2]]),
+                Query::intersect(Query::Input, Query::Input),
+            ),
+        );
+        roundtrip(&q);
+    }
+
+    #[test]
+    fn infix_is_left_associative_with_product_binding_tighter() {
+        assert_eq!(
+            parse("V union V union V").unwrap(),
+            Query::union(Query::union(Query::Input, Query::Input), Query::Input)
+        );
+        assert_eq!(
+            parse("V union V x V").unwrap(),
+            Query::union(Query::Input, Query::product(Query::Input, Query::Input))
+        );
+        assert_eq!(
+            parse("(V union V) x V").unwrap(),
+            Query::product(Query::union(Query::Input, Query::Input), Query::Input)
+        );
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(
+            parse(" pi [ 0 , 1 ] ( V )\n").unwrap(),
+            parse("pi[0,1](V)").unwrap()
+        );
+    }
+
+    #[test]
+    fn string_values_and_escapes() {
+        let q = parse("sigma[#0='don\\'t']( V )").unwrap();
+        assert_eq!(q, Query::select(Query::Input, Pred::eq_const(0, "don't")));
+        let lit = parse("{('a\\\\b')}").unwrap();
+        assert_eq!(lit, Query::Lit(instance![["a\\b"]]));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        for (src, frag) in [
+            ("", "expected a query"),
+            ("pi[0](V) garbage", "trailing"),
+            ("pi[0(V)", "expected ']'"),
+            ("sigma[#0](V)", "expected '=' or '!='"),
+            ("sigma[#0=](V)", "expected a value"),
+            ("{()", "expected '}'"),
+            ("{(1),(2,3)}", "differing arity"),
+            ("{:-1}", "non-negative"),
+            ("sigma[#0='oops](V)", "unterminated"),
+            ("V ? W", "unexpected character"),
+            ("V !W", "expected '='"),
+            ("sigma[#0='\\n'](V)", "bad escape"),
+            ("pi[99999999999999999999](V)", "out of range"),
+        ] {
+            match parse(src) {
+                Err(EngineError::Parse { msg, .. }) => {
+                    assert!(msg.contains(frag), "source '{src}': got '{msg}'")
+                }
+                other => panic!("source '{src}': expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_arity_tuples_parse() {
+        let q = parse("{()}").unwrap();
+        assert_eq!(
+            q,
+            Query::Lit(Instance::singleton(Tuple::new(Vec::<Value>::new())))
+        );
+        roundtrip(&q);
+    }
+}

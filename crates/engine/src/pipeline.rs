@@ -1,0 +1,212 @@
+//! The front door: parse/plan/optimize once, execute anywhere.
+//!
+//! [`Engine::prepare`] (or [`Engine::prepare_text`] for the surface
+//! syntax) runs the first three pipeline stages — parse, plan,
+//! optimize — and returns a [`Prepared`] statement holding both the
+//! naive and the optimized plan. [`Prepared::execute`] runs the
+//! optimized form against any [`Backend`]; [`Prepared::explain`] shows
+//! what the optimizer did.
+
+use ipdb_rel::Query;
+
+use crate::backend::Backend;
+use crate::error::EngineError;
+use crate::optimize::optimize_plan;
+use crate::parser;
+use crate::plan::Plan;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Whether `prepare` runs the optimizer (on by default; turn off to
+    /// compare naive evaluation, as `bench_engine` does).
+    pub optimize: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine { optimize: true }
+    }
+}
+
+impl Engine {
+    /// An engine with default settings (optimizer on).
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Plans and optimizes a query for inputs of the given arity.
+    pub fn prepare(&self, q: &Query, input_arity: usize) -> Result<Prepared, EngineError> {
+        let naive = Plan::from_query(q, input_arity)?;
+        let optimized = if self.optimize {
+            optimize_plan(&naive)
+        } else {
+            naive.clone()
+        };
+        // Lower both plans once here so repeated `execute` calls don't
+        // pay a per-call plan-to-AST conversion.
+        let naive_query = naive.to_query();
+        let optimized_query = optimized.to_query();
+        Ok(Prepared {
+            input_arity,
+            naive,
+            optimized,
+            naive_query,
+            optimized_query,
+        })
+    }
+
+    /// Parses the surface syntax, then plans and optimizes.
+    pub fn prepare_text(&self, src: &str, input_arity: usize) -> Result<Prepared, EngineError> {
+        self.prepare(&parser::parse(src)?, input_arity)
+    }
+}
+
+/// A planned (and possibly optimized) query, ready to execute on any
+/// backend whose input arity matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prepared {
+    input_arity: usize,
+    naive: Plan,
+    optimized: Plan,
+    naive_query: Query,
+    optimized_query: Query,
+}
+
+impl Prepared {
+    /// The input arity the statement was prepared for.
+    pub fn input_arity(&self) -> usize {
+        self.input_arity
+    }
+
+    /// The plan as written (arity-annotated, unoptimized).
+    pub fn naive_plan(&self) -> &Plan {
+        &self.naive
+    }
+
+    /// The optimized plan.
+    pub fn plan(&self) -> &Plan {
+        &self.optimized
+    }
+
+    /// The optimized query, lowered back to the executable AST (cached
+    /// at `prepare` time).
+    pub fn query(&self) -> &Query {
+        &self.optimized_query
+    }
+
+    /// The original query, lowered back without optimization.
+    pub fn naive_query(&self) -> &Query {
+        &self.naive_query
+    }
+
+    /// Output arity of the statement.
+    pub fn output_arity(&self) -> usize {
+        self.optimized.arity
+    }
+
+    /// Before/after plan trees, for humans.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str("naive plan:\n");
+        out.push_str(&self.naive.render_tree());
+        if self.optimized == self.naive {
+            out.push_str("optimized plan: (unchanged)\n");
+        } else {
+            out.push_str("optimized plan:\n");
+            out.push_str(&self.optimized.render_tree());
+        }
+        out
+    }
+
+    /// Executes the optimized plan against a backend.
+    pub fn execute<B: Backend>(&self, input: &B) -> Result<B::Output, EngineError> {
+        self.check_arity(input)?;
+        input.run(&self.optimized_query)
+    }
+
+    /// Executes the *unoptimized* plan (the baseline `bench_engine`
+    /// compares against).
+    pub fn execute_naive<B: Backend>(&self, input: &B) -> Result<B::Output, EngineError> {
+        self.check_arity(input)?;
+        input.run(&self.naive_query)
+    }
+
+    fn check_arity<B: Backend>(&self, input: &B) -> Result<(), EngineError> {
+        let got = input.input_arity();
+        if got != self.input_arity {
+            return Err(EngineError::InputArityMismatch {
+                expected: self.input_arity,
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::{instance, Instance};
+
+    #[test]
+    fn prepare_text_and_execute() {
+        let engine = Engine::new();
+        let stmt = engine
+            .prepare_text("pi[1](sigma[and(#0=1,#1=#3)](V x V))", 2)
+            .unwrap();
+        assert_eq!(stmt.input_arity(), 2);
+        assert_eq!(stmt.output_arity(), 1);
+        let i = instance![[1, 10], [2, 10], [2, 20]];
+        let out = stmt.execute(&i).unwrap();
+        assert_eq!(out, instance![[10]]);
+        assert_eq!(out, stmt.execute_naive(&i).unwrap());
+    }
+
+    #[test]
+    fn explain_shows_both_plans() {
+        let stmt = Engine::new()
+            .prepare_text("sigma[#0=1](sigma[#1=2](V))", 2)
+            .unwrap();
+        let text = stmt.explain();
+        assert!(text.contains("naive plan:"));
+        assert!(text.contains("optimized plan:"));
+        assert!(text.contains("and(#1=2,#0=1)"));
+        // The fused plan is strictly shallower.
+        assert!(stmt.plan().depth() < stmt.naive_plan().depth());
+    }
+
+    #[test]
+    fn explain_notes_unchanged_plans() {
+        let stmt = Engine::new().prepare_text("V", 2).unwrap();
+        assert!(stmt.explain().contains("(unchanged)"));
+    }
+
+    #[test]
+    fn optimizer_can_be_disabled() {
+        let engine = Engine { optimize: false };
+        let stmt = engine.prepare_text("sigma[true](V)", 2).unwrap();
+        assert_eq!(stmt.query(), stmt.naive_query());
+        let on = Engine::new().prepare_text("sigma[true](V)", 2).unwrap();
+        assert_ne!(on.query(), on.naive_query());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_at_execute() {
+        let stmt = Engine::new().prepare_text("V", 2).unwrap();
+        let narrow = Instance::empty(1);
+        assert_eq!(
+            stmt.execute(&narrow),
+            Err(EngineError::InputArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn prepare_rejects_ill_typed_text() {
+        assert!(Engine::new().prepare_text("pi[4](V)", 2).is_err());
+        assert!(Engine::new().prepare_text("pi[4(V)", 2).is_err());
+    }
+}

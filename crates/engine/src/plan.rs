@@ -1,0 +1,305 @@
+//! The logical plan IR: a [`Query`] tree with every node annotated by
+//! its output arity.
+//!
+//! Arity annotations are what the optimizer's rewrites consume —
+//! selection pushdown through a product must know the left operand's
+//! width to split a predicate's conjuncts, and dead-branch elimination
+//! must manufacture empty literals of the right arity. Building a
+//! [`Plan`] performs the same validation as [`Query::arity`] /
+//! [`Query::arity2`], so a plan is well-typed by construction.
+
+use std::fmt;
+
+use ipdb_rel::{Instance, Pred, Query, RelError};
+
+use crate::error::EngineError;
+use crate::parser::render_pred_string;
+
+/// One node of a logical plan; mirrors [`Query`] with [`Plan`] children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanNode {
+    /// The input relation `V`.
+    Input,
+    /// The second input relation `W`.
+    Second,
+    /// A constant relation.
+    Lit(Instance),
+    /// `π_cols`.
+    Project(Vec<usize>, Box<Plan>),
+    /// `σ_p`.
+    Select(Pred, Box<Plan>),
+    /// `×`.
+    Product(Box<Plan>, Box<Plan>),
+    /// `∪`.
+    Union(Box<Plan>, Box<Plan>),
+    /// `−`.
+    Diff(Box<Plan>, Box<Plan>),
+    /// `∩`.
+    Intersect(Box<Plan>, Box<Plan>),
+}
+
+/// An arity-annotated logical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// The operator at this node.
+    pub node: PlanNode,
+    /// Output arity of this subtree.
+    pub arity: usize,
+}
+
+impl Plan {
+    /// Builds (and arity-checks) a plan from a query in a single-input
+    /// context.
+    pub fn from_query(q: &Query, input_arity: usize) -> Result<Plan, EngineError> {
+        Plan::build(q, input_arity, None)
+    }
+
+    /// Builds a plan in a two-relation context (`V` and `W`).
+    pub fn from_query2(
+        q: &Query,
+        input_arity: usize,
+        second_arity: usize,
+    ) -> Result<Plan, EngineError> {
+        Plan::build(q, input_arity, Some(second_arity))
+    }
+
+    fn build(q: &Query, input: usize, second: Option<usize>) -> Result<Plan, EngineError> {
+        let plan = match q {
+            Query::Input => Plan {
+                node: PlanNode::Input,
+                arity: input,
+            },
+            Query::Second => Plan {
+                node: PlanNode::Second,
+                arity: second.ok_or(RelError::NoSecondInput)?,
+            },
+            Query::Lit(i) => Plan {
+                node: PlanNode::Lit(i.clone()),
+                arity: i.arity(),
+            },
+            Query::Project(cols, q) => {
+                let child = Plan::build(q, input, second)?;
+                for &c in cols {
+                    if c >= child.arity {
+                        return Err(RelError::ColumnOutOfRange {
+                            col: c,
+                            arity: child.arity,
+                        }
+                        .into());
+                    }
+                }
+                Plan {
+                    arity: cols.len(),
+                    node: PlanNode::Project(cols.clone(), Box::new(child)),
+                }
+            }
+            Query::Select(p, q) => {
+                let child = Plan::build(q, input, second)?;
+                p.validate(child.arity)?;
+                Plan {
+                    arity: child.arity,
+                    node: PlanNode::Select(p.clone(), Box::new(child)),
+                }
+            }
+            Query::Product(a, b) => {
+                let (a, b) = (
+                    Plan::build(a, input, second)?,
+                    Plan::build(b, input, second)?,
+                );
+                Plan {
+                    arity: a.arity + b.arity,
+                    node: PlanNode::Product(Box::new(a), Box::new(b)),
+                }
+            }
+            Query::Union(a, b) | Query::Diff(a, b) | Query::Intersect(a, b) => {
+                let (a, b) = (
+                    Plan::build(a, input, second)?,
+                    Plan::build(b, input, second)?,
+                );
+                if a.arity != b.arity {
+                    return Err(RelError::ArityMismatch {
+                        expected: a.arity,
+                        got: b.arity,
+                    }
+                    .into());
+                }
+                let arity = a.arity;
+                let node = match q {
+                    Query::Union(..) => PlanNode::Union(Box::new(a), Box::new(b)),
+                    Query::Diff(..) => PlanNode::Diff(Box::new(a), Box::new(b)),
+                    _ => PlanNode::Intersect(Box::new(a), Box::new(b)),
+                };
+                Plan { node, arity }
+            }
+        };
+        Ok(plan)
+    }
+
+    /// Lowers the plan back to a [`Query`] AST (the executable form).
+    pub fn to_query(&self) -> Query {
+        match &self.node {
+            PlanNode::Input => Query::Input,
+            PlanNode::Second => Query::Second,
+            PlanNode::Lit(i) => Query::Lit(i.clone()),
+            PlanNode::Project(cols, p) => Query::project(p.to_query(), cols.clone()),
+            PlanNode::Select(pred, p) => Query::select(p.to_query(), pred.clone()),
+            PlanNode::Product(a, b) => Query::product(a.to_query(), b.to_query()),
+            PlanNode::Union(a, b) => Query::union(a.to_query(), b.to_query()),
+            PlanNode::Diff(a, b) => Query::diff(a.to_query(), b.to_query()),
+            PlanNode::Intersect(a, b) => Query::intersect(a.to_query(), b.to_query()),
+        }
+    }
+
+    /// Height of the plan tree (same measure as [`Query::depth`]).
+    pub fn depth(&self) -> usize {
+        match &self.node {
+            PlanNode::Input | PlanNode::Second | PlanNode::Lit(_) => 1,
+            PlanNode::Project(_, p) | PlanNode::Select(_, p) => 1 + p.depth(),
+            PlanNode::Product(a, b)
+            | PlanNode::Union(a, b)
+            | PlanNode::Diff(a, b)
+            | PlanNode::Intersect(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Whether this node is a constant empty relation.
+    pub fn is_empty_lit(&self) -> bool {
+        matches!(&self.node, PlanNode::Lit(i) if i.is_empty())
+    }
+
+    /// An empty-relation plan of the given arity (dead branches rewrite
+    /// to this).
+    pub fn empty(arity: usize) -> Plan {
+        Plan {
+            node: PlanNode::Lit(Instance::empty(arity)),
+            arity,
+        }
+    }
+
+    /// Renders the plan as an indented operator tree with per-node arity
+    /// annotations — the body of `explain()`.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, indent: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        let _ = match &self.node {
+            PlanNode::Input => writeln!(out, "V  (arity {})", self.arity),
+            PlanNode::Second => writeln!(out, "W  (arity {})", self.arity),
+            PlanNode::Lit(i) => {
+                writeln!(out, "lit {i}  (arity {}, {} rows)", self.arity, i.len())
+            }
+            PlanNode::Project(cols, _) => {
+                writeln!(out, "pi{cols:?}  (arity {})", self.arity)
+            }
+            PlanNode::Select(p, _) => {
+                writeln!(
+                    out,
+                    "sigma[{}]  (arity {})",
+                    render_pred_string(p),
+                    self.arity
+                )
+            }
+            PlanNode::Product(..) => writeln!(out, "x  (arity {})", self.arity),
+            PlanNode::Union(..) => writeln!(out, "union  (arity {})", self.arity),
+            PlanNode::Diff(..) => writeln!(out, "diff  (arity {})", self.arity),
+            PlanNode::Intersect(..) => writeln!(out, "intersect  (arity {})", self.arity),
+        };
+        match &self.node {
+            PlanNode::Input | PlanNode::Second | PlanNode::Lit(_) => {}
+            PlanNode::Project(_, p) | PlanNode::Select(_, p) => p.render_into(indent + 1, out),
+            PlanNode::Product(a, b)
+            | PlanNode::Union(a, b)
+            | PlanNode::Diff(a, b)
+            | PlanNode::Intersect(a, b) => {
+                a.render_into(indent + 1, out);
+                b.render_into(indent + 1, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::instance;
+
+    fn sample() -> Query {
+        Query::project(
+            Query::select(
+                Query::product(Query::Input, Query::Lit(instance![[1], [2]])),
+                Pred::eq_cols(0, 2),
+            ),
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn annotates_arities_and_lowers_back() {
+        let q = sample();
+        let plan = Plan::from_query(&q, 2).unwrap();
+        assert_eq!(plan.arity, 2);
+        match &plan.node {
+            PlanNode::Project(_, sel) => {
+                assert_eq!(sel.arity, 3);
+                match &sel.node {
+                    PlanNode::Select(_, prod) => assert_eq!(prod.arity, 3),
+                    other => panic!("expected select, got {other:?}"),
+                }
+            }
+            other => panic!("expected project, got {other:?}"),
+        }
+        assert_eq!(plan.to_query(), q);
+        assert_eq!(plan.depth(), q.depth());
+    }
+
+    #[test]
+    fn rejects_ill_typed_queries() {
+        let bad = Query::project(Query::Input, vec![5]);
+        assert_eq!(
+            Plan::from_query(&bad, 2),
+            Err(EngineError::Rel(RelError::ColumnOutOfRange {
+                col: 5,
+                arity: 2
+            }))
+        );
+        let mix = Query::union(Query::Input, Query::Lit(instance![[1]]));
+        assert!(Plan::from_query(&mix, 2).is_err());
+        assert!(Plan::from_query(&Query::Second, 2).is_err());
+        assert_eq!(Plan::from_query2(&Query::Second, 2, 4).unwrap().arity, 4);
+        let sel = Query::select(Query::Input, Pred::eq_cols(0, 7));
+        assert!(Plan::from_query(&sel, 2).is_err());
+    }
+
+    #[test]
+    fn explain_tree_shows_arities() {
+        let plan = Plan::from_query(&sample(), 2).unwrap();
+        let tree = plan.render_tree();
+        assert!(tree.contains("pi[0, 1]  (arity 2)"));
+        assert!(tree.contains("sigma[#0=#2]  (arity 3)"));
+        assert!(tree.contains("x  (arity 3)"));
+        assert!(tree.contains("V  (arity 2)"));
+        assert!(tree.contains("(arity 1, 2 rows)"));
+        assert_eq!(plan.to_string(), tree);
+    }
+
+    #[test]
+    fn empty_lit_helpers() {
+        assert!(Plan::empty(3).is_empty_lit());
+        assert_eq!(Plan::empty(3).arity, 3);
+        let nonempty = Plan::from_query(&Query::Lit(instance![[1]]), 1).unwrap();
+        assert!(!nonempty.is_empty_lit());
+    }
+}

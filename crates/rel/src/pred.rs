@@ -135,6 +135,50 @@ impl Pred {
         Pred::Not(Box::new(p))
     }
 
+    /// Binary conjunction with on-the-fly simplification: `True` is the
+    /// unit, `False` absorbs, and nested [`Pred::And`]s are flattened
+    /// (preserving left-to-right conjunct order, so short-circuit
+    /// evaluation order is unchanged).
+    ///
+    /// This is the conjunction predicate fusion needs: fusing
+    /// `σ_p(σ_q(e))` into `σ_{q ∧ p}(e)` repeatedly must not pile up
+    /// nested `And` wrappers.
+    ///
+    /// ```
+    /// use ipdb_rel::Pred;
+    /// let p = Pred::eq_cols(0, 1).conj(Pred::eq_const(2, 7));
+    /// assert_eq!(p, Pred::and([Pred::eq_cols(0, 1), Pred::eq_const(2, 7)]));
+    /// assert_eq!(Pred::True.conj(Pred::eq_cols(0, 1)), Pred::eq_cols(0, 1));
+    /// assert_eq!(Pred::eq_cols(0, 1).conj(Pred::False), Pred::False);
+    /// ```
+    pub fn conj(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::True, p) | (p, Pred::True) => p,
+            (Pred::False, _) | (_, Pred::False) => Pred::False,
+            (Pred::And(mut a), Pred::And(b)) => {
+                a.extend(b);
+                Pred::And(a)
+            }
+            (Pred::And(mut a), p) => {
+                a.push(p);
+                Pred::And(a)
+            }
+            (p, Pred::And(b)) => {
+                let mut v = Vec::with_capacity(b.len() + 1);
+                v.push(p);
+                v.extend(b);
+                Pred::And(v)
+            }
+            (p, q) => Pred::And(vec![p, q]),
+        }
+    }
+
+    /// Conjunction of several predicates via [`Pred::conj`] (so the
+    /// result is flat and `True`/`False` fold away); `True` if empty.
+    pub fn conj_all(preds: impl IntoIterator<Item = Pred>) -> Pred {
+        preds.into_iter().fold(Pred::True, Pred::conj)
+    }
+
     /// Evaluates the predicate on a tuple.
     pub fn eval(&self, t: &[Value]) -> Result<bool, RelError> {
         Ok(match self {
@@ -178,6 +222,27 @@ impl Pred {
             },
             Pred::And(ps) | Pred::Or(ps) => ps.iter().filter_map(Pred::max_col).max(),
             Pred::Not(p) => p.max_col(),
+        }
+    }
+
+    /// Least column index referenced, if any (dual of
+    /// [`Pred::max_col`]; a query planner uses the pair to decide which
+    /// factor of a product a predicate can move onto).
+    pub fn min_col(&self) -> Option<usize> {
+        fn operand(o: &Operand) -> Option<usize> {
+            match o {
+                Operand::Col(c) => Some(*c),
+                Operand::Const(_) => None,
+            }
+        }
+        match self {
+            Pred::True | Pred::False => None,
+            Pred::Cmp(_, l, r) => match (operand(l), operand(r)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().filter_map(Pred::min_col).min(),
+            Pred::Not(p) => p.min_col(),
         }
     }
 
@@ -235,6 +300,30 @@ impl Pred {
             Pred::And(ps) => Pred::And(ps.iter().map(|p| p.shift_cols(delta)).collect()),
             Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.shift_cols(delta)).collect()),
             Pred::Not(p) => Pred::Not(Box::new(p.shift_cols(delta))),
+        }
+    }
+
+    /// Re-bases every column reference *downward* by `delta` — the
+    /// inverse of [`Pred::shift_cols`], used when moving a predicate
+    /// onto the right factor of a product.
+    ///
+    /// Every referenced column must be `≥ delta` (i.e.
+    /// `self.min_col() >= Some(delta)` or `None`); panics otherwise.
+    pub fn unshift_cols(&self, delta: usize) -> Pred {
+        let operand = |o: &Operand| match o {
+            Operand::Col(c) => Operand::Col(
+                c.checked_sub(delta)
+                    .expect("unshift_cols: column reference below delta"),
+            ),
+            Operand::Const(v) => Operand::Const(v.clone()),
+        };
+        match self {
+            Pred::True => Pred::True,
+            Pred::False => Pred::False,
+            Pred::Cmp(op, l, r) => Pred::Cmp(*op, operand(l), operand(r)),
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.unshift_cols(delta)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.unshift_cols(delta)).collect()),
+            Pred::Not(p) => Pred::Not(Box::new(p.unshift_cols(delta))),
         }
     }
 }
@@ -320,6 +409,55 @@ mod tests {
     }
 
     #[test]
+    fn conj_flattens_and_simplifies() {
+        let a = Pred::eq_cols(0, 1);
+        let b = Pred::eq_const(1, 2);
+        let c = Pred::neq_cols(0, 2);
+        // Unit and absorbing elements.
+        assert_eq!(Pred::True.conj(a.clone()), a);
+        assert_eq!(a.clone().conj(Pred::True), a);
+        assert_eq!(Pred::False.conj(a.clone()), Pred::False);
+        assert_eq!(a.clone().conj(Pred::False), Pred::False);
+        // Flattening on both sides, order preserved.
+        let ab = a.clone().conj(b.clone());
+        assert_eq!(ab, Pred::And(vec![a.clone(), b.clone()]));
+        assert_eq!(
+            ab.clone().conj(c.clone()),
+            Pred::And(vec![a.clone(), b.clone(), c.clone()])
+        );
+        assert_eq!(
+            c.clone().conj(ab.clone()),
+            Pred::And(vec![c.clone(), a.clone(), b.clone()])
+        );
+        assert_eq!(
+            ab.clone().conj(Pred::And(vec![c.clone()])),
+            Pred::And(vec![a.clone(), b.clone(), c.clone()])
+        );
+        // Evaluation agrees with the unfused pair.
+        let t = t(&[5, 2, 9]);
+        assert_eq!(
+            ab.eval(&t).unwrap(),
+            a.eval(&t).unwrap() && b.eval(&t).unwrap()
+        );
+    }
+
+    #[test]
+    fn conj_all_folds() {
+        assert_eq!(Pred::conj_all([]), Pred::True);
+        assert_eq!(Pred::conj_all([Pred::True, Pred::True]), Pred::True);
+        let a = Pred::eq_cols(0, 1);
+        assert_eq!(Pred::conj_all([Pred::True, a.clone()]), a);
+        assert_eq!(
+            Pred::conj_all([a.clone(), Pred::False, Pred::eq_const(0, 1)]),
+            Pred::False
+        );
+        assert_eq!(
+            Pred::conj_all([a.clone(), Pred::eq_const(0, 1)]),
+            Pred::And(vec![a, Pred::eq_const(0, 1)])
+        );
+    }
+
+    #[test]
     fn positivity() {
         assert!(Pred::eq_cols(0, 1).is_positive());
         assert!(Pred::and([Pred::eq_const(0, 1), Pred::True]).is_positive());
@@ -344,6 +482,38 @@ mod tests {
         assert_eq!(p, Pred::eq_cols(2, 3));
         let q = Pred::eq_const(0, 7).shift_cols(1);
         assert!(q.eval(&t(&[0, 7])).unwrap());
+    }
+
+    #[test]
+    fn min_col_is_dual_of_max_col() {
+        let p = Pred::and([Pred::eq_cols(2, 3), Pred::neq_const(1, 5)]);
+        assert_eq!(p.min_col(), Some(1));
+        assert_eq!(p.max_col(), Some(3));
+        assert_eq!(Pred::True.min_col(), None);
+        assert_eq!(Pred::eq_const(4, 1).min_col(), Some(4));
+        assert_eq!(
+            Pred::not(Pred::or([Pred::eq_cols(3, 2)])).min_col(),
+            Some(2)
+        );
+        let consts = Pred::Cmp(CmpOp::Eq, Operand::val(1), Operand::val(2));
+        assert_eq!(consts.min_col(), None);
+    }
+
+    #[test]
+    fn unshift_cols_inverts_shift_cols() {
+        let p = Pred::and([Pred::eq_cols(1, 3), Pred::neq_const(2, 9)]);
+        assert_eq!(p.shift_cols(4).unshift_cols(4), p);
+        assert_eq!(
+            Pred::not(Pred::eq_cols(2, 3)).unshift_cols(2),
+            Pred::not(Pred::eq_cols(0, 1))
+        );
+        assert_eq!(Pred::True.unshift_cols(7), Pred::True);
+    }
+
+    #[test]
+    #[should_panic(expected = "below delta")]
+    fn unshift_cols_rejects_underflow() {
+        let _ = Pred::eq_cols(0, 5).unshift_cols(1);
     }
 
     #[test]

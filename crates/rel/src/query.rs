@@ -274,6 +274,25 @@ impl Query {
         }
     }
 
+    /// Height of the query tree: 1 for leaves, 1 + the deepest child
+    /// otherwise.
+    ///
+    /// [`Query::size`] and [`Query::op_set`] walk the tree but say
+    /// nothing about its *depth*, which is what plan-rewriting passes
+    /// need: a rewrite that only moves operators downward (e.g. selection
+    /// pushdown) reaches a fixpoint within `depth()` passes, so
+    /// `ipdb-engine` uses this as its fixpoint bound.
+    pub fn depth(&self) -> usize {
+        match self {
+            Query::Input | Query::Second | Query::Lit(_) => 1,
+            Query::Project(_, q) | Query::Select(_, q) => 1 + q.depth(),
+            Query::Product(a, b)
+            | Query::Union(a, b)
+            | Query::Diff(a, b)
+            | Query::Intersect(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
     /// Whether the query mentions the input relation at all (queries that
     /// don't are constant, e.g. the `I_i` world-builders of Thm 7).
     pub fn uses_input(&self) -> bool {
@@ -405,6 +424,20 @@ mod tests {
     fn size_counts_nodes() {
         let q = Query::union(Query::Input, Query::Input);
         assert_eq!(q.size(), 3);
+    }
+
+    #[test]
+    fn depth_is_tree_height() {
+        assert_eq!(Query::Input.depth(), 1);
+        assert_eq!(Query::Second.depth(), 1);
+        assert_eq!(Query::singleton([1i64]).depth(), 1);
+        let q = Query::project(Query::select(Query::Input, Pred::True), vec![0]);
+        assert_eq!(q.depth(), 3);
+        // Binary nodes take the deeper side: size counts both, depth doesn't.
+        let lop = Query::union(q.clone(), Query::Input);
+        assert_eq!(lop.depth(), 4);
+        assert_eq!(lop.size(), q.size() + 2);
+        assert_eq!(Query::product(Query::Input, lop).depth(), 5);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`prob`] | `ipdb-prob` | probability spaces, p-`?`-tables, p-or-set-tables, pc-tables, query answering |
 //! | [`provenance`] | `ipdb-provenance` | semiring provenance; the §9 lineage connection |
 //! | [`theory`] | `ipdb-core` | RA-completeness, finite completeness, algebraic completion, non-closure, probabilistic completeness/closure |
+//! | [`engine`] | `ipdb-engine` | query pipeline: RA surface parser, logical plans, rule-based optimizer, unified executor over all three backends |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 
 pub use ipdb_bdd as bdd;
 pub use ipdb_core as theory;
+pub use ipdb_engine as engine;
 pub use ipdb_logic as logic;
 pub use ipdb_prob as prob;
 pub use ipdb_provenance as provenance;
@@ -62,6 +64,8 @@ pub mod prelude {
     };
 
     pub use ipdb_prob::{BooleanPcTable, PDatabase, POrSetTable, PTable, PcTable, Rat, Weight};
+
+    pub use ipdb_engine::{Backend, Engine, EngineError, Prepared};
 
     pub use ipdb_core as theory;
 }
