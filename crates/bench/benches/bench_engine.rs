@@ -1,35 +1,30 @@
 //! E09 — the query pipeline: naive tree-walking evaluation vs. the
 //! optimized plan, on product-heavy workloads.
 //!
-//! The optimizer's headline rewrite is selection pushdown through `×`:
-//! naive evaluation materializes the full n² cross product before
-//! filtering, while the optimized plan filters each factor first. The
-//! same effect is measured on the c-table algebra, where shrinking the
-//! factors also shrinks the quadratic blow-up of row *conditions*.
-//! A third group measures front-end overhead (parse + plan + optimize).
+//! Three execution strategies are compared on the same σ(×) self-join:
+//!
+//! * **naive** — the unoptimized plan: materialize the full n² cross
+//!   product, then filter;
+//! * **pushdown** — one-sided selections pre-pushed into the factors,
+//!   but the spanning `#1=#3` kept as a filter above the product
+//!   (the engine's pre-join optimizer output);
+//! * **join** — the full optimizer output: pushed-down factors *and* the
+//!   spanning equality executed as a hash `Join`.
+//!
+//! The same naive-vs-join effect is measured on the c-table algebra,
+//! where hashing the ground key columns also skips the quadratic blow-up
+//! of composed row *conditions*. A third group measures front-end
+//! overhead (parse + plan + optimize).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ipdb_bench::random_ctable;
+use ipdb_bench::{
+    random_ctable, skewed_instance, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
+    ENGINE_PRODUCT_HEAVY_PUSHED as PRODUCT_HEAVY_PUSHED,
+};
 use ipdb_engine::{Backend, Engine};
-use ipdb_rel::{Instance, Tuple, Value};
-
-/// A selective self-join over `V × V`: `#0=1` prunes the left factor to
-/// ~1/8 of its rows, `#2=2` the right factor likewise, and `#1=#3`
-/// spans the product so it must stay above it.
-const PRODUCT_HEAVY: &str = "pi[1](sigma[and(#0=1, #2=2, #1=#3)](V x V))";
-
-/// `rows` distinct tuples `(i mod 8, i div 8)`: 8 join-key groups, so
-/// each pushed-down selection keeps rows/8 tuples.
-fn skewed_instance(rows: usize) -> Instance {
-    Instance::from_tuples(
-        2,
-        (0..rows).map(|i| Tuple::new([Value::from((i % 8) as i64), Value::from((i / 8) as i64)])),
-    )
-    .expect("fixed arity")
-}
 
 fn bench_instances(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_instance");
@@ -40,16 +35,24 @@ fn bench_instances(c: &mut Criterion) {
     let stmt = Engine::new()
         .prepare_text(PRODUCT_HEAVY, 2)
         .expect("well-typed");
+    let pushed_stmt = Engine { optimize: false }
+        .prepare_text(PRODUCT_HEAVY_PUSHED, 2)
+        .expect("well-typed");
     let naive = stmt.naive_query();
-    let optimized = stmt.query();
+    let pushed = pushed_stmt.query();
+    let join = stmt.query();
     for rows in [16usize, 64, 256] {
         let i = skewed_instance(rows);
-        assert_eq!(i.run(naive).unwrap(), i.run(optimized).unwrap());
+        assert_eq!(i.run(naive).unwrap(), i.run(join).unwrap());
+        assert_eq!(i.run(pushed).unwrap(), i.run(join).unwrap());
         group.bench_with_input(BenchmarkId::new("naive", rows), &i, |b, i| {
             b.iter(|| i.run(naive).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("optimized", rows), &i, |b, i| {
-            b.iter(|| i.run(optimized).unwrap())
+        group.bench_with_input(BenchmarkId::new("pushdown", rows), &i, |b, i| {
+            b.iter(|| i.run(pushed).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("join", rows), &i, |b, i| {
+            b.iter(|| i.run(join).unwrap())
         });
     }
     group.finish();
@@ -71,7 +74,7 @@ fn bench_ctables(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", rows), &t, |b, t| {
             b.iter(|| t.run(naive).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("optimized", rows), &t, |b, t| {
+        group.bench_with_input(BenchmarkId::new("join", rows), &t, |b, t| {
             b.iter(|| t.run(optimized).unwrap())
         });
     }

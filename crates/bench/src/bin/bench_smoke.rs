@@ -1,0 +1,109 @@
+//! Quick-mode engine perf smoke: times the three execution strategies
+//! of `bench_engine` (naive σ(×), pushdown-only, hash join) with capped
+//! iteration counts and writes the ns/iter figures to
+//! `BENCH_engine.json`. The tracked copy of that file at the repo root
+//! is the perf-trajectory record — re-run this bin and commit the
+//! refreshed numbers when the engine's execution paths change; CI runs
+//! it per push as a gate (printing, not persisting, its figures).
+//!
+//! Run with `cargo run --release -p ipdb-bench --bin bench_smoke`.
+//! Unlike the criterion benches this is fast enough (< a few seconds)
+//! to run on every CI push, and it *asserts* the acceptance floor: the
+//! join path must beat the naive nested-loop σ(×) by ≥ 10× on the
+//! 256-row instance self-join, and must beat it on the c-table case.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ipdb_bench::{
+    random_ctable, skewed_instance, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
+    ENGINE_PRODUCT_HEAVY_PUSHED as PRODUCT_HEAVY_PUSHED,
+};
+use ipdb_engine::{Backend, Engine};
+
+/// Median-of-runs wall-clock timer with quick-mode caps: 2 warmup runs,
+/// then up to `max_iters` timed runs or ~250 ms, whichever first.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    const MAX_ITERS: usize = 30;
+    const BUDGET_NS: u128 = 250_000_000;
+    f();
+    f();
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.len() < MAX_ITERS && start.elapsed().as_nanos() < BUDGET_NS {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let stmt = Engine::new()
+        .prepare_text(PRODUCT_HEAVY, 2)
+        .expect("well-typed");
+    let pushed_stmt = Engine { optimize: false }
+        .prepare_text(PRODUCT_HEAVY_PUSHED, 2)
+        .expect("well-typed");
+    let naive = stmt.naive_query();
+    let pushed = pushed_stmt.query();
+    let join = stmt.query();
+
+    let i = skewed_instance(256);
+    assert_eq!(i.run(naive).unwrap(), i.run(join).unwrap());
+    assert_eq!(i.run(pushed).unwrap(), i.run(join).unwrap());
+    let inst_naive = time_ns(|| {
+        i.run(naive).unwrap();
+    });
+    let inst_pushdown = time_ns(|| {
+        i.run(pushed).unwrap();
+    });
+    let inst_join = time_ns(|| {
+        i.run(join).unwrap();
+    });
+
+    let t = random_ctable(64, 2, 6, 4, 0xE9 + 64);
+    let ct_naive = time_ns(|| {
+        t.run(naive).unwrap();
+    });
+    let ct_join = time_ns(|| {
+        t.run(join).unwrap();
+    });
+
+    let speedup_inst = inst_naive / inst_join;
+    let speedup_ct = ct_naive / ct_join;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"engine\",");
+    let _ = writeln!(out, "  \"mode\": \"quick-smoke\",");
+    let _ = writeln!(out, "  \"unit\": \"ns_per_iter\",");
+    let _ = writeln!(out, "  \"workload\": \"{PRODUCT_HEAVY}\",");
+    let _ = writeln!(out, "  \"instance_256\": {{");
+    let _ = writeln!(out, "    \"naive\": {inst_naive:.0},");
+    let _ = writeln!(out, "    \"pushdown\": {inst_pushdown:.0},");
+    let _ = writeln!(out, "    \"join\": {inst_join:.0},");
+    let _ = writeln!(out, "    \"speedup_naive_over_join\": {speedup_inst:.2}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"ctable_64\": {{");
+    let _ = writeln!(out, "    \"naive\": {ct_naive:.0},");
+    let _ = writeln!(out, "    \"join\": {ct_join:.0},");
+    let _ = writeln!(out, "    \"speedup_naive_over_join\": {speedup_ct:.2}");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
+    print!("{out}");
+
+    assert!(
+        speedup_inst >= 10.0,
+        "join path must be >= 10x the naive nested loop on the 256-row \
+         instance self-join, measured {speedup_inst:.2}x"
+    );
+    assert!(
+        speedup_ct > 1.0,
+        "join path must improve the c-table case, measured {speedup_ct:.2}x"
+    );
+    println!(
+        "bench_smoke: ok (instance {speedup_inst:.1}x, c-table {speedup_ct:.1}x) -> BENCH_engine.json"
+    );
+}

@@ -209,3 +209,29 @@ pub fn random_idb(
 pub fn gen_for(t: &CTable) -> VarGen {
     VarGen::avoiding(t.vars())
 }
+
+/// The engine benches' σ(×) self-join workload, shared by
+/// `bench_engine` and the CI `bench_smoke` gate so the two always
+/// measure the same query: `#0=1` prunes the left factor to ~1/8 of its
+/// rows, `#2=2` the right factor likewise, and `#1=#3` spans the
+/// product — the optimizer turns it into a hash join key.
+pub const ENGINE_PRODUCT_HEAVY: &str = "pi[1](sigma[and(#0=1, #2=2, #1=#3)](V x V))";
+
+/// The pushdown-only strategy for [`ENGINE_PRODUCT_HEAVY`], written out
+/// by hand and meant to be prepared with the optimizer *off*: factors
+/// pre-filtered (right-side conjunct re-based), the spanning equality
+/// left as a selection above the product — what the optimizer produced
+/// before it learned to build joins.
+pub const ENGINE_PRODUCT_HEAVY_PUSHED: &str =
+    "pi[1](sigma[#1=#3](sigma[#0=1](V) x sigma[#0=2](V)))";
+
+/// `rows` distinct tuples `(i mod 8, i div 8)` — 8 join-key groups, so
+/// each pushed-down selection of [`ENGINE_PRODUCT_HEAVY`] keeps rows/8
+/// tuples.
+pub fn skewed_instance(rows: usize) -> Instance {
+    Instance::from_tuples(
+        2,
+        (0..rows).map(|i| Tuple::new([Value::from((i % 8) as i64), Value::from((i / 8) as i64)])),
+    )
+    .expect("fixed arity")
+}

@@ -47,6 +47,19 @@ fn eval_ctable_pruned(t: &CTable, q: &Query) -> Result<CTable, TableError> {
         Query::Product(a, b) => {
             prune(eval_ctable_pruned(t, a)?.product_bar(&eval_ctable_pruned(t, b)?)?)
         }
+        // The hash path of `join_bar` already skips ground-key pairs
+        // whose conditions would fold to `false`; pruning still re-folds
+        // the fallback pairs' composed conditions.
+        Query::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => prune(eval_ctable_pruned(t, left)?.join_bar(
+            &eval_ctable_pruned(t, right)?,
+            on,
+            residual.as_ref(),
+        )?),
         Query::Union(a, b) => {
             prune(eval_ctable_pruned(t, a)?.union_bar(&eval_ctable_pruned(t, b)?)?)
         }

@@ -25,6 +25,22 @@ pub enum EngineError {
         /// Arity of the backend's input relation.
         got: usize,
     },
+    /// A join key column does not address both sides of the join: each
+    /// `on` pair must name one column of the left operand (`< left`) and
+    /// one of the right (`left ≤ col < left + right`), in either order.
+    /// `col` is the offending column of the combined tuple.
+    JoinArity {
+        /// The key column that is out of range or on the wrong side.
+        col: usize,
+        /// Arity of the join's left operand.
+        left: usize,
+        /// Arity of the join's right operand.
+        right: usize,
+    },
+    /// A `Join` plan node with an empty `on` list. A join without key
+    /// pairs is just a filtered product — write `sigma(... x ...)` so the
+    /// plan says what it executes.
+    EmptyJoinOn,
     /// An underlying relational error (arity mismatch, bad column, use of
     /// `W` outside a two-relation context).
     Rel(RelError),
@@ -41,6 +57,16 @@ impl fmt::Display for EngineError {
             EngineError::InputArityMismatch { expected, got } => write!(
                 f,
                 "plan prepared for input arity {expected}, backend has arity {got}"
+            ),
+            EngineError::JoinArity { col, left, right } => write!(
+                f,
+                "join key column {col} does not span a join of arities {left}x{right} \
+                 (need one column < {left} and one in {left}..{})",
+                left + right
+            ),
+            EngineError::EmptyJoinOn => write!(
+                f,
+                "join has no key pairs; use a selection over a product instead"
             ),
             EngineError::Rel(e) => write!(f, "{e}"),
             EngineError::Table(e) => write!(f, "{e}"),
@@ -87,5 +113,15 @@ mod tests {
         assert!(m.to_string().contains("arity 2"));
         let r: EngineError = RelError::NoSecondInput.into();
         assert!(r.to_string().contains("second input"));
+        let j = EngineError::JoinArity {
+            col: 4,
+            left: 2,
+            right: 2,
+        };
+        assert!(j.to_string().contains("column 4"));
+        assert!(j.to_string().contains("2x2"));
+        assert!(EngineError::EmptyJoinOn
+            .to_string()
+            .contains("no key pairs"));
     }
 }

@@ -6,21 +6,27 @@
 //! an engine with a conventional four-stage pipeline:
 //!
 //! 1. **parse** ([`parser`]) — a compact textual RA surface syntax
-//!    (`pi`, `sigma`, `x`, `union`, `diff`, `intersect`, 0-based column
-//!    refs `#i`, relation literals) producing the [`Query`] AST, with a
-//!    canonical renderer such that `parse(render(q)) == q`;
+//!    (`pi`, `sigma`, `join`, `x`, `union`, `diff`, `intersect`, 0-based
+//!    column refs `#i`, relation literals) producing the [`Query`] AST,
+//!    with a canonical renderer such that `parse(render(q)) == q`;
 //! 2. **plan** ([`plan`]) — an arity-annotated logical plan IR,
-//!    well-typed by construction;
+//!    well-typed by construction (join key pairs must span the join's
+//!    operands, and are deduplicated);
 //! 3. **optimize** ([`optimize`]) — rule-based rewrites (selection
-//!    pushdown, predicate fusion, projection pruning, dead-branch
-//!    elimination, idempotent set ops, constant folding), each a
-//!    worldwise identity, iterated to a fixpoint bounded by
-//!    [`Query::depth`];
+//!    pushdown, predicate fusion, **equijoin recognition** turning
+//!    `σ_eq(a × b)` into a hash-executed `Join` node, projection
+//!    pruning, dead-branch elimination, idempotent set ops, constant
+//!    folding), each a worldwise identity, iterated to a fixpoint
+//!    bounded by [`Query::depth`];
 //! 4. **execute** ([`backend`]) — the [`Backend`] trait, implemented by
 //!    [`Instance`](ipdb_rel::Instance), [`CTable`](ipdb_tables::CTable)
 //!    (with [`simplified`](ipdb_tables::CTable::simplified) condition
 //!    pruning), and [`PcTable`](ipdb_prob::PcTable), so one prepared
-//!    plan runs under all three semantics.
+//!    plan runs under all three semantics. Joins hash on their key
+//!    columns: instances bucket the build side outright, while c-/pc-
+//!    tables bucket the rows whose key columns are *ground* and fall
+//!    back to condition-conjunction pairing for rows with variable keys,
+//!    preserving the c-table semantics exactly.
 //!
 //! ```
 //! use ipdb_engine::{parser, Engine};
@@ -35,6 +41,21 @@
 //! let chain = instance![[1, 2], [2, 3]];
 //! assert_eq!(stmt.execute(&chain).unwrap(), instance![[1]]);
 //! println!("{}", stmt.explain());
+//! ```
+//!
+//! A selection over a product whose predicate equates one column of each
+//! factor is recognized as an equijoin and executed as a hash join — the
+//! optimized plan shows a `join` node keyed on the spanning equality:
+//!
+//! ```
+//! use ipdb_engine::Engine;
+//!
+//! let stmt = Engine::new().prepare_text("sigma[#0=#2](V x V)", 2).unwrap();
+//! assert!(stmt.explain().contains("join[#0=#2]  (arity 4)"));
+//!
+//! // The explicit surface form prepares to the same plan.
+//! let explicit = Engine::new().prepare_text("join[#0=#2](V, V)", 2).unwrap();
+//! assert_eq!(explicit.plan(), stmt.plan());
 //! ```
 
 #![warn(missing_docs)]

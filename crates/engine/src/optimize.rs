@@ -9,6 +9,13 @@
 //! * **selection pushdown** — through `∪` (both sides), `−`/`∩` (left
 //!   side), and `×` (conjuncts split by the column ranges they touch,
 //!   with right-side conjuncts re-based);
+//! * **equijoin recognition** — `σ_{… ∧ #i=#j ∧ …}(a × b)` with `#i=#j`
+//!   spanning the product becomes a hash-executed
+//!   [`PlanNode::Join`]: spanning equality conjuncts (extracted
+//!   deterministically by [`Pred::split_equijoin`]) become the key list,
+//!   everything else stays as the join's residual. Selections above a
+//!   join fuse into its residual, and residual conjuncts that touch only
+//!   one operand are pushed down into it;
 //! * **projection pruning** — `π_cols(π_inner(e)) → π_{inner∘cols}(e)`
 //!   and identity projections dropped;
 //! * **dead-branch elimination** — `q − q → ∅`, `σ_false(e) → ∅`, and
@@ -22,7 +29,7 @@
 //! operator per pass, so the fixpoint loop is bounded using the plan's
 //! [`Query::depth`] measure rather than iterating blindly.
 
-use ipdb_rel::{Instance, Pred, Query};
+use ipdb_rel::{CmpOp, Instance, Operand, Pred, Query};
 
 use crate::error::EngineError;
 use crate::plan::{Plan, PlanNode};
@@ -62,6 +69,17 @@ fn pass(plan: &Plan) -> Plan {
         PlanNode::Project(cols, p) => PlanNode::Project(cols.clone(), Box::new(pass(p))),
         PlanNode::Select(pred, p) => PlanNode::Select(pred.clone(), Box::new(pass(p))),
         PlanNode::Product(a, b) => PlanNode::Product(Box::new(pass(a)), Box::new(pass(b))),
+        PlanNode::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => PlanNode::Join {
+            on: on.clone(),
+            residual: residual.clone(),
+            left: Box::new(pass(left)),
+            right: Box::new(pass(right)),
+        },
         PlanNode::Union(a, b) => PlanNode::Union(Box::new(pass(a)), Box::new(pass(b))),
         PlanNode::Diff(a, b) => PlanNode::Diff(Box::new(pass(a)), Box::new(pass(b))),
         PlanNode::Intersect(a, b) => PlanNode::Intersect(Box::new(pass(a)), Box::new(pass(b))),
@@ -88,6 +106,12 @@ fn rewrite(plan: Plan) -> Plan {
                 arity,
             }
         }
+        PlanNode::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => rewrite_join(on, residual, *left, *right, arity),
         PlanNode::Union(a, b) => {
             if a.is_empty_lit() || a == b {
                 return *b;
@@ -170,11 +194,7 @@ fn rewrite_select(pred: Pred, child: Plan, arity: usize) -> Plan {
     // Normalize the conjunction structure first: `and()` is `true`,
     // `and(p)` is `p`, nested `and`s flatten, `false` absorbs. This is
     // what lets the `true`/`false` rules below fire on every spelling.
-    let pred = {
-        let mut conjuncts = Vec::new();
-        flatten_conj(&pred, &mut conjuncts);
-        Pred::conj_all(conjuncts)
-    };
+    let pred = Pred::conj_all(pred.conjuncts());
     match pred {
         Pred::True => return child,
         Pred::False => return Plan::empty(arity),
@@ -219,6 +239,26 @@ fn rewrite_select(pred: Pred, child: Plan, arity: usize) -> Plan {
             node: PlanNode::Intersect(Box::new(select(pred, *a)), b),
         },
         PlanNode::Product(a, b) => push_through_product(pred, *a, *b, arity),
+        // σ_p over a join fuses into the residual; the join rewrite then
+        // re-partitions the enlarged residual (pushing one-sided
+        // conjuncts down, promoting spanning equalities to keys).
+        PlanNode::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => Plan {
+            arity,
+            node: PlanNode::Join {
+                on,
+                residual: some_pred(match residual {
+                    Some(r) => r.conj(pred),
+                    None => pred,
+                }),
+                left,
+                right,
+            },
+        },
         other => Plan {
             arity,
             node: PlanNode::Select(pred, Box::new(Plan { node: other, arity })),
@@ -235,18 +275,19 @@ fn select(pred: Pred, child: Plan) -> Plan {
 
 /// Splits `σ_p(a × b)` by the column ranges each top-level conjunct of
 /// `p` touches: left-only conjuncts move onto `a`, right-only conjuncts
-/// are re-based and move onto `b`, column-free conjuncts are decided now,
-/// and spanning conjuncts stay above the product.
+/// are re-based and move onto `b`, column-free conjuncts are decided
+/// now. Spanning conjuncts either *become the join*: if any are
+/// column–column equalities, the product is rewritten into a hash
+/// [`PlanNode::Join`] keyed on them (the other spanning conjuncts ride
+/// along as the residual) — or, with no equality to key on, stay as a
+/// selection above the product.
 fn push_through_product(pred: Pred, a: Plan, b: Plan, arity: usize) -> Plan {
     let la = a.arity;
-    let mut conjuncts = Vec::new();
-    flatten_conj(&pred, &mut conjuncts);
-
     let mut left = Vec::new();
     let mut right = Vec::new();
     let mut rest = Vec::new();
     let mut dropped_const = false;
-    for c in conjuncts {
+    for c in pred.conjuncts() {
         match (c.min_col(), c.max_col()) {
             (None, None) => {
                 // Column-free: a constant truth value.
@@ -261,9 +302,23 @@ fn push_through_product(pred: Pred, a: Plan, b: Plan, arity: usize) -> Plan {
             _ => rest.push(c),
         }
     }
+    let (on, residual) = Pred::conj_all(rest).split_equijoin(la);
+    if !on.is_empty() {
+        let a = maybe_select(Pred::conj_all(left), a);
+        let b = maybe_select(Pred::conj_all(right), b);
+        return Plan {
+            arity,
+            node: PlanNode::Join {
+                on,
+                residual: some_pred(residual),
+                left: Box::new(a),
+                right: Box::new(b),
+            },
+        };
+    }
     if left.is_empty() && right.is_empty() && !dropped_const {
-        // Nothing to push: restore the original shape so the rewrite is
-        // a no-op rather than an infinite loop.
+        // Nothing to push and nothing to key on: restore the original
+        // shape so the rewrite is a no-op rather than an infinite loop.
         return select(
             pred,
             Plan {
@@ -278,7 +333,91 @@ fn push_through_product(pred: Pred, a: Plan, b: Plan, arity: usize) -> Plan {
         arity,
         node: PlanNode::Product(Box::new(a), Box::new(b)),
     };
-    maybe_select(Pred::conj_all(rest), prod)
+    maybe_select(residual, prod)
+}
+
+/// Local rules at a join node: empty operands annihilate, the residual
+/// is re-partitioned (one-sided conjuncts push into the operands,
+/// spanning equalities promote to key pairs, column-free conjuncts are
+/// decided now), and an all-literal join is folded at plan time.
+fn rewrite_join(
+    on: Vec<(usize, usize)>,
+    residual: Option<Pred>,
+    left: Plan,
+    right: Plan,
+    arity: usize,
+) -> Plan {
+    if left.is_empty_lit() || right.is_empty_lit() {
+        return Plan::empty(arity);
+    }
+    let la = left.arity;
+    let mut on = on;
+    let mut push_left = Vec::new();
+    let mut push_right = Vec::new();
+    let mut rest = Vec::new();
+    let mut changed = false;
+    if let Some(p) = &residual {
+        for c in p.conjuncts() {
+            if let Pred::Cmp(CmpOp::Eq, Operand::Col(i), Operand::Col(j)) = &c {
+                let (lo, hi) = (*i.min(j), *i.max(j));
+                if lo < la && hi >= la {
+                    // Spanning equality: promote to a key pair.
+                    if !on.contains(&(lo, hi)) {
+                        on.push((lo, hi));
+                    }
+                    changed = true;
+                    continue;
+                }
+            }
+            match (c.min_col(), c.max_col()) {
+                (None, None) => {
+                    if c.eval(&[]).expect("no column references") {
+                        changed = true; // constant true conjunct: drop it
+                    } else {
+                        return Plan::empty(arity);
+                    }
+                }
+                (_, Some(max)) if max < la => {
+                    push_left.push(c);
+                    changed = true;
+                }
+                (Some(min), _) if min >= la => {
+                    push_right.push(c.unshift_cols(la));
+                    changed = true;
+                }
+                _ => rest.push(c),
+            }
+        }
+    }
+    if !changed {
+        // Residual is irreducible; fold the join if both operands are
+        // literals (keys and residual were validated at plan build).
+        if let (PlanNode::Lit(x), PlanNode::Lit(y)) = (&left.node, &right.node) {
+            return lit(x
+                .equijoin(y, &on, residual.as_ref())
+                .expect("join validated at plan build"));
+        }
+        return Plan {
+            arity,
+            node: PlanNode::Join {
+                on,
+                residual,
+                left: Box::new(left),
+                right: Box::new(right),
+            },
+        };
+    }
+    let left = maybe_select(Pred::conj_all(push_left), left);
+    let right = maybe_select(Pred::conj_all(push_right), right);
+    Plan {
+        arity,
+        node: PlanNode::Join {
+            on,
+            residual: some_pred(Pred::conj_all(rest)),
+            left: Box::new(left),
+            right: Box::new(right),
+        },
+    }
 }
 
 fn maybe_select(pred: Pred, child: Plan) -> Plan {
@@ -289,14 +428,13 @@ fn maybe_select(pred: Pred, child: Plan) -> Plan {
     }
 }
 
-fn flatten_conj(p: &Pred, out: &mut Vec<Pred>) {
+/// `None` for the trivial predicate, `Some` otherwise — the residual
+/// slot's normal form (so `residual: Some(True)` never appears and plan
+/// equality checks in the fixpoint loop work).
+fn some_pred(p: Pred) -> Option<Pred> {
     match p {
-        Pred::And(ps) => {
-            for q in ps {
-                flatten_conj(q, out);
-            }
-        }
-        _ => out.push(p.clone()),
+        Pred::True => None,
+        p => Some(p),
     }
 }
 
@@ -325,15 +463,73 @@ mod tests {
 
     #[test]
     fn pushes_selection_through_product() {
-        // #0 and #1 live in the left factor, #2 in the right; #1=#2 spans.
+        // #0 and #1 live in the left factor, #2 in the right; #1=#2 spans
+        // and becomes the join key.
         assert_eq!(
             opt("sigma[and(#0=1,#2=3,#1=#2)](V x pi[0](V))", 2),
-            "sigma[#1=#2]((sigma[#0=1](V) x sigma[#0=3](pi[0](V))))"
+            "join[#1=#2](sigma[#0=1](V), sigma[#0=3](pi[0](V)))"
         );
         // Fully-left predicate leaves nothing above the product.
         assert_eq!(opt("sigma[#0=#1](V x V)", 2), "(sigma[#0=#1](V) x V)");
-        // A spanning predicate stays put.
-        assert_eq!(opt("sigma[#1=#2](V x V)", 2), "sigma[#1=#2]((V x V))");
+        // A spanning equality becomes a hash join.
+        assert_eq!(opt("sigma[#1=#2](V x V)", 2), "join[#1=#2](V, V)");
+        // A spanning *inequality* has nothing to key on and stays put.
+        assert_eq!(opt("sigma[#1!=#2](V x V)", 2), "sigma[#1!=#2]((V x V))");
+    }
+
+    #[test]
+    fn recognizes_equijoins_over_products() {
+        // The acceptance-criterion shape: σ_{#0=#2}(R × S).
+        assert_eq!(opt("sigma[#0=#2](V x V)", 2), "join[#0=#2](V, V)");
+        // Multiple keys, in extraction order; spanning non-equality
+        // conjuncts become the residual.
+        assert_eq!(
+            opt("sigma[and(#0=#2,#1=#3,#1!=#2)](V x V)", 2),
+            "join[#0=#2,#1=#3; #1!=#2](V, V)"
+        );
+        // One-sided conjuncts still push below the join.
+        assert_eq!(
+            opt("sigma[and(#1=#2,#0=7)](V x V)", 2),
+            "join[#1=#2](sigma[#0=7](V), V)"
+        );
+        // Duplicate and reversed spellings dedup into one key.
+        assert_eq!(
+            opt("sigma[and(#0=#2,#2=#0)](V x V)", 2),
+            "join[#0=#2](V, V)"
+        );
+    }
+
+    #[test]
+    fn selections_fuse_into_join_residuals() {
+        // σ above a join folds into the join, re-partitioning: left-only
+        // conjunct pushes down, spanning equality becomes a key.
+        assert_eq!(
+            opt("sigma[#0=1](join[#1=#2](V, V))", 2),
+            "join[#1=#2](sigma[#0=1](V), V)"
+        );
+        assert_eq!(
+            opt("sigma[#0=#3](join[#1=#2](V, V))", 2),
+            "join[#1=#2,#0=#3](V, V)"
+        );
+        assert_eq!(
+            opt("sigma[#0!=#3](join[#1=#2](V, V))", 2),
+            "join[#1=#2; #0!=#3](V, V)"
+        );
+        // A user-written residual is re-partitioned the same way.
+        assert_eq!(
+            opt("join[#1=#2; and(#0=5,#1!=#3)](V, V)", 2),
+            "join[#1=#2; #1!=#3](sigma[#0=5](V), V)"
+        );
+    }
+
+    #[test]
+    fn join_dead_branches_and_constant_folding() {
+        assert_eq!(opt("join[#0=#1](V diff V, V)", 1), "{:2}");
+        assert_eq!(opt("join[#0=#1](V, V diff V)", 1), "{:2}");
+        assert_eq!(opt("join[#0=#1; false](V, V)", 1), "{:2}");
+        assert_eq!(opt("join[#0=#1]({(1),(2)}, {(2),(3)})", 1), "{(2,2)}");
+        // σ_eq over two literals folds all the way through the join path.
+        assert_eq!(opt("sigma[#0=#1]({(1),(2)} x {(2)})", 1), "{(2,2)}");
     }
 
     #[test]
@@ -396,11 +592,9 @@ mod tests {
     fn trivial_selections_vanish() {
         assert_eq!(opt("sigma[true](V)", 2), "V");
         assert_eq!(opt("sigma[and()](V)", 2), "V");
-        // Column-free conjuncts are decided at plan time.
-        assert_eq!(
-            opt("sigma[and(1=1,#0=#1)](V x V)", 1),
-            "sigma[#0=#1]((V x V))"
-        );
+        // Column-free conjuncts are decided at plan time (the remaining
+        // spanning equality then keys a join).
+        assert_eq!(opt("sigma[and(1=1,#0=#1)](V x V)", 1), "join[#0=#1](V, V)");
         assert_eq!(opt("sigma[and(1=2,#0=#1)](V x V)", 1), "{:2}");
     }
 

@@ -8,7 +8,10 @@
 //! atom    := "V" | "W" | literal
 //!          | "pi" "[" int ("," int)* "]" "(" query ")"
 //!          | "sigma" "[" pred "]" "(" query ")"
+//!          | "join" "[" onlist (";" pred)? "]" "(" query "," query ")"
 //!          | "(" query ")"
+//! onlist  := (keypair ("," keypair)*)?
+//! keypair := "#" int "=" "#" int
 //! literal := "{" ":" int "}"                  empty relation of that arity
 //!          | "{" tuple ("," tuple)* "}"
 //! tuple   := "(" (value ("," value)*)? ")"
@@ -73,6 +76,29 @@ fn render_query(q: &Query, out: &mut String) {
             out.push(')');
         }
         Query::Product(a, b) => render_binary(a, "x", b, out),
+        Query::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => {
+            out.push_str("join[");
+            for (n, (i, j)) in on.iter().enumerate() {
+                if n > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "#{i}=#{j}");
+            }
+            if let Some(p) = residual {
+                out.push_str("; ");
+                render_pred(p, out);
+            }
+            out.push_str("](");
+            render_query(left, out);
+            out.push_str(", ");
+            render_query(right, out);
+            out.push(')');
+        }
         Query::Union(a, b) => render_binary(a, "union", b, out),
         Query::Diff(a, b) => render_binary(a, "diff", b, out),
         Query::Intersect(a, b) => render_binary(a, "intersect", b, out),
@@ -197,6 +223,7 @@ enum Tok {
     RBrace,
     Comma,
     Colon,
+    Semi,
     Hash,
     Eq,
     Neq,
@@ -216,6 +243,7 @@ impl std::fmt::Display for Tok {
             Tok::RBrace => write!(f, "'}}'"),
             Tok::Comma => write!(f, "','"),
             Tok::Colon => write!(f, "':'"),
+            Tok::Semi => write!(f, "';'"),
             Tok::Hash => write!(f, "'#'"),
             Tok::Eq => write!(f, "'='"),
             Tok::Neq => write!(f, "'!='"),
@@ -249,6 +277,7 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, EngineError> {
             b'}' => Tok::RBrace,
             b',' => Tok::Comma,
             b':' => Tok::Colon,
+            b';' => Tok::Semi,
             b'#' => Tok::Hash,
             b'=' => Tok::Eq,
             b'!' => {
@@ -484,6 +513,38 @@ impl Parser {
                     self.expect(&Tok::RParen)?;
                     Ok(Query::select(q, p))
                 }
+                "join" => {
+                    self.expect(&Tok::LBracket)?;
+                    let mut on = Vec::new();
+                    if matches!(self.peek(), Some(Tok::Hash)) {
+                        loop {
+                            self.expect(&Tok::Hash)?;
+                            let i = self.expect_index()?;
+                            self.expect(&Tok::Eq)?;
+                            self.expect(&Tok::Hash)?;
+                            let j = self.expect_index()?;
+                            on.push((i, j));
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    let residual = if self.peek() == Some(&Tok::Semi) {
+                        self.bump();
+                        Some(self.pred()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&Tok::RBracket)?;
+                    self.expect(&Tok::LParen)?;
+                    let left = self.query()?;
+                    self.expect(&Tok::Comma)?;
+                    let right = self.query()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Query::join(left, right, on, residual))
+                }
                 other => Err(err(
                     at,
                     format!(
@@ -693,6 +754,82 @@ mod tests {
         ] {
             roundtrip(&Query::select(Query::Input, p.clone()));
             assert_eq!(parse_pred(&render_pred_string(&p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn roundtrip_join_forms() {
+        let lit = Query::Lit(instance![[1, 2]]);
+        for q in [
+            Query::join(Query::Input, Query::Input, [(1, 2)], None),
+            Query::join(Query::Input, lit.clone(), [(0, 2), (1, 3)], None),
+            Query::join(
+                Query::Input,
+                Query::Input,
+                [(1, 2)],
+                Some(Pred::neq_const(0, 7)),
+            ),
+            Query::join(
+                Query::Input,
+                Query::Input,
+                [(0, 2)],
+                Some(Pred::and([Pred::eq_const(1, 1), Pred::neq_cols(1, 3)])),
+            ),
+            // Degenerate spellings the AST permits must round-trip too.
+            Query::join(Query::Input, Query::Input, [], None),
+            Query::join(Query::Input, Query::Input, [], Some(Pred::True)),
+            // Joins nest like any other operator.
+            Query::project(
+                Query::join(
+                    Query::join(Query::Input, Query::Input, [(1, 2)], None),
+                    Query::Input,
+                    [(3, 4)],
+                    None,
+                ),
+                vec![0, 5],
+            ),
+        ] {
+            roundtrip(&q);
+        }
+    }
+
+    #[test]
+    fn join_surface_syntax_parses() {
+        assert_eq!(
+            parse("join[#0=#2](V, V)").unwrap(),
+            Query::join(Query::Input, Query::Input, [(0, 2)], None)
+        );
+        assert_eq!(
+            parse("join[#0=#2; #1!=3](V, V)").unwrap(),
+            Query::join(
+                Query::Input,
+                Query::Input,
+                [(0, 2)],
+                Some(Pred::neq_const(1, 3))
+            )
+        );
+        assert_eq!(
+            parse("join[](V, W)").unwrap(),
+            Query::join(Query::Input, Query::Second, [], None)
+        );
+        // Whitespace-insensitive like the rest of the grammar.
+        assert_eq!(
+            parse(" join [ #0 = #2 , #1 = #3 ] ( V , V ) ").unwrap(),
+            parse("join[#0=#2,#1=#3](V,V)").unwrap()
+        );
+        for (src, frag) in [
+            ("join[#0=#2](V)", "expected ','"),
+            ("join[#0](V, V)", "expected '='"),
+            ("join[0=#1](V, V)", "expected ']'"),
+            ("join[#0=#1(V, V)", "expected ']'"),
+            ("join[#0=#-1](V, V)", "non-negative"),
+        ] {
+            match parse(src) {
+                Err(EngineError::Parse { msg, .. }) => {
+                    assert!(msg.contains(frag), "source '{src}': got '{msg}'")
+                }
+                other => panic!("source '{src}': expected parse error, got {other:?}"),
+            }
         }
     }
 

@@ -177,6 +177,22 @@ mod tests {
     }
 
     #[test]
+    fn sigma_product_prepares_to_a_hash_join() {
+        // The acceptance-criterion shape: σ_{#0=#2}(R × S) must show a
+        // Join node in explain() and execute identically to the naive
+        // filtered product.
+        let stmt = Engine::new()
+            .prepare_text("sigma[#0=#2](V x V)", 2)
+            .unwrap();
+        let text = stmt.explain();
+        assert!(text.contains("join[#0=#2]"), "explain was:\n{text}");
+        assert!(!format!("{:?}", stmt.plan()).contains("Product"));
+        let i = instance![[1, 10], [2, 20], [1, 30]];
+        assert_eq!(stmt.execute(&i).unwrap(), stmt.execute_naive(&i).unwrap());
+        assert_eq!(stmt.execute(&i).unwrap().len(), 5);
+    }
+
+    #[test]
     fn explain_notes_unchanged_plans() {
         let stmt = Engine::new().prepare_text("V", 2).unwrap();
         assert!(stmt.explain().contains("(unchanged)"));

@@ -30,6 +30,25 @@ pub enum PlanNode {
     Select(Pred, Box<Plan>),
     /// `×`.
     Product(Box<Plan>, Box<Plan>),
+    /// `⋈` — hash equijoin, `σ_{⋀ #i=#j ∧ residual}(left × right)`
+    /// executed by key hashing (see [`Query::Join`]).
+    ///
+    /// Stricter than the AST node: building a plan rejects an empty `on`
+    /// list ([`EngineError::EmptyJoinOn`]) and key pairs that do not span
+    /// the two operands ([`EngineError::JoinArity`]), and deduplicates
+    /// repeated pairs — so a planned join always hash-executes on at
+    /// least one spanning key.
+    Join {
+        /// Normalized key pairs: `(left col, right col)` in combined
+        /// (global) column indexes, left component first, deduplicated.
+        on: Vec<(usize, usize)>,
+        /// Extra filter over the combined tuple, if any.
+        residual: Option<Pred>,
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+    },
     /// `∪`.
     Union(Box<Plan>, Box<Plan>),
     /// `−`.
@@ -111,6 +130,18 @@ impl Plan {
                     node: PlanNode::Product(Box::new(a), Box::new(b)),
                 }
             }
+            Query::Join {
+                on,
+                residual,
+                left,
+                right,
+            } => {
+                let (a, b) = (
+                    Plan::build(left, input, second)?,
+                    Plan::build(right, input, second)?,
+                );
+                Plan::join(a, b, on, residual.clone())?
+            }
             Query::Union(a, b) | Query::Diff(a, b) | Query::Intersect(a, b) => {
                 let (a, b) = (
                     Plan::build(a, input, second)?,
@@ -135,6 +166,60 @@ impl Plan {
         Ok(plan)
     }
 
+    /// Builds a [`PlanNode::Join`] over two planned operands, enforcing
+    /// the planner's join contract: at least one key pair
+    /// ([`EngineError::EmptyJoinOn`]), every pair spanning the two
+    /// operands ([`EngineError::JoinArity`]). Pairs are normalized to
+    /// left-column-first and deduplicated, and the residual is
+    /// arity-checked against the combined width.
+    pub fn join(
+        left: Plan,
+        right: Plan,
+        on: &[(usize, usize)],
+        residual: Option<Pred>,
+    ) -> Result<Plan, EngineError> {
+        let (la, lb) = (left.arity, right.arity);
+        let total = la + lb;
+        if on.is_empty() {
+            return Err(EngineError::EmptyJoinOn);
+        }
+        let mut norm: Vec<(usize, usize)> = Vec::new();
+        for &(i, j) in on {
+            let (lo, hi) = (i.min(j), i.max(j));
+            // Spanning means lo addresses the left operand and hi the
+            // right one; report the column that lands on the wrong side.
+            if hi >= total || hi < la {
+                return Err(EngineError::JoinArity {
+                    col: hi,
+                    left: la,
+                    right: lb,
+                });
+            }
+            if lo >= la {
+                return Err(EngineError::JoinArity {
+                    col: lo,
+                    left: la,
+                    right: lb,
+                });
+            }
+            if !norm.contains(&(lo, hi)) {
+                norm.push((lo, hi));
+            }
+        }
+        if let Some(p) = &residual {
+            p.validate(total)?;
+        }
+        Ok(Plan {
+            arity: total,
+            node: PlanNode::Join {
+                on: norm,
+                residual,
+                left: Box::new(left),
+                right: Box::new(right),
+            },
+        })
+    }
+
     /// Lowers the plan back to a [`Query`] AST (the executable form).
     pub fn to_query(&self) -> Query {
         match &self.node {
@@ -144,6 +229,17 @@ impl Plan {
             PlanNode::Project(cols, p) => Query::project(p.to_query(), cols.clone()),
             PlanNode::Select(pred, p) => Query::select(p.to_query(), pred.clone()),
             PlanNode::Product(a, b) => Query::product(a.to_query(), b.to_query()),
+            PlanNode::Join {
+                on,
+                residual,
+                left,
+                right,
+            } => Query::join(
+                left.to_query(),
+                right.to_query(),
+                on.iter().copied(),
+                residual.clone(),
+            ),
             PlanNode::Union(a, b) => Query::union(a.to_query(), b.to_query()),
             PlanNode::Diff(a, b) => Query::diff(a.to_query(), b.to_query()),
             PlanNode::Intersect(a, b) => Query::intersect(a.to_query(), b.to_query()),
@@ -159,6 +255,7 @@ impl Plan {
             | PlanNode::Union(a, b)
             | PlanNode::Diff(a, b)
             | PlanNode::Intersect(a, b) => 1 + a.depth().max(b.depth()),
+            PlanNode::Join { left, right, .. } => 1 + left.depth().max(right.depth()),
         }
     }
 
@@ -207,6 +304,22 @@ impl Plan {
                 )
             }
             PlanNode::Product(..) => writeln!(out, "x  (arity {})", self.arity),
+            PlanNode::Join { on, residual, .. } => {
+                let keys = on
+                    .iter()
+                    .map(|(i, j)| format!("#{i}=#{j}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                match residual {
+                    Some(p) => writeln!(
+                        out,
+                        "join[{keys}; {}]  (arity {})",
+                        render_pred_string(p),
+                        self.arity
+                    ),
+                    None => writeln!(out, "join[{keys}]  (arity {})", self.arity),
+                }
+            }
             PlanNode::Union(..) => writeln!(out, "union  (arity {})", self.arity),
             PlanNode::Diff(..) => writeln!(out, "diff  (arity {})", self.arity),
             PlanNode::Intersect(..) => writeln!(out, "intersect  (arity {})", self.arity),
@@ -220,6 +333,10 @@ impl Plan {
             | PlanNode::Intersect(a, b) => {
                 a.render_into(indent + 1, out);
                 b.render_into(indent + 1, out);
+            }
+            PlanNode::Join { left, right, .. } => {
+                left.render_into(indent + 1, out);
+                right.render_into(indent + 1, out);
             }
         }
     }
@@ -293,6 +410,92 @@ mod tests {
         assert!(tree.contains("V  (arity 2)"));
         assert!(tree.contains("(arity 1, 2 rows)"));
         assert_eq!(plan.to_string(), tree);
+    }
+
+    #[test]
+    fn join_plans_validate_normalize_and_roundtrip() {
+        // Reversed and duplicated pairs normalize to one (left, right) key.
+        let q = Query::join(Query::Input, Query::Input, [(2, 0), (0, 2)], None);
+        let plan = Plan::from_query(&q, 2).unwrap();
+        assert_eq!(plan.arity, 4);
+        match &plan.node {
+            PlanNode::Join { on, residual, .. } => {
+                assert_eq!(on, &vec![(0, 2)]);
+                assert!(residual.is_none());
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        // Lowering keeps the normalized pairs.
+        assert_eq!(
+            plan.to_query(),
+            Query::join(Query::Input, Query::Input, [(0, 2)], None)
+        );
+        assert_eq!(plan.depth(), 2);
+
+        // Empty `on` is rejected at plan build.
+        let empty = Query::join(Query::Input, Query::Input, [], None);
+        assert_eq!(Plan::from_query(&empty, 2), Err(EngineError::EmptyJoinOn));
+
+        // Key out of the combined arity.
+        let oob = Query::join(Query::Input, Query::Input, [(0, 9)], None);
+        assert_eq!(
+            Plan::from_query(&oob, 2),
+            Err(EngineError::JoinArity {
+                col: 9,
+                left: 2,
+                right: 2
+            })
+        );
+        // Both key columns on the left side.
+        let left_only = Query::join(Query::Input, Query::Input, [(0, 1)], None);
+        assert_eq!(
+            Plan::from_query(&left_only, 2),
+            Err(EngineError::JoinArity {
+                col: 1,
+                left: 2,
+                right: 2
+            })
+        );
+        // Both key columns on the right side.
+        let right_only = Query::join(Query::Input, Query::Input, [(2, 3)], None);
+        assert_eq!(
+            Plan::from_query(&right_only, 2),
+            Err(EngineError::JoinArity {
+                col: 2,
+                left: 2,
+                right: 2
+            })
+        );
+        // Residual is arity-checked against the combined width.
+        let bad_resid = Query::join(
+            Query::Input,
+            Query::Input,
+            [(0, 2)],
+            Some(Pred::eq_cols(0, 7)),
+        );
+        assert!(Plan::from_query(&bad_resid, 2).is_err());
+    }
+
+    #[test]
+    fn join_renders_in_explain_tree() {
+        let q = Query::join(
+            Query::Input,
+            Query::Input,
+            [(1, 2)],
+            Some(Pred::neq_const(0, 3)),
+        );
+        let plan = Plan::from_query(&q, 2).unwrap();
+        let tree = plan.render_tree();
+        assert!(
+            tree.contains("join[#1=#2; #0!=3]  (arity 4)"),
+            "got:\n{tree}"
+        );
+        let bare = Plan::from_query(
+            &Query::join(Query::Input, Query::Input, [(0, 2), (1, 3)], None),
+            2,
+        )
+        .unwrap();
+        assert!(bare.render_tree().contains("join[#0=#2,#1=#3]  (arity 4)"));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! The differential join oracle.
+//!
+//! The hash-equijoin path (`Query::Join` / `PlanNode::Join`) must be
+//! *observably identical* to the naive filtered product
+//! `σ_{⋀ #i=#j ∧ residual}(left × right)` it replaces, on every backend:
+//!
+//! * **instances** — exact relation equality;
+//! * **c-tables** — equality of `ν(q̄(T))` under **every** valuation of
+//!   the table's (≤ 3) variables over their finite domains, for both the
+//!   plain `q̄` algebra (`eval_query`) and the engine's pruning executor
+//!   (`Backend::run`);
+//! * **pc-tables** — exact equality of the induced distribution over
+//!   answer worlds.
+//!
+//! On top of the random join shapes, the optimizer's σ(×) → Join
+//! rewrite is checked differentially: a selection-over-product query
+//! whose predicate contains spanning equalities must plan to a `Join`
+//! and still execute identically to the unoptimized plan.
+//!
+//! Run counts are deliberately modest for CI; soak with
+//! `PROPTEST_CASES=256 cargo test -p ipdb-engine --test join_oracle`
+//! (the vendored proptest honors the env override globally).
+
+use proptest::prelude::*;
+
+use ipdb_engine::{Engine, Plan, PlanNode};
+use ipdb_logic::{Valuation, Var};
+use ipdb_prob::{FiniteSpace, PcTable, Rat};
+use ipdb_rel::strategies::{arb_instance, arb_pred, arb_query_with_arity};
+use ipdb_rel::{Fragment, Pred, Query, Value};
+use ipdb_tables::strategies::arb_finite_ctable;
+use ipdb_tables::CTable;
+
+/// Operands, key pairs, and optional residual of a random join.
+type JoinShape = (Query, Query, Vec<(usize, usize)>, Option<Pred>);
+
+/// A random equijoin shape: operands of arity 1..=2 (over an arity-2
+/// input relation), 1..=2 spanning key pairs in random left/right order,
+/// and an optional arbitrary residual over the combined tuple.
+fn arb_join_shape() -> BoxedStrategy<JoinShape> {
+    ((1usize..=2), (1usize..=2))
+        .prop_flat_map(|(la, lb)| {
+            let total = la + lb;
+            let pair = ((0..la), (la..total), prop_oneof![Just(false), Just(true)]).prop_map(
+                |(i, j, swap)| {
+                    if swap {
+                        (j, i)
+                    } else {
+                        (i, j)
+                    }
+                },
+            );
+            (
+                arb_query_with_arity(2, la, 2, Fragment::RA, 3),
+                arb_query_with_arity(2, lb, 2, Fragment::RA, 3),
+                proptest::collection::vec(pair, 1..=2),
+                prop_oneof![
+                    1 => Just(None),
+                    2 => arb_pred(total, 3, false).prop_map(Some),
+                ],
+            )
+        })
+        .boxed()
+}
+
+/// The pair under test: the first-class join and its σ(×) lowering.
+fn join_and_oracle(
+    left: Query,
+    right: Query,
+    on: Vec<(usize, usize)>,
+    residual: Option<Pred>,
+) -> (Query, Query) {
+    let naive = Query::select(
+        Query::product(left.clone(), right.clone()),
+        Query::join_pred(&on, residual.as_ref()),
+    );
+    (Query::join(left, right, on, residual), naive)
+}
+
+/// Every total valuation of the table's variables over their finite
+/// domains — the c-table analogue of "all possible worlds".
+fn all_valuations(t: &CTable) -> Vec<Valuation> {
+    let mut acc = vec![Valuation::new()];
+    for (v, dom) in t.domains() {
+        let mut next = Vec::with_capacity(acc.len() * dom.len());
+        for nu in &acc {
+            for val in dom.iter() {
+                let mut nu2 = nu.clone();
+                nu2.bind(*v, val.clone());
+                next.push(nu2);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// Uniform distributions over each variable's domain, making the
+/// c-table a pc-table.
+fn uniform_pctable(t: &CTable) -> PcTable<Rat> {
+    let dists: Vec<(Var, FiniteSpace<Value, Rat>)> = t
+        .domains()
+        .iter()
+        .map(|(v, dom)| {
+            let n = dom.len() as i128;
+            let d = FiniteSpace::new(dom.iter().map(|val| (val.clone(), Rat::new(1, n))))
+                .expect("uniform masses sum to 1");
+            (*v, d)
+        })
+        .collect();
+    PcTable::new(t.clone(), dists).expect("every variable has a distribution")
+}
+
+/// Whether any node of the plan is a `Join`.
+fn contains_join(p: &Plan) -> bool {
+    match &p.node {
+        PlanNode::Join { .. } => true,
+        PlanNode::Input | PlanNode::Second | PlanNode::Lit(_) => false,
+        PlanNode::Project(_, c) | PlanNode::Select(_, c) => contains_join(c),
+        PlanNode::Product(a, b)
+        | PlanNode::Union(a, b)
+        | PlanNode::Diff(a, b)
+        | PlanNode::Intersect(a, b) => contains_join(a) || contains_join(b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Instance backend: the hash join is *exactly* the filtered product.
+    #[test]
+    fn join_equals_naive_on_instances(
+        (l, r, on, residual) in arb_join_shape(),
+        i in arb_instance(2, 4, 3),
+    ) {
+        let (join, naive) = join_and_oracle(l, r, on, residual);
+        prop_assert_eq!(
+            join.eval(&i).unwrap(),
+            naive.eval(&i).unwrap(),
+            "join {} vs naive {}", join, naive
+        );
+    }
+
+    /// The optimizer's σ(×) → Join rewrite: the prepared plan contains a
+    /// Join node, and optimized execution matches naive execution.
+    #[test]
+    fn optimizer_join_extraction_is_sound(
+        (l, r, on, residual) in arb_join_shape(),
+        i in arb_instance(2, 4, 3),
+    ) {
+        let (_, naive) = join_and_oracle(l, r, on, residual);
+        let stmt = Engine::new().prepare(&naive, 2).unwrap();
+        prop_assert!(
+            contains_join(stmt.plan()) || !format!("{:?}", stmt.plan()).contains("Product"),
+            "σ(×) with spanning keys should plan to a Join (or fold away):\n{}",
+            stmt.explain()
+        );
+        prop_assert_eq!(stmt.execute(&i).unwrap(), stmt.execute_naive(&i).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// C-table backend: both the plain `q̄` algebra and the engine's
+    /// pruning executor agree with the naive form under every valuation.
+    #[test]
+    fn join_equals_naive_on_ctables(
+        (l, r, on, residual) in arb_join_shape(),
+        t in arb_finite_ctable(2, 3, 3, 2),
+    ) {
+        let (join, naive) = join_and_oracle(l, r, on, residual);
+        let jt = t.eval_query(&join).unwrap();
+        let nt = t.eval_query(&naive).unwrap();
+        let stmt = Engine { optimize: false }.prepare(&join, 2).unwrap();
+        let pruned = stmt.execute(&t).unwrap();
+        for nu in all_valuations(&t) {
+            let world = t.apply_valuation(&nu).unwrap();
+            let expect = naive.eval(&world).unwrap();
+            prop_assert_eq!(
+                jt.apply_valuation(&nu).unwrap(),
+                expect.clone(),
+                "join_bar vs per-world eval: query {} under {}", join, nu
+            );
+            prop_assert_eq!(
+                nt.apply_valuation(&nu).unwrap(),
+                expect.clone(),
+                "naive q̄ vs per-world eval: query {} under {}", naive, nu
+            );
+            prop_assert_eq!(
+                pruned.apply_valuation(&nu).unwrap(),
+                expect,
+                "pruning executor vs per-world eval: query {} under {}", join, nu
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pc-table backend: the join induces exactly the distribution of
+    /// the naive filtered product.
+    #[test]
+    fn join_equals_naive_on_pctables(
+        (l, r, on, residual) in arb_join_shape(),
+        t in arb_finite_ctable(2, 2, 2, 1),
+    ) {
+        let (join, naive) = join_and_oracle(l, r, on, residual);
+        let pc = uniform_pctable(&t);
+        let stmt_join = Engine { optimize: false }.prepare(&join, 2).unwrap();
+        let stmt_naive = Engine { optimize: false }.prepare(&naive, 2).unwrap();
+        let dj = stmt_join.execute(&pc).unwrap().mod_space().unwrap();
+        let dn = stmt_naive.execute(&pc).unwrap().mod_space().unwrap();
+        prop_assert!(
+            dj.same_distribution(&dn),
+            "join {} and naive {} induced different distributions", join, naive
+        );
+    }
+}

@@ -72,6 +72,32 @@ pub fn eval<K: Semiring>(q: &Query, input: &KRelation<K>) -> Result<KRelation<K>
             }
             out
         }
+        // Equijoin: σ(×) in one step — annotations multiply like the
+        // product's and the selection keeps or drops whole pairs. The
+        // provenance layer is not a hot path, so the pairing is the
+        // plain nested loop with the join's predicate as the filter.
+        Query::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => {
+            let ra = eval(left, input)?;
+            let rb = eval(right, input)?;
+            let total = ra.arity() + rb.arity();
+            let pred = Query::join_pred(on, residual.as_ref());
+            pred.validate(total)?;
+            let mut out = KRelation::new(total);
+            for (t1, k1) in ra.iter() {
+                for (t2, k2) in rb.iter() {
+                    let t = t1.concat(t2);
+                    if pred.eval(t.values())? {
+                        out.add(t, k1.times(k2))?;
+                    }
+                }
+            }
+            out
+        }
         Query::Union(a, b) => {
             let ra = eval(a, input)?;
             let rb = eval(b, input)?;
@@ -158,6 +184,35 @@ mod tests {
         // key 1: (2+3)² = 25 pairings; key 2: 1.
         assert_eq!(out.get(&tuple![1]), NatSr(25));
         assert_eq!(out.get(&tuple![2]), NatSr(1));
+    }
+
+    #[test]
+    fn first_class_join_agrees_with_selected_product() {
+        // The Join node and its σ(×) lowering annotate identically.
+        let join = Query::project(
+            Query::join(Query::Input, Query::Input, [(0, 2)], None),
+            vec![0],
+        );
+        let out = eval(&join, &nat_rel()).unwrap();
+        assert_eq!(out.get(&tuple![1]), NatSr(25));
+        assert_eq!(out.get(&tuple![2]), NatSr(1));
+        // With a residual the filter zeroes the dropped pairs.
+        let join_r = Query::join(
+            Query::Input,
+            Query::Input,
+            [(0, 2)],
+            Some(Pred::neq_cols(1, 3)),
+        );
+        let lowered = Query::select(
+            Query::product(Query::Input, Query::Input),
+            Query::join_pred(&[(0, 2)], Some(&Pred::neq_cols(1, 3))),
+        );
+        let a = eval(&join_r, &nat_rel()).unwrap();
+        let b = eval(&lowered, &nat_rel()).unwrap();
+        assert_eq!(a.support(), b.support());
+        for (t, k) in a.iter() {
+            assert_eq!(*k, b.get(t));
+        }
     }
 
     #[test]

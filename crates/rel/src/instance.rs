@@ -150,6 +150,70 @@ impl Instance {
         out
     }
 
+    /// Hash equijoin: `σ_{⋀ #i=#j ∧ residual}(self × other)` computed
+    /// without materializing the cross product.
+    ///
+    /// Each `on` pair names two columns of the combined (left ++ right)
+    /// tuple that must be equal. Pairs that *span* the product (one
+    /// column in each factor, in either order) become hash keys: the
+    /// right side is indexed on its key columns once, and each left tuple
+    /// probes the index, so the cost is `O(|L| + |R| + matches)` instead
+    /// of `O(|L|·|R|)`. Pairs that do not span (both columns in one
+    /// factor, or a self-pair `(i, i)`) are sound but unhashable; they
+    /// are applied as a post-filter together with `residual`.
+    ///
+    /// ```
+    /// use ipdb_rel::{instance, Instance};
+    /// let l = instance![[1, 10], [2, 20]];
+    /// let r = instance![[10, 7], [30, 8]];
+    /// // l.#1 = r.#0, i.e. combined columns #1 = #2.
+    /// let j = l.equijoin(&r, &[(1, 2)], None).unwrap();
+    /// assert_eq!(j, instance![[1, 10, 10, 7]]);
+    /// ```
+    pub fn equijoin(
+        &self,
+        other: &Instance,
+        on: &[(usize, usize)],
+        residual: Option<&crate::Pred>,
+    ) -> Result<Instance, RelError> {
+        use crate::Pred;
+        let la = self.arity;
+        let total = la + other.arity;
+        // Spanning pairs become (left col, right-local col) hash keys;
+        // the rest fold into the post-filter.
+        let (keys, extra) = crate::pred::normalize_join_keys(on, la, total)?;
+        if let Some(p) = residual {
+            p.validate(total)?;
+        }
+        let filter = Pred::conj_all(extra.into_iter().chain(residual.cloned()));
+
+        // Build side: index the right relation on its key columns. With
+        // no spanning keys every tuple lands in one bucket and the join
+        // degenerates to a filtered product, which is still correct.
+        let mut index: std::collections::HashMap<Vec<&Value>, Vec<&Tuple>> =
+            std::collections::HashMap::new();
+        for t in &other.tuples {
+            let key: Vec<&Value> = keys.iter().map(|&(_, j)| &t.values()[j]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut out = Instance::empty(total);
+        for l in &self.tuples {
+            let key: Vec<&Value> = keys.iter().map(|&(i, _)| &l.values()[i]).collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for r in matches {
+                let mut vals = Vec::with_capacity(total);
+                vals.extend_from_slice(l.values());
+                vals.extend_from_slice(r.values());
+                if filter == Pred::True || filter.eval(&vals)? {
+                    out.tuples.insert(Tuple::new(vals));
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Projection `π_cols(self)`; columns may repeat and reorder.
     pub fn project(&self, cols: &[usize]) -> Result<Instance, RelError> {
         for &c in cols {
@@ -261,6 +325,69 @@ macro_rules! instance {
 mod tests {
     use super::*;
     use crate::tuple;
+
+    #[test]
+    fn equijoin_matches_filtered_product() {
+        use crate::Pred;
+        let l = Instance::from_rows(2, [[1i64, 10], [2, 20], [3, 10]]).unwrap();
+        let r = Instance::from_rows(2, [[10i64, 7], [20, 8], [40, 9]]).unwrap();
+        let on = [(1usize, 2usize)];
+        let join = l.equijoin(&r, &on, None).unwrap();
+        // Oracle: σ_{#1=#2}(l × r).
+        let mut oracle = Instance::empty(4);
+        for t in l.product(&r).iter() {
+            if Pred::eq_cols(1, 2).eval(t.values()).unwrap() {
+                oracle.insert(t.clone()).unwrap();
+            }
+        }
+        assert_eq!(join, oracle);
+        assert_eq!(join.len(), 3);
+        // Residual filters the matched pairs.
+        let resid = Pred::neq_const(0, 3);
+        let filtered = l.equijoin(&r, &on, Some(&resid)).unwrap();
+        assert_eq!(filtered.len(), 2);
+        // Reversed pair order means the same join.
+        assert_eq!(l.equijoin(&r, &[(2, 1)], None).unwrap(), join);
+        // Duplicate pairs are harmless.
+        assert_eq!(l.equijoin(&r, &[(1, 2), (1, 2)], None).unwrap(), join);
+    }
+
+    #[test]
+    fn equijoin_degenerate_keys() {
+        use crate::Pred;
+        let l = Instance::from_rows(1, [[1i64], [2]]).unwrap();
+        let r = Instance::from_rows(1, [[1i64], [3]]).unwrap();
+        // No pairs at all: plain product.
+        assert_eq!(l.equijoin(&r, &[], None).unwrap(), l.product(&r));
+        // A non-spanning self-pair (i, i) is trivially true.
+        assert_eq!(l.equijoin(&r, &[(0, 0)], None).unwrap(), l.product(&r));
+        // A non-spanning distinct pair inside one factor is applied as a
+        // filter: here both columns are the combined tuple's sides.
+        let l2 = Instance::from_rows(2, [[1i64, 1], [1, 2]]).unwrap();
+        let j = l2.equijoin(&r, &[(0, 1)], None).unwrap();
+        assert_eq!(
+            j,
+            Instance::from_rows(3, [[1i64, 1, 1], [1, 1, 3]]).unwrap()
+        );
+        // Out-of-range key column is rejected.
+        assert_eq!(
+            l.equijoin(&r, &[(0, 5)], None).unwrap_err(),
+            RelError::ColumnOutOfRange { col: 5, arity: 2 }
+        );
+        // Out-of-range residual is rejected.
+        assert!(l
+            .equijoin(&r, &[(0, 1)], Some(&Pred::eq_cols(0, 9)))
+            .is_err());
+        // Empty sides join to empty.
+        assert!(Instance::empty(1)
+            .equijoin(&r, &[(0, 1)], None)
+            .unwrap()
+            .is_empty());
+        assert!(l
+            .equijoin(&Instance::empty(1), &[(0, 1)], None)
+            .unwrap()
+            .is_empty());
+    }
 
     #[test]
     fn construction_checks_arity() {

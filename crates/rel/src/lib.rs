@@ -45,7 +45,7 @@ pub use error::RelError;
 pub use fragment::{Fragment, OpSet, SelectKind};
 pub use idb::IDatabase;
 pub use instance::Instance;
-pub use pred::{CmpOp, Operand, Pred};
+pub use pred::{normalize_join_keys, CmpOp, Operand, Pred};
 pub use query::Query;
 pub use tuple::Tuple;
 pub use value::{Domain, Value};

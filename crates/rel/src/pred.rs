@@ -136,13 +136,21 @@ impl Pred {
     }
 
     /// Binary conjunction with on-the-fly simplification: `True` is the
-    /// unit, `False` absorbs, and nested [`Pred::And`]s are flattened
-    /// (preserving left-to-right conjunct order, so short-circuit
+    /// unit, `False` absorbs, and [`Pred::And`]s are flattened *deeply*
+    /// (nested `And`s at any depth of the conjunction spine unfold,
+    /// preserving left-to-right conjunct order, so short-circuit
     /// evaluation order is unchanged).
     ///
     /// This is the conjunction predicate fusion needs: fusing
     /// `σ_p(σ_q(e))` into `σ_{q ∧ p}(e)` repeatedly must not pile up
-    /// nested `And` wrappers.
+    /// nested `And` wrappers. Deep flattening is what makes
+    /// [`Pred::conj_all`] associative — `a.conj(b).conj(c)` and
+    /// `a.conj(b.conj(c))` produce the *same* conjunct list — which in
+    /// turn makes [`Pred::split_equijoin`] extraction deterministic: the
+    /// order join keys are discovered in never depends on how the
+    /// conjunction was assembled. (The `True`/`False` arms short-circuit
+    /// *before* flattening, returning the other operand unchanged; see
+    /// the caveat on [`Pred::conj_all`].)
     ///
     /// ```
     /// use ipdb_rel::Pred;
@@ -155,28 +163,106 @@ impl Pred {
         match (self, other) {
             (Pred::True, p) | (p, Pred::True) => p,
             (Pred::False, _) | (_, Pred::False) => Pred::False,
-            (Pred::And(mut a), Pred::And(b)) => {
-                a.extend(b);
-                Pred::And(a)
+            (a, b) => {
+                let mut out = Vec::new();
+                if !Pred::flatten_into(a, &mut out) || !Pred::flatten_into(b, &mut out) {
+                    return Pred::False;
+                }
+                match out.len() {
+                    0 => Pred::True,
+                    1 => out.pop().expect("length checked"),
+                    _ => Pred::And(out),
+                }
             }
-            (Pred::And(mut a), p) => {
-                a.push(p);
-                Pred::And(a)
+        }
+    }
+
+    /// Appends the deep-flattened conjuncts of `p` to `out`, dropping
+    /// `True` units; returns `false` iff a `False` conjunct was hit (the
+    /// whole conjunction is absorbed).
+    fn flatten_into(p: Pred, out: &mut Vec<Pred>) -> bool {
+        match p {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::And(ps) => ps.into_iter().all(|q| Pred::flatten_into(q, out)),
+            q => {
+                out.push(q);
+                true
             }
-            (p, Pred::And(b)) => {
-                let mut v = Vec::with_capacity(b.len() + 1);
-                v.push(p);
-                v.extend(b);
-                Pred::And(v)
-            }
-            (p, q) => Pred::And(vec![p, q]),
         }
     }
 
     /// Conjunction of several predicates via [`Pred::conj`] (so the
     /// result is flat and `True`/`False` fold away); `True` if empty.
+    ///
+    /// Associative and order-preserving *as a conjunct sequence*:
+    /// whenever two non-trivial predicates actually combine, their
+    /// conjunct lists deep-flatten and concatenate, so every way of
+    /// assembling the same conjuncts yields the same `And` list. The one
+    /// caveat is the `True` unit fast path: conjoining with `True`
+    /// returns the other operand *verbatim*, so a predicate that already
+    /// contains nested `And`s passes through unnormalized. Callers that
+    /// need the canonical flat list regardless of input shape should read
+    /// it via [`Pred::conjuncts`] (as [`Pred::split_equijoin`] does).
     pub fn conj_all(preds: impl IntoIterator<Item = Pred>) -> Pred {
         preds.into_iter().fold(Pred::True, Pred::conj)
+    }
+
+    /// The deep-flattened top-level conjunct list of this predicate:
+    /// `True` yields `[]`, a non-`And` predicate yields `[self]`, and
+    /// nested `And`s unfold in left-to-right order. (`False` yields
+    /// `[False]` so the absorbing element is not lost.)
+    pub fn conjuncts(&self) -> Vec<Pred> {
+        fn walk(p: &Pred, out: &mut Vec<Pred>) {
+            match p {
+                Pred::True => {}
+                Pred::And(ps) => ps.iter().for_each(|q| walk(q, out)),
+                q => out.push(q.clone()),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Splits this predicate, viewed as a selection over the product of a
+    /// left factor of arity `split` and a right factor, into **equijoin
+    /// keys** and a **residual**.
+    ///
+    /// A top-level conjunct of the form `#i = #j` with one column in each
+    /// factor (after normalizing so `i < j`: `i < split ≤ j`) becomes a
+    /// key pair `(i, j)`; duplicates are dropped. Every other conjunct —
+    /// constant comparisons, one-sided equalities, disjunctions,
+    /// negations — is folded back into the residual with
+    /// [`Pred::conj_all`].
+    ///
+    /// Extraction order is deterministic: pairs appear in the order their
+    /// conjuncts occur in [`Pred::conjuncts`], which deep flattening
+    /// makes independent of how the conjunction was built.
+    ///
+    /// ```
+    /// use ipdb_rel::Pred;
+    /// let p = Pred::and([Pred::eq_cols(0, 2), Pred::neq_const(1, 7)]);
+    /// let (on, residual) = p.split_equijoin(2);
+    /// assert_eq!(on, vec![(0, 2)]);
+    /// assert_eq!(residual, Pred::neq_const(1, 7));
+    /// ```
+    pub fn split_equijoin(&self, split: usize) -> (Vec<(usize, usize)>, Pred) {
+        let mut on: Vec<(usize, usize)> = Vec::new();
+        let mut residual = Vec::new();
+        for c in self.conjuncts() {
+            if let Pred::Cmp(CmpOp::Eq, Operand::Col(i), Operand::Col(j)) = &c {
+                let (lo, hi) = (*i.min(j), *i.max(j));
+                if lo < split && hi >= split {
+                    if !on.contains(&(lo, hi)) {
+                        on.push((lo, hi));
+                    }
+                    continue;
+                }
+            }
+            residual.push(c);
+        }
+        (on, Pred::conj_all(residual))
     }
 
     /// Evaluates the predicate on a tuple.
@@ -328,6 +414,49 @@ impl Pred {
     }
 }
 
+/// Hash keys `(left col, right-local col)` and unhashable equality
+/// filters, as returned by [`normalize_join_keys`].
+pub type JoinKeys = (Vec<(usize, usize)>, Vec<Pred>);
+
+/// Normalizes an equijoin's key pairs against a product split
+/// `split | total − split` — the one normalization every backend's join
+/// executor shares, so instance and c-table hashing can never diverge.
+///
+/// Each `(i, j)` pair (in either order) is classified:
+///
+/// * **spanning** (`min < split ≤ max < total`) — becomes a hash key
+///   `(left col, right-local col)`, deduplicated in first-seen order;
+/// * **one-sided and distinct** — unhashable but sound: returned as an
+///   equality filter predicate over the combined tuple;
+/// * **self-pair** (`i == j`) — trivially true, dropped;
+/// * any column `≥ total` — [`RelError::ColumnOutOfRange`].
+pub fn normalize_join_keys(
+    on: &[(usize, usize)],
+    split: usize,
+    total: usize,
+) -> Result<JoinKeys, RelError> {
+    let mut keys: Vec<(usize, usize)> = Vec::new();
+    let mut filters: Vec<Pred> = Vec::new();
+    for &(i, j) in on {
+        let (lo, hi) = (i.min(j), i.max(j));
+        if hi >= total {
+            return Err(RelError::ColumnOutOfRange {
+                col: hi,
+                arity: total,
+            });
+        }
+        if lo < split && hi >= split {
+            let key = (lo, hi - split);
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        } else if lo != hi {
+            filters.push(Pred::eq_cols(lo, hi));
+        }
+    }
+    Ok((keys, filters))
+}
+
 impl fmt::Display for Pred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -455,6 +584,99 @@ mod tests {
             Pred::conj_all([a.clone(), Pred::eq_const(0, 1)]),
             Pred::And(vec![a, Pred::eq_const(0, 1)])
         );
+    }
+
+    #[test]
+    fn conj_all_is_associative_and_order_preserving() {
+        let a = Pred::eq_cols(0, 2);
+        let b = Pred::neq_const(1, 7);
+        let c = Pred::eq_cols(1, 3);
+        // Every way of assembling a ∧ b ∧ c yields the same flat list —
+        // this is what makes split_equijoin extraction deterministic.
+        let flat = Pred::And(vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(Pred::conj_all([a.clone(), b.clone(), c.clone()]), flat);
+        assert_eq!(a.clone().conj(b.clone()).conj(c.clone()), flat);
+        assert_eq!(a.clone().conj(b.clone().conj(c.clone())), flat);
+        assert_eq!(
+            Pred::and([a.clone(), b.clone()]).conj(c.clone()),
+            flat,
+            "left-nested And flattens"
+        );
+        assert_eq!(
+            a.clone().conj(Pred::and([b.clone(), c.clone()])),
+            flat,
+            "right-nested And flattens"
+        );
+        // Deep nesting flattens too (the pre-fix instability: an And
+        // inside an And survived one level of conj). `True` short-circuits
+        // without normalizing, so conjoin with a real predicate.
+        let deep = Pred::And(vec![Pred::And(vec![a.clone()]), b.clone()]);
+        assert_eq!(deep.conj(c.clone()), flat);
+        assert_eq!(
+            Pred::conj_all([
+                Pred::And(vec![Pred::And(vec![a.clone()]), b.clone()]),
+                c.clone()
+            ]),
+            flat
+        );
+    }
+
+    #[test]
+    fn conjuncts_deep_flattens_in_order() {
+        let a = Pred::eq_cols(0, 1);
+        let b = Pred::neq_const(1, 2);
+        let c = Pred::or([Pred::eq_const(0, 1)]);
+        let p = Pred::And(vec![
+            Pred::And(vec![a.clone(), Pred::True]),
+            b.clone(),
+            Pred::And(vec![c.clone()]),
+        ]);
+        assert_eq!(p.conjuncts(), vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(Pred::True.conjuncts(), Vec::<Pred>::new());
+        assert_eq!(Pred::False.conjuncts(), vec![Pred::False]);
+        assert_eq!(a.conjuncts(), vec![Pred::eq_cols(0, 1)]);
+        // Or is a leaf from the conjunction's point of view.
+        assert_eq!(c.conjuncts(), vec![Pred::or([Pred::eq_const(0, 1)])]);
+    }
+
+    #[test]
+    fn split_equijoin_extracts_spanning_equalities() {
+        // Over a product split 2 | 2: #0,#1 left; #2,#3 right.
+        let p = Pred::and([
+            Pred::eq_cols(0, 2),  // spanning → key
+            Pred::eq_cols(3, 1),  // spanning, reversed → normalized key (1,3)
+            Pred::eq_cols(0, 1),  // left-only → residual
+            Pred::neq_cols(1, 2), // inequality → residual
+            Pred::eq_const(2, 9), // column-constant → residual
+            Pred::eq_cols(0, 2),  // duplicate key → deduped
+        ]);
+        let (on, residual) = p.split_equijoin(2);
+        assert_eq!(on, vec![(0, 2), (1, 3)]);
+        assert_eq!(
+            residual,
+            Pred::and([
+                Pred::eq_cols(0, 1),
+                Pred::neq_cols(1, 2),
+                Pred::eq_const(2, 9),
+            ])
+        );
+        // No spanning atoms → everything is residual, keys empty.
+        let (on, residual) = Pred::eq_cols(0, 1).split_equijoin(2);
+        assert!(on.is_empty());
+        assert_eq!(residual, Pred::eq_cols(0, 1));
+        // A lone spanning atom (not wrapped in And) is extracted.
+        let (on, residual) = Pred::eq_cols(1, 2).split_equijoin(2);
+        assert_eq!(on, vec![(1, 2)]);
+        assert_eq!(residual, Pred::True);
+        // Self-equality #2=#2 never spans.
+        let (on, _) = Pred::eq_cols(2, 2).split_equijoin(2);
+        assert!(on.is_empty());
+        // Extraction is stable under re-association of the conjunction.
+        let q1 = Pred::eq_cols(0, 2).conj(Pred::eq_cols(1, 3).conj(Pred::neq_const(0, 5)));
+        let q2 = Pred::eq_cols(0, 2)
+            .conj(Pred::eq_cols(1, 3))
+            .conj(Pred::neq_const(0, 5));
+        assert_eq!(q1.split_equijoin(2), q2.split_equijoin(2));
     }
 
     #[test]

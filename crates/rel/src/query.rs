@@ -53,6 +53,29 @@ pub enum Query {
     Select(Pred, Box<Query>),
     /// `q₁ × q₂`.
     Product(Box<Query>, Box<Query>),
+    /// `q₁ ⋈ q₂` — equijoin: `σ_{⋀(i,j)∈on #i=#j ∧ residual}(q₁ × q₂)`,
+    /// executed as a hash join instead of a filtered cross product.
+    ///
+    /// `on` pairs are **global** column indexes into the concatenated
+    /// (left ++ right) tuple, exactly as a selection over the product
+    /// would write them; `residual` is an arbitrary extra filter over the
+    /// combined tuple. The paper's algebra does not name a join — it is
+    /// the derived `σ(×)` form used throughout (Example 2's
+    /// `σ_{2=3}(V × V)` shape) — so `Join` is semantically redundant but
+    /// operationally first-class: the three backends all execute it with
+    /// build-side hashing on the spanning key columns.
+    Join {
+        /// Equality pairs over the combined tuple (deduplicated by the
+        /// planner; order is the extraction order of
+        /// [`Pred::split_equijoin`]).
+        on: Vec<(usize, usize)>,
+        /// Extra filter applied to each joined row, if any.
+        residual: Option<Pred>,
+        /// Left operand (its columns come first in the output).
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+    },
     /// `q₁ ∪ q₂`.
     Union(Box<Query>, Box<Query>),
     /// `q₁ − q₂`.
@@ -75,6 +98,34 @@ impl Query {
     /// `a × b`.
     pub fn product(a: Query, b: Query) -> Query {
         Query::Product(Box::new(a), Box::new(b))
+    }
+
+    /// `a ⋈_{on; residual} b` (see [`Query::Join`]).
+    pub fn join(
+        a: Query,
+        b: Query,
+        on: impl IntoIterator<Item = (usize, usize)>,
+        residual: Option<Pred>,
+    ) -> Query {
+        Query::Join {
+            on: on.into_iter().collect(),
+            residual,
+            left: Box::new(a),
+            right: Box::new(b),
+        }
+    }
+
+    /// The selection predicate a join stands for: the conjunction of its
+    /// key equalities and residual. `Join{on, residual}(a, b)` is
+    /// equivalent to `σ_{join_pred(on, residual)}(a × b)` — the lowering
+    /// used by layers that have no native join (provenance) and by the
+    /// differential join-oracle tests.
+    pub fn join_pred(on: &[(usize, usize)], residual: Option<&Pred>) -> Pred {
+        Pred::conj_all(
+            on.iter()
+                .map(|&(i, j)| Pred::eq_cols(i, j))
+                .chain(residual.cloned()),
+        )
     }
 
     /// Left-associated product of several queries; `None` if empty.
@@ -147,6 +198,25 @@ impl Query {
             Query::Product(a, b) => {
                 Ok(a.arity_impl(input_arity, second)? + b.arity_impl(input_arity, second)?)
             }
+            Query::Join {
+                on,
+                residual,
+                left,
+                right,
+            } => {
+                let total = left.arity_impl(input_arity, second)?
+                    + right.arity_impl(input_arity, second)?;
+                for &(i, j) in on {
+                    let col = i.max(j);
+                    if col >= total {
+                        return Err(RelError::ColumnOutOfRange { col, arity: total });
+                    }
+                }
+                if let Some(p) = residual {
+                    p.validate(total)?;
+                }
+                Ok(total)
+            }
             Query::Union(a, b) | Query::Diff(a, b) | Query::Intersect(a, b) => {
                 let aa = a.arity_impl(input_arity, second)?;
                 let ab = b.arity_impl(input_arity, second)?;
@@ -192,6 +262,16 @@ impl Query {
             Query::Product(a, b) => Ok(a
                 .eval_impl(input, second)?
                 .product(&b.eval_impl(input, second)?)),
+            Query::Join {
+                on,
+                residual,
+                left,
+                right,
+            } => left.eval_impl(input, second)?.equijoin(
+                &right.eval_impl(input, second)?,
+                on,
+                residual.as_ref(),
+            ),
             Query::Union(a, b) => a
                 .eval_impl(input, second)?
                 .union(&b.eval_impl(input, second)?),
@@ -241,6 +321,25 @@ impl Query {
             }
             .merge(a.op_set())
             .merge(b.op_set()),
+            // A join is σ(×) in disguise: its key equalities are positive
+            // column-equality atoms, so only the residual can push the
+            // selection outside the col-eq / positive classes.
+            Query::Join {
+                residual,
+                left,
+                right,
+                ..
+            } => OpSet {
+                product: true,
+                select: true,
+                nonpositive_select: residual.as_ref().is_some_and(|p| !p.is_positive()),
+                non_coleq_select: residual
+                    .as_ref()
+                    .is_some_and(|p| !p.is_col_eq_conjunction()),
+                ..OpSet::default()
+            }
+            .merge(left.op_set())
+            .merge(right.op_set()),
             Query::Union(a, b) => OpSet {
                 union: true,
                 ..OpSet::default()
@@ -271,6 +370,7 @@ impl Query {
             | Query::Union(a, b)
             | Query::Diff(a, b)
             | Query::Intersect(a, b) => 1 + a.size() + b.size(),
+            Query::Join { left, right, .. } => 1 + left.size() + right.size(),
         }
     }
 
@@ -290,6 +390,7 @@ impl Query {
             | Query::Union(a, b)
             | Query::Diff(a, b)
             | Query::Intersect(a, b) => 1 + a.depth().max(b.depth()),
+            Query::Join { left, right, .. } => 1 + left.depth().max(right.depth()),
         }
     }
 
@@ -304,6 +405,7 @@ impl Query {
             | Query::Union(a, b)
             | Query::Diff(a, b)
             | Query::Intersect(a, b) => a.uses_input() || b.uses_input(),
+            Query::Join { left, right, .. } => left.uses_input() || right.uses_input(),
         }
     }
 }
@@ -326,6 +428,24 @@ impl fmt::Display for Query {
             }
             Query::Select(p, q) => write!(f, "σ[{p}]({q})"),
             Query::Product(a, b) => write!(f, "({a} × {b})"),
+            Query::Join {
+                on,
+                residual,
+                left,
+                right,
+            } => {
+                write!(f, "({left} ⋈[")?;
+                for (n, (i, j)) in on.iter().enumerate() {
+                    if n > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "#{}=#{}", i + 1, j + 1)?; // 1-based like the paper
+                }
+                if let Some(p) = residual {
+                    write!(f, "; {p}")?;
+                }
+                write!(f, "] {right})")
+            }
             Query::Union(a, b) => write!(f, "({a} ∪ {b})"),
             Query::Diff(a, b) => write!(f, "({a} − {b})"),
             Query::Intersect(a, b) => write!(f, "({a} ∩ {b})"),
@@ -373,6 +493,94 @@ mod tests {
         let chain = instance![[1, 2], [2, 3]];
         let joined = self_join.eval(&chain).unwrap();
         assert_eq!(joined, instance![[1, 2, 2, 3]]);
+    }
+
+    #[test]
+    fn join_is_selected_product() {
+        let chain = instance![[1, 2], [2, 3], [3, 4]];
+        // V ⋈_{#1=#2} V — the Example 2 workhorse shape.
+        let join = Query::join(Query::Input, Query::Input, [(1, 2)], None);
+        let naive = Query::select(
+            Query::product(Query::Input, Query::Input),
+            Query::join_pred(&[(1, 2)], None),
+        );
+        assert_eq!(join.arity(2).unwrap(), 4);
+        assert_eq!(join.eval(&chain).unwrap(), naive.eval(&chain).unwrap());
+        assert_eq!(join.eval(&chain).unwrap().len(), 2);
+        // With a residual filter.
+        let resid = Pred::neq_const(0, 1);
+        let join_r = Query::join(Query::Input, Query::Input, [(1, 2)], Some(resid.clone()));
+        let naive_r = Query::select(
+            Query::product(Query::Input, Query::Input),
+            Query::join_pred(&[(1, 2)], Some(&resid)),
+        );
+        assert_eq!(join_r.eval(&chain).unwrap(), naive_r.eval(&chain).unwrap());
+        assert_eq!(join_r.eval(&chain).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn join_validates_keys_and_residual() {
+        let join = Query::join(Query::Input, Query::Input, [(0, 9)], None);
+        assert_eq!(
+            join.arity(2),
+            Err(RelError::ColumnOutOfRange { col: 9, arity: 4 })
+        );
+        assert!(join.eval(&instance![[1, 2]]).is_err());
+        let bad_resid = Query::join(
+            Query::Input,
+            Query::Input,
+            [(0, 2)],
+            Some(Pred::eq_cols(0, 7)),
+        );
+        assert!(bad_resid.arity(2).is_err());
+        // Empty `on` is a plain (filtered) product at this level.
+        let empty = Query::join(Query::Input, Query::Input, [], None);
+        assert_eq!(empty.arity(1).unwrap(), 2);
+        assert_eq!(
+            empty.eval(&instance![[1]]).unwrap(),
+            Query::product(Query::Input, Query::Input)
+                .eval(&instance![[1]])
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn join_structural_accessors() {
+        let q = Query::join(Query::Input, Query::singleton([1i64]), [(0, 1)], None);
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.depth(), 2);
+        assert!(q.uses_input());
+        assert!(!Query::join(
+            Query::singleton([1i64]),
+            Query::singleton([2i64]),
+            [(0, 1)],
+            None
+        )
+        .uses_input());
+        let ops = q.op_set();
+        assert!(ops.product && ops.select && !ops.nonpositive_select && !ops.non_coleq_select);
+        assert!(Fragment::SPJU.admits(ops));
+        let neg = Query::join(
+            Query::Input,
+            Query::Input,
+            [(0, 2)],
+            Some(Pred::neq_cols(0, 1)),
+        );
+        assert!(neg.op_set().nonpositive_select);
+        assert!(!Fragment::S_PLUS_PJ.admits(neg.op_set()));
+    }
+
+    #[test]
+    fn join_display_is_paper_like() {
+        let q = Query::join(
+            Query::Input,
+            Query::Input,
+            [(1, 2)],
+            Some(Pred::neq_const(0, 2)),
+        );
+        assert_eq!(q.to_string(), "(V ⋈[#2=#3; #1≠2] V)");
+        let bare = Query::join(Query::Input, Query::Input, [(0, 2), (1, 3)], None);
+        assert_eq!(bare.to_string(), "(V ⋈[#1=#3,#2=#4] V)");
     }
 
     #[test]

@@ -181,6 +181,40 @@ pub fn arb_query_with_arity(
         );
     }
 
+    // Equijoin: a product with spanning key pairs (and, in the full
+    // selection fragment, an arbitrary residual). Key equalities are
+    // positive column-equality atoms, so any fragment admitting both
+    // product and selection admits the bare join.
+    if fragment.product && fragment.select != SelectKind::None && target_arity >= 2 {
+        let frag = fragment;
+        choices.push(
+            (1..target_arity)
+                .prop_flat_map(move |left| {
+                    let right = target_arity - left;
+                    let on = proptest::collection::vec(
+                        ((0..left), (left..left + right)),
+                        1..=2.min(left.min(right)),
+                    );
+                    let maybe = |p: BoxedStrategy<Pred>| {
+                        prop_oneof![1 => Just(None), 2 => p.prop_map(Some)].boxed()
+                    };
+                    let residual: BoxedStrategy<Option<Pred>> = match frag.select {
+                        SelectKind::Any => maybe(arb_pred(left + right, max_int, false)),
+                        SelectKind::PositiveOnly => maybe(arb_pred(left + right, max_int, true)),
+                        _ => Just(None).boxed(),
+                    };
+                    (
+                        arb_query_with_arity(input_arity, left, depth - 1, frag, max_int),
+                        arb_query_with_arity(input_arity, right, depth - 1, frag, max_int),
+                        on,
+                        residual,
+                    )
+                        .prop_map(|(a, b, on, residual)| Query::join(a, b, on, residual))
+                })
+                .boxed(),
+        );
+    }
+
     type BinCtor = fn(Query, Query) -> Query;
     let binary_ops: Vec<(bool, BinCtor)> = vec![
         (fragment.union, Query::union as BinCtor),

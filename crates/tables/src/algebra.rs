@@ -168,6 +168,103 @@ impl CTable {
         CTable::with_domains(self.arity() + other.arity(), rows, domains)
     }
 
+    /// `T₁ ⋈̄ T₂`: the c-table equijoin, semantically
+    /// `σ̄_{⋀ #i=#j ∧ residual}(T₁ ×̄ T₂)` but executed with build-side
+    /// hashing wherever the key columns are *ground*.
+    ///
+    /// Rows whose key columns are all constants can be bucketed by key
+    /// value: pairing two ground-key rows with unequal keys would produce
+    /// a row whose instantiated key condition is `false` — a row that
+    /// holds in no possible world — so the hash join's skipping of those
+    /// pairs is exactly the `simplified().without_false_rows()` pruning
+    /// done eagerly, and Lemma 1 is preserved. Rows with a *variable* in
+    /// some key column fall back to condition-conjunction pairing: they
+    /// are paired with every row of the other side and the key equalities
+    /// are instantiated on the terms (via [`pred_on_terms`]) and conjoined
+    /// onto the row condition, just as `σ̄` would.
+    pub fn join_bar(
+        &self,
+        other: &CTable,
+        on: &[(usize, usize)],
+        residual: Option<&Pred>,
+    ) -> Result<CTable, TableError> {
+        use ipdb_rel::Value;
+        use std::collections::HashMap;
+
+        let (la, lb) = (self.arity(), other.arity());
+        let total = la + lb;
+        let domains = CTable::merge_domains(self.domains(), other.domains())?;
+        // The shared normalization `Instance::equijoin` uses: spanning
+        // pairs become (left col, right-local col) hash keys, the rest
+        // fold into the residual filter.
+        let (keys, extra) =
+            ipdb_rel::normalize_join_keys(on, la, total).map_err(TableError::Rel)?;
+        if let Some(p) = residual {
+            p.validate(total).map_err(TableError::Rel)?;
+        }
+        let filter = Pred::conj_all(extra.into_iter().chain(residual.cloned()));
+
+        let mut rows: Vec<CRow> = Vec::new();
+        let mut pair = |r1: &CRow, r2: &CRow, keys_known_equal: bool| -> Result<(), TableError> {
+            let mut tuple = Vec::with_capacity(total);
+            tuple.extend(r1.tuple.iter().cloned());
+            tuple.extend(r2.tuple.iter().cloned());
+            let mut cond = vec![r1.cond.clone(), r2.cond.clone()];
+            if !keys_known_equal {
+                for &(i, j) in &keys {
+                    cond.push(Condition::eq(tuple[i].clone(), tuple[la + j].clone()));
+                }
+            }
+            if filter != Pred::True {
+                cond.push(pred_on_terms(&filter, &tuple)?);
+            }
+            rows.push(CRow::new(tuple, Condition::and(cond)));
+            Ok(())
+        };
+
+        let ground_key = |row: &CRow, cols: &dyn Fn(&(usize, usize)) -> usize| {
+            keys.iter()
+                .map(|k| match &row.tuple[cols(k)] {
+                    Term::Const(v) => Some(v.clone()),
+                    Term::Var(_) => None,
+                })
+                .collect::<Option<Vec<Value>>>()
+        };
+        // Build side: bucket ground-key right rows; keep variable-key
+        // rows aside for the fallback pairing.
+        let mut index: HashMap<Vec<Value>, Vec<&CRow>> = HashMap::new();
+        let mut var_right: Vec<&CRow> = Vec::new();
+        for r2 in other.rows() {
+            match ground_key(r2, &|&(_, j)| j) {
+                Some(key) => index.entry(key).or_default().push(r2),
+                None => var_right.push(r2),
+            }
+        }
+        for r1 in self.rows() {
+            match ground_key(r1, &|&(i, _)| i) {
+                Some(key) => {
+                    // Ground × ground: hash probe, keys equal by
+                    // construction. Ground × variable-key: fall back.
+                    if let Some(matches) = index.get(&key) {
+                        for r2 in matches {
+                            pair(r1, r2, true)?;
+                        }
+                    }
+                    for r2 in &var_right {
+                        pair(r1, r2, false)?;
+                    }
+                }
+                None => {
+                    // Variable-key left rows pair with *every* right row.
+                    for r2 in other.rows() {
+                        pair(r1, r2, false)?;
+                    }
+                }
+            }
+        }
+        CTable::with_domains(total, rows, domains)
+    }
+
     /// `T₁ ∪̄ T₂`: row concatenation.
     pub fn union_bar(&self, other: &CTable) -> Result<CTable, TableError> {
         if self.arity() != other.arity() {
@@ -248,6 +345,15 @@ impl CTable {
             Query::Project(cols, q) => self.eval_query(q)?.project_bar(cols)?,
             Query::Select(p, q) => self.eval_query(q)?.select_bar(p)?,
             Query::Product(a, b) => self.eval_query(a)?.product_bar(&self.eval_query(b)?)?,
+            Query::Join {
+                on,
+                residual,
+                left,
+                right,
+            } => {
+                self.eval_query(left)?
+                    .join_bar(&self.eval_query(right)?, on, residual.as_ref())?
+            }
             Query::Union(a, b) => self.eval_query(a)?.union_bar(&self.eval_query(b)?)?,
             Query::Diff(a, b) => self.eval_query(a)?.diff_bar(&self.eval_query(b)?)?,
             Query::Intersect(a, b) => self.eval_query(a)?.intersect_bar(&self.eval_query(b)?)?,
@@ -378,6 +484,103 @@ mod tests {
                 q.eval(&t.apply_valuation(&v).unwrap()).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn lemma1_join_agrees_with_selected_product() {
+        let t = sample();
+        // Self-join on column 1 = column 2 (spanning the 2|2 product),
+        // with and without a residual.
+        for residual in [None, Some(Pred::neq_const(0, 1))] {
+            let join = Query::join(Query::Input, Query::Input, [(1, 2)], residual.clone());
+            let naive = Query::select(
+                Query::product(Query::Input, Query::Input),
+                Query::join_pred(&[(1, 2)], residual.as_ref()),
+            );
+            let jt = t.eval_query(&join).unwrap();
+            let nt = t.eval_query(&naive).unwrap();
+            assert_eq!(jt.arity(), 4);
+            for v in [nu(1, 1), nu(1, 2), nu(2, 1), nu(3, 4)] {
+                let world = t.apply_valuation(&v).unwrap();
+                assert_eq!(
+                    jt.apply_valuation(&v).unwrap(),
+                    join.eval(&world).unwrap(),
+                    "join vs direct under {v}"
+                );
+                assert_eq!(
+                    jt.apply_valuation(&v).unwrap(),
+                    nt.apply_valuation(&v).unwrap(),
+                    "join_bar vs select_bar∘product_bar under {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_bar_hash_path_skips_ground_mismatches() {
+        // Two all-ground tables: the hash path alone is exercised, and
+        // non-matching pairs are not even materialized as false rows.
+        let t1 = CTable::builder(1)
+            .ground_row([1i64], Condition::True)
+            .ground_row([2i64], Condition::True)
+            .build()
+            .unwrap();
+        let t2 = CTable::builder(1)
+            .ground_row([2i64], Condition::True)
+            .ground_row([3i64], Condition::True)
+            .build()
+            .unwrap();
+        let j = t1.join_bar(&t2, &[(0, 1)], None).unwrap();
+        assert_eq!(j.len(), 1, "only the (2,2) pair should be produced");
+        assert_eq!(j.rows()[0].cond, Condition::True);
+        // The naive σ̄(×̄) keeps 4 rows (3 with false conditions).
+        let naive = t1
+            .product_bar(&t2)
+            .unwrap()
+            .select_bar(&Pred::eq_cols(0, 1))
+            .unwrap();
+        assert_eq!(naive.len(), 4);
+        assert_eq!(naive.simplified().without_false_rows().len(), 1);
+    }
+
+    #[test]
+    fn join_bar_variable_keys_fall_back_to_conditions() {
+        let x = Var(0);
+        let t1 = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let t2 = CTable::builder(1)
+            .ground_row([3i64], Condition::True)
+            .build()
+            .unwrap();
+        let j = t1.join_bar(&t2, &[(0, 1)], None).unwrap();
+        // One pair, guarded by x = 3.
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.rows()[0].cond.simplify(), Condition::eq_vc(x, 3));
+        for val in [3i64, 4] {
+            let v = Valuation::from_iter([(x, Value::from(val))]);
+            let world = t1.apply_valuation(&v).unwrap();
+            let expect = Query::join(Query::Input, Query::Second, [(0, 1)], None);
+            assert_eq!(
+                j.apply_valuation(&v).unwrap(),
+                expect
+                    .eval2(&world, &t2.apply_valuation(&v).unwrap())
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn join_bar_validates_keys() {
+        let t = sample();
+        assert!(matches!(
+            t.join_bar(&t, &[(0, 9)], None),
+            Err(TableError::Rel(RelError::ColumnOutOfRange { col: 9, .. }))
+        ));
+        assert!(t
+            .join_bar(&t, &[(0, 2)], Some(&Pred::eq_cols(0, 8)))
+            .is_err());
     }
 
     #[test]

@@ -62,6 +62,78 @@ fn ctable_algebra_errors_surface() {
 }
 
 #[test]
+fn join_errors_surface() {
+    use ipdb::engine::{Engine, EngineError, PlanNode};
+
+    // A join key column past the combined arity fails at plan build with
+    // the dedicated JoinArity error...
+    let oob = Query::join(Query::Input, Query::Input, [(0, 9)], None);
+    assert_eq!(
+        Engine::new().prepare(&oob, 2).unwrap_err(),
+        EngineError::JoinArity {
+            col: 9,
+            left: 2,
+            right: 2
+        }
+    );
+    // ...and at rel-level evaluation with a ColumnOutOfRange.
+    assert!(matches!(
+        oob.eval(&ipdb::rel::instance![[1, 2]]),
+        Err(RelError::ColumnOutOfRange { col: 9, arity: 4 })
+    ));
+    // Key pairs that do not span the two operands are rejected: the plan
+    // layer insists a Join can actually hash on its keys.
+    let one_sided = Query::join(Query::Input, Query::Input, [(0, 1)], None);
+    assert_eq!(
+        Engine::new().prepare(&one_sided, 2).unwrap_err(),
+        EngineError::JoinArity {
+            col: 1,
+            left: 2,
+            right: 2
+        }
+    );
+    // An empty `on` list is rejected at plan build (write sigma(... x ...)).
+    let empty = Query::join(Query::Input, Query::Input, [], None);
+    assert_eq!(
+        Engine::new().prepare(&empty, 2).unwrap_err(),
+        EngineError::EmptyJoinOn
+    );
+    // The same errors surface through the surface syntax.
+    assert_eq!(
+        Engine::new().prepare_text("join[](V, V)", 2).unwrap_err(),
+        EngineError::EmptyJoinOn
+    );
+    // Duplicate (and reversed) key pairs are deduplicated at plan build.
+    let dup = Query::join(Query::Input, Query::Input, [(0, 2), (2, 0), (0, 2)], None);
+    let stmt = Engine { optimize: false }.prepare(&dup, 2).unwrap();
+    match &stmt.plan().node {
+        PlanNode::Join { on, .. } => assert_eq!(on, &vec![(0, 2)]),
+        other => panic!("expected a Join plan node, got {other:?}"),
+    }
+    // A residual referencing a column outside the combined tuple.
+    let bad_resid = Query::join(
+        Query::Input,
+        Query::Input,
+        [(0, 2)],
+        Some(Pred::eq_cols(0, 8)),
+    );
+    assert!(matches!(
+        Engine::new().prepare(&bad_resid, 2),
+        Err(EngineError::Rel(RelError::ColumnOutOfRange { col: 8, .. }))
+    ));
+    // The c-table algebra reports bad keys through TableError.
+    let x = Var(0);
+    let t = CTable::builder(1)
+        .row([t_var(x)], Condition::True)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        t.join_bar(&t, &[(0, 5)], None),
+        Err(TableError::Rel(RelError::ColumnOutOfRange { col: 5, .. }))
+    ));
+}
+
+#[test]
 fn prob_validation_errors_surface() {
     use ipdb::prob::ProbError;
     // Mass ≠ 1.
