@@ -1,20 +1,45 @@
-//! Errors for condition compilation.
+//! Errors for condition compilation and model counting.
 
 use std::fmt;
 
 use ipdb_logic::Var;
+use ipdb_rel::Value;
 
-/// Errors raised when compiling conditions to BDDs.
+/// Errors raised when compiling conditions to BDDs or counting models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BddError {
     /// The condition contains an atom that is not a boolean literal
     /// (only *boolean* conditions — variables compared with boolean
-    /// constants — compile directly; finite-domain conditions go through
-    /// the Shannon-expansion engine in `ipdb-prob` instead).
+    /// constants — compile directly through [`crate::compile_condition`];
+    /// arbitrary finite-domain conditions go through
+    /// [`crate::FdEncoding`] instead).
     NonBooleanAtom(String),
     /// The condition mentions a variable missing from the compilation
-    /// order.
+    /// order (or from the finite-domain encoding).
     UnknownVar(Var),
+    /// A model-counting call met a decision node whose variable index
+    /// lies outside the declared variable range (`weights.len()` for
+    /// [`crate::BddManager::wmc`], `nvars` for
+    /// [`crate::BddManager::sat_count`]): the function depends on a
+    /// variable the caller supplied no weight/level for, so any count
+    /// would be meaningless.
+    VarOutOfRange {
+        /// The decision variable encountered in the diagram.
+        var: u32,
+        /// The number of variables the caller declared.
+        nvars: u32,
+    },
+    /// A finite-domain WMC call supplied no weight for one of a
+    /// variable's domain values (every value of every encoded variable
+    /// needs a weight for the count to be well-defined).
+    MissingValueWeight(Var, Value),
+    /// A finite-domain encoding was asked to encode a variable with an
+    /// empty domain; such a variable has no possible value, so every
+    /// condition over it would be vacuously false.
+    EmptyDomain(Var),
+    /// A valuation bound an encoded variable to a value outside its
+    /// encoded domain — no indicator exists for that binding.
+    ValueOutOfDomain(Var, Value),
 }
 
 impl fmt::Display for BddError {
@@ -24,6 +49,20 @@ impl fmt::Display for BddError {
                 write!(f, "condition atom is not a boolean literal: {s}")
             }
             BddError::UnknownVar(v) => write!(f, "variable {v} missing from the BDD order"),
+            BddError::VarOutOfRange { var, nvars } => write!(
+                f,
+                "BDD node decides variable index {var}, but the caller declared \
+                 only {nvars} variables"
+            ),
+            BddError::MissingValueWeight(v, val) => {
+                write!(f, "no weight supplied for {v} = {val}")
+            }
+            BddError::EmptyDomain(v) => {
+                write!(f, "variable {v} has an empty domain; nothing to encode")
+            }
+            BddError::ValueOutOfDomain(v, val) => {
+                write!(f, "value {val} is outside the encoded domain of {v}")
+            }
         }
     }
 }
@@ -40,5 +79,13 @@ mod tests {
             .to_string()
             .contains("x0=3"));
         assert!(BddError::UnknownVar(Var(2)).to_string().contains("x2"));
+        let e = BddError::VarOutOfRange { var: 7, nvars: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        assert!(BddError::MissingValueWeight(Var(1), Value::from(9))
+            .to_string()
+            .contains("x1 = 9"));
+        let e = BddError::ValueOutOfDomain(Var(1), Value::from(9)).to_string();
+        assert!(e.contains("x1") && e.contains('9'));
+        assert!(BddError::EmptyDomain(Var(0)).to_string().contains("x0"));
     }
 }

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::BddError;
 use crate::weight::Weight;
 
 /// Reference to a BDD node (index into the manager's node table).
@@ -53,7 +54,7 @@ enum Op {
 /// let h = m.and(nx0, g);
 /// // ¬(x0 ∨ x1) ∧ ¬x0 == ¬(x0 ∨ x1): canonicity makes this pointer-equal.
 /// assert_eq!(h, g);
-/// assert_eq!(m.sat_count(TRUE, 2), 4);
+/// assert_eq!(m.sat_count(TRUE, 2).unwrap(), 4);
 /// ```
 #[derive(Debug)]
 pub struct BddManager {
@@ -298,7 +299,12 @@ impl BddManager {
     }
 
     /// Exact number of satisfying assignments over variables `0..nvars`.
-    pub fn sat_count(&self, f: NodeRef, nvars: u32) -> u128 {
+    ///
+    /// Errors with [`BddError::VarOutOfRange`] if `f` decides a variable
+    /// `≥ nvars` (the count would otherwise silently ignore it); the
+    /// check rides along the memoized recursion, so each node is still
+    /// visited exactly once.
+    pub fn sat_count(&self, f: NodeRef, nvars: u32) -> Result<u128, BddError> {
         let mut memo: HashMap<NodeRef, u128> = HashMap::new();
         // count(n) = models over variables strictly below var_of(n)'s level
         // (i.e. vars var_of(n)..nvars); terminals count 1 or 0, scaled by
@@ -315,26 +321,34 @@ impl BddManager {
             n: NodeRef,
             nvars: u32,
             memo: &mut HashMap<NodeRef, u128>,
-        ) -> u128 {
+        ) -> Result<u128, BddError> {
             if n == FALSE {
-                return 0;
+                return Ok(0);
             }
             if n == TRUE {
-                return 1;
+                return Ok(1);
             }
             if let Some(&c) = memo.get(&n) {
-                return c;
+                return Ok(c);
             }
             let node = mgr.nodes[n as usize];
+            if node.var >= nvars {
+                return Err(BddError::VarOutOfRange {
+                    var: node.var,
+                    nvars,
+                });
+            }
+            let lo = rec(mgr, node.lo, nvars, memo)?;
+            let hi = rec(mgr, node.hi, nvars, memo)?;
             let lo_skip = level(mgr, node.lo, nvars) - node.var - 1;
             let hi_skip = level(mgr, node.hi, nvars) - node.var - 1;
-            let c = (1u128 << lo_skip) * rec(mgr, node.lo, nvars, memo)
-                + (1u128 << hi_skip) * rec(mgr, node.hi, nvars, memo);
+            let c = (1u128 << lo_skip) * lo + (1u128 << hi_skip) * hi;
             memo.insert(n, c);
-            c
+            Ok(c)
         }
+        let count = rec(self, f, nvars, &mut memo)?;
         let root_skip = level(self, f, nvars).min(nvars);
-        (1u128 << root_skip) * rec(self, f, nvars, &mut memo)
+        Ok((1u128 << root_skip) * count)
     }
 
     /// Weighted model count of `f` over variables `0..weights.len()`.
@@ -343,7 +357,12 @@ impl BddManager {
     /// For probabilities the pair sums to 1 and the result is
     /// `P[f]`; the implementation handles arbitrary weights by scaling
     /// skipped levels with `(w_false + w_true)`.
-    pub fn wmc<W: Weight>(&self, f: NodeRef, weights: &[(W, W)]) -> W {
+    ///
+    /// Errors with [`BddError::VarOutOfRange`] if `f` decides a variable
+    /// with no weight pair (instead of panicking on the index); the
+    /// check rides along the memoized recursion, so each node is still
+    /// visited exactly once.
+    pub fn wmc<W: Weight>(&self, f: NodeRef, weights: &[(W, W)]) -> Result<W, BddError> {
         let nvars = weights.len() as u32;
         let mut memo: HashMap<NodeRef, W> = HashMap::new();
         let skip = |from: u32, to: u32| -> W {
@@ -367,32 +386,42 @@ impl BddManager {
             weights: &[(W, W)],
             memo: &mut HashMap<NodeRef, W>,
             skip: &dyn Fn(u32, u32) -> W,
-        ) -> W {
+        ) -> Result<W, BddError> {
             if n == FALSE {
-                return W::zero();
+                return Ok(W::zero());
             }
             if n == TRUE {
-                return W::one();
+                return Ok(W::one());
             }
             if let Some(c) = memo.get(&n) {
-                return c.clone();
+                return Ok(c.clone());
             }
             let node = mgr.nodes[n as usize];
             let nvars = weights.len() as u32;
+            if node.var >= nvars {
+                return Err(BddError::VarOutOfRange {
+                    var: node.var,
+                    nvars,
+                });
+            }
+            // Recurse before touching the children's levels, so an
+            // out-of-range node deeper down errors before `skip` could
+            // index past the weight vector.
+            let lo = rec(mgr, node.lo, weights, memo, skip)?;
+            let hi = rec(mgr, node.hi, weights, memo, skip)?;
             let (wf, wt) = &weights[node.var as usize];
             let lo_level = level(mgr, node.lo, nvars);
             let hi_level = level(mgr, node.hi, nvars);
-            let lo = rec(mgr, node.lo, weights, memo, skip);
-            let hi = rec(mgr, node.hi, weights, memo, skip);
             let c = wf
                 .mul(&skip(node.var + 1, lo_level))
                 .mul(&lo)
                 .add(&wt.mul(&skip(node.var + 1, hi_level)).mul(&hi));
             memo.insert(n, c.clone());
-            c
+            Ok(c)
         }
+        let count = rec(self, f, weights, &mut memo, &skip)?;
         let top = level(self, f, nvars).min(nvars);
-        skip(0, top).mul(&rec(self, f, weights, &mut memo, &skip))
+        Ok(skip(0, top).mul(&count))
     }
 }
 
@@ -494,14 +523,14 @@ mod tests {
         let x = m.var(0);
         let y = m.var(1);
         let or = m.or(x, y);
-        assert_eq!(m.sat_count(or, 2), 3);
+        assert_eq!(m.sat_count(or, 2).unwrap(), 3);
         let and = m.and(x, y);
-        assert_eq!(m.sat_count(and, 2), 1);
-        assert_eq!(m.sat_count(TRUE, 3), 8);
-        assert_eq!(m.sat_count(FALSE, 3), 0);
+        assert_eq!(m.sat_count(and, 2).unwrap(), 1);
+        assert_eq!(m.sat_count(TRUE, 3).unwrap(), 8);
+        assert_eq!(m.sat_count(FALSE, 3).unwrap(), 0);
         // Skipped variables are counted: f = x1 over 3 vars has 4 models.
         let y1 = m.var(1);
-        assert_eq!(m.sat_count(y1, 3), 4);
+        assert_eq!(m.sat_count(y1, 3).unwrap(), 4);
     }
 
     #[test]
@@ -512,13 +541,13 @@ mod tests {
         let or = m.or(x, y);
         // P[x]=0.5, P[y]=0.25 → P[x ∨ y] = 1 - 0.5*0.75 = 0.625
         let w = [(0.5, 0.5), (0.75, 0.25)];
-        let p = m.wmc(or, &w);
+        let p = m.wmc(or, &w).unwrap();
         assert!((p - 0.625).abs() < 1e-12);
         // Skipped var at the root: f = y alone.
-        let p_y = m.wmc(y, &w);
+        let p_y = m.wmc(y, &w).unwrap();
         assert!((p_y - 0.25).abs() < 1e-12);
-        assert!((m.wmc(TRUE, &w) - 1.0).abs() < 1e-12);
-        assert_eq!(m.wmc(FALSE, &w), 0.0);
+        assert!((m.wmc(TRUE, &w).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(m.wmc(FALSE, &w).unwrap(), 0.0);
     }
 
     #[test]
@@ -529,7 +558,33 @@ mod tests {
         let or = m.or(x, y);
         // Weight 1 on both branches = plain model counting.
         let w = [(1.0, 1.0), (1.0, 1.0)];
-        assert_eq!(m.wmc(or, &w), 3.0);
+        assert_eq!(m.wmc(or, &w).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn counting_rejects_out_of_range_variables() {
+        // Regression: a node deciding x2 with only 2 declared variables
+        // used to panic (wmc) or silently miscount (sat_count); both now
+        // return VarOutOfRange.
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let z = m.var(2);
+        let f = m.and(x, z);
+        assert_eq!(
+            m.wmc(f, &[(0.5, 0.5), (0.5, 0.5)]),
+            Err(BddError::VarOutOfRange { var: 2, nvars: 2 })
+        );
+        assert_eq!(
+            m.sat_count(f, 2),
+            Err(BddError::VarOutOfRange { var: 2, nvars: 2 })
+        );
+        // The same function over enough variables counts fine.
+        assert_eq!(m.sat_count(f, 3).unwrap(), 2);
+        let w3 = [(0.5, 0.5), (0.5, 0.5), (0.5, 0.5)];
+        assert!((m.wmc(f, &w3).unwrap() - 0.25).abs() < 1e-12);
+        // Terminals are in range for any nvars, including zero.
+        assert_eq!(m.sat_count(TRUE, 0).unwrap(), 1);
+        assert_eq!(m.wmc::<f64>(FALSE, &[]).unwrap(), 0.0);
     }
 
     #[test]
@@ -553,6 +608,6 @@ mod tests {
             f = m.xor(f, x);
         }
         assert!(m.reachable_count(f) <= 2 * 16 + 2);
-        assert_eq!(m.sat_count(f, 16), 1 << 15);
+        assert_eq!(m.sat_count(f, 16).unwrap(), 1 << 15);
     }
 }

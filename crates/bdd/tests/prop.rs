@@ -1,12 +1,13 @@
-//! Property tests: BDD compilation agrees with condition semantics, and
-//! the counting engines agree with brute force.
+//! Property tests: BDD compilation agrees with condition semantics, the
+//! counting engines agree with brute force, and the finite-domain
+//! encoding agrees with Shannon-style enumeration.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use ipdb_bdd::{compile_condition, var_order, BddManager};
-use ipdb_logic::strategies::arb_boolean_condition;
+use ipdb_bdd::{compile_condition, var_order, BddManager, FdEncoding};
+use ipdb_logic::strategies::{arb_boolean_condition, arb_condition};
 use ipdb_logic::{sat, Valuation, Var};
 use ipdb_rel::{Domain, Value};
 
@@ -41,7 +42,7 @@ proptest! {
         let f = compile_condition(&mut m, &c, &order).unwrap();
         let doms: BTreeMap<Var, Domain> = order.keys().map(|v| (*v, Domain::bools())).collect();
         prop_assert_eq!(
-            m.sat_count(f, order.len() as u32),
+            m.sat_count(f, order.len() as u32).unwrap(),
             sat::count_models(&c, &doms).unwrap()
         );
     }
@@ -53,9 +54,53 @@ proptest! {
         let f = compile_condition(&mut m, &c, &order).unwrap();
         let n = order.len();
         let weights = vec![(0.5f64, 0.5f64); n];
-        let p = m.wmc(f, &weights);
-        let frac = m.sat_count(f, n as u32) as f64 / (1u128 << n) as f64;
+        let p = m.wmc(f, &weights).unwrap();
+        let frac = m.sat_count(f, n as u32).unwrap() as f64 / (1u128 << n) as f64;
         prop_assert!((p - frac).abs() < 1e-12);
+    }
+
+    /// The finite-domain encoding agrees with plain condition evaluation
+    /// on every valuation of the variables over their domains.
+    #[test]
+    fn fd_encoding_agrees_with_eval(c in arb_condition(3, 2, 3)) {
+        let domain: Vec<Value> = (0..=2i64).map(Value::from).collect();
+        let mut m = BddManager::new();
+        let enc = FdEncoding::new(
+            &mut m,
+            c.vars().into_iter().map(|v| (v, domain.clone())),
+        ).unwrap();
+        let f = enc.compile(&mut m, &c).unwrap();
+        let doms: BTreeMap<Var, Domain> =
+            c.vars().into_iter().map(|v| (v, Domain::ints(0..=2))).collect();
+        for nu in Valuation::all_over(&doms) {
+            let asg = enc.encode_valuation(&nu).unwrap();
+            prop_assert_eq!(m.eval(f, &asg), c.eval(&nu).unwrap(), "valuation {}", nu);
+        }
+    }
+
+    /// Domain-aware WMC over uniform weights equals the model fraction
+    /// computed by the logic crate's enumeration counter.
+    #[test]
+    fn fd_wmc_matches_enumeration(c in arb_condition(3, 2, 3)) {
+        let nvars = c.vars().len() as u32;
+        let domain: Vec<Value> = (0..=2i64).map(Value::from).collect();
+        let mut m = BddManager::new();
+        let enc = FdEncoding::new(
+            &mut m,
+            c.vars().into_iter().map(|v| (v, domain.clone())),
+        ).unwrap();
+        let f = enc.compile(&mut m, &c).unwrap();
+        let weights: BTreeMap<Var, BTreeMap<Value, f64>> = c
+            .vars()
+            .into_iter()
+            .map(|v| (v, domain.iter().map(|val| (val.clone(), 1.0 / 3.0)).collect()))
+            .collect();
+        let p = enc.wmc(&mut m, f, &weights).unwrap();
+        let doms: BTreeMap<Var, Domain> =
+            c.vars().into_iter().map(|v| (v, Domain::ints(0..=2))).collect();
+        let models = sat::count_models(&c, &doms).unwrap() as f64;
+        let frac = models / 3f64.powi(nvars as i32);
+        prop_assert!((p - frac).abs() < 1e-9, "wmc {} vs fraction {}", p, frac);
     }
 
     #[test]

@@ -1,17 +1,24 @@
-//! E16–E17 — the three probability engines for `P[t ∈ answer]`:
+//! E16–E17 — the probability engines for `P[t ∈ answer]`:
 //! world enumeration vs Shannon expansion of the event expression vs
-//! ROBDD weighted model counting (boolean pc-tables), by variable count.
+//! ROBDD weighted model counting (boolean-literal and finite-domain
+//! one-hot compilations), by variable count — plus the full
+//! answer-distribution pipeline (`answer_dist_enum` vs the BDD fast
+//! path) that `bench_smoke` gates in CI.
 //!
 //! The shape to expect: enumeration is exponential in *all* variables;
 //! Shannon touches only the variables of the tuple's condition;
-//! the BDD engine additionally shares subproblems across the condition
-//! and wins as conditions grow repetitive.
+//! the BDD engines additionally share subproblems across the condition
+//! and win as conditions grow repetitive.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ipdb_bench::{random_boolean_pctable, random_boolean_pctable_f64, random_pctable};
+use ipdb_bench::{
+    prob_smoke_pctable, random_boolean_pctable, random_boolean_pctable_f64, random_pctable,
+    PROB_SMOKE_QUERY,
+};
+use ipdb_engine::Engine;
 use ipdb_prob::answering::{tuple_prob_bdd, tuple_prob_enum, tuple_prob_shannon};
 use ipdb_rel::Tuple;
 
@@ -41,6 +48,34 @@ fn bench_three_engines(c: &mut Criterion) {
         let bpc_f = random_boolean_pctable_f64(8, 1, nvars, 0x77 + nvars as u64);
         group.bench_with_input(BenchmarkId::new("bdd_f64", nvars), &bpc_f, |b, t| {
             b.iter(|| tuple_prob_bdd(t, &probe()).unwrap())
+        });
+        // The finite-domain one-hot compilation on the same tables (two
+        // indicators per boolean variable instead of one literal).
+        group.bench_with_input(BenchmarkId::new("bdd_onehot", nvars), &bpc, |b, t| {
+            b.iter(|| t.as_pctable().tuple_prob_bdd(&probe()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The full answer-distribution pipeline on the `bench_smoke` workload:
+/// §8 valuation enumeration vs the shared-manager BDD + WMC path.
+fn bench_answer_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_dist");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for nvars in [6u32, 9, 12] {
+        let pc = prob_smoke_pctable(nvars, 0xBDD);
+        let stmt = Engine::new()
+            .prepare_text(PROB_SMOKE_QUERY, 1)
+            .expect("well-typed");
+        group.bench_with_input(BenchmarkId::new("enumerate", nvars), &pc, |b, pc| {
+            b.iter(|| stmt.answer_dist_enum(pc).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bdd_wmc", nvars), &pc, |b, pc| {
+            b.iter(|| stmt.answer_dist(pc).unwrap())
         });
     }
     group.finish();
@@ -76,5 +111,10 @@ fn bench_thm9_closure(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_three_engines, bench_thm9_closure);
+criterion_group!(
+    benches,
+    bench_three_engines,
+    bench_answer_dist,
+    bench_thm9_closure
+);
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Quick-mode engine perf smoke: times the three execution strategies
-//! of `bench_engine` (naive σ(×), pushdown-only, hash join) with capped
-//! iteration counts and writes the ns/iter figures to
+//! of `bench_engine` (naive σ(×), pushdown-only, hash join) plus the two
+//! pc-table probability paths (valuation enumeration vs BDD + WMC) with
+//! capped iteration counts and writes the ns/iter figures to
 //! `BENCH_engine.json`. The tracked copy of that file at the repo root
 //! is the perf-trajectory record — re-run this bin and commit the
 //! refreshed numbers when the engine's execution paths change; CI runs
@@ -8,16 +9,19 @@
 //!
 //! Run with `cargo run --release -p ipdb-bench --bin bench_smoke`.
 //! Unlike the criterion benches this is fast enough (< a few seconds)
-//! to run on every CI push, and it *asserts* the acceptance floor: the
+//! to run on every CI push, and it *asserts* the acceptance floors: the
 //! join path must beat the naive nested-loop σ(×) by ≥ 10× on the
-//! 256-row instance self-join, and must beat it on the c-table case.
+//! 256-row instance self-join and must beat it on the c-table case, and
+//! the BDD probability path must beat valuation enumeration by ≥ 10× on
+//! the 14-variable pc-table workload (where enumeration visits 2¹⁴
+//! valuations).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ipdb_bench::{
-    random_ctable, skewed_instance, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
-    ENGINE_PRODUCT_HEAVY_PUSHED as PRODUCT_HEAVY_PUSHED,
+    prob_smoke_pctable, random_ctable, skewed_instance, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
+    ENGINE_PRODUCT_HEAVY_PUSHED as PRODUCT_HEAVY_PUSHED, PROB_SMOKE_QUERY,
 };
 use ipdb_engine::{Backend, Engine};
 
@@ -71,8 +75,31 @@ fn main() {
         t.run(join).unwrap();
     });
 
+    // Pc-table probability series: the answer distribution of the smoke
+    // query over a 14-variable pc-table (2¹⁴ valuations for the
+    // enumeration path), by valuation enumeration vs the BDD + WMC fast
+    // path. Exact equality of the two distributions is asserted before
+    // timing.
+    const PROB_NVARS: u32 = 14;
+    let pc = prob_smoke_pctable(PROB_NVARS, 0xBDD);
+    let pstmt = Engine::new()
+        .prepare_text(PROB_SMOKE_QUERY, 1)
+        .expect("well-typed");
+    assert_eq!(
+        pstmt.answer_dist(&pc).unwrap(),
+        pstmt.answer_dist_enum(&pc).unwrap(),
+        "BDD and enumeration paths must produce the same distribution"
+    );
+    let prob_enum = time_ns(|| {
+        pstmt.answer_dist_enum(&pc).unwrap();
+    });
+    let prob_bdd = time_ns(|| {
+        pstmt.answer_dist(&pc).unwrap();
+    });
+
     let speedup_inst = inst_naive / inst_join;
     let speedup_ct = ct_naive / ct_join;
+    let speedup_prob = prob_enum / prob_bdd;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"engine\",");
@@ -89,6 +116,12 @@ fn main() {
     let _ = writeln!(out, "    \"naive\": {ct_naive:.0},");
     let _ = writeln!(out, "    \"join\": {ct_join:.0},");
     let _ = writeln!(out, "    \"speedup_naive_over_join\": {speedup_ct:.2}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"pctable_prob_{PROB_NVARS}var\": {{");
+    let _ = writeln!(out, "    \"workload\": \"{PROB_SMOKE_QUERY}\",");
+    let _ = writeln!(out, "    \"enum\": {prob_enum:.0},");
+    let _ = writeln!(out, "    \"bdd\": {prob_bdd:.0},");
+    let _ = writeln!(out, "    \"speedup_enum_over_bdd\": {speedup_prob:.2}");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
@@ -103,7 +136,13 @@ fn main() {
         speedup_ct > 1.0,
         "join path must improve the c-table case, measured {speedup_ct:.2}x"
     );
+    assert!(
+        speedup_prob >= 10.0,
+        "BDD probability path must be >= 10x valuation enumeration on the \
+         {PROB_NVARS}-variable pc-table workload, measured {speedup_prob:.2}x"
+    );
     println!(
-        "bench_smoke: ok (instance {speedup_inst:.1}x, c-table {speedup_ct:.1}x) -> BENCH_engine.json"
+        "bench_smoke: ok (instance {speedup_inst:.1}x, c-table {speedup_ct:.1}x, \
+         pc-table prob {speedup_prob:.1}x) -> BENCH_engine.json"
     );
 }

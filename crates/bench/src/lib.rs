@@ -225,6 +225,55 @@ pub const ENGINE_PRODUCT_HEAVY: &str = "pi[1](sigma[and(#0=1, #2=2, #1=#3)](V x 
 pub const ENGINE_PRODUCT_HEAVY_PUSHED: &str =
     "pi[1](sigma[#1=#3](sigma[#0=1](V) x sigma[#0=2](V)))";
 
+/// The `bench_smoke` pc-table probability workload: a query whose answer
+/// distribution both paths compute — enumeration walks the valuation
+/// product space of the answered table, the BDD path counts models of
+/// the per-tuple presence conditions.
+pub const PROB_SMOKE_QUERY: &str = "sigma[#0!=0](V union {(7)})";
+
+/// A pc-table for the probability smoke series: exactly `nvars` binary
+/// variables, **every one appearing** (so valuation enumeration really
+/// visits `2^nvars` outcomes), one row per variable whose condition
+/// couples it with its ring neighbor, plus skewed dyadic marginals.
+pub fn prob_smoke_pctable(nvars: u32, seed: u64) -> PcTable<Rat> {
+    assert!(nvars >= 2, "need at least two variables to couple");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CTable::builder(1);
+    for i in 0..nvars {
+        let x = Var(i);
+        let y = Var((i + 1) % nvars);
+        let cond = if rng.gen_bool(0.5) {
+            Condition::or([
+                Condition::eq_vc(x, 1),
+                Condition::and([Condition::eq_vc(y, 0), Condition::neq_vv(x, y)]),
+            ])
+        } else {
+            Condition::and([
+                Condition::neq_vc(x, 0),
+                Condition::or([Condition::eq_vv(x, y), Condition::neq_vc(y, 1)]),
+            ])
+        };
+        b = b.row([Term::constant(i as i64 % 3 + 1)], cond);
+        b = b.row([Term::Var(x)], Condition::neq_vv(x, y));
+    }
+    let t = b.build().expect("arity fixed");
+    let dists: Vec<(Var, FiniteSpace<Value, Rat>)> = (0..nvars)
+        .map(|i| {
+            let p = Rat::new(rng.gen_range(1..=7), 8);
+            let d = FiniteSpace::new([(Value::from(1), p), (Value::from(0), Rat::ONE - p)])
+                .expect("dyadic mass");
+            (Var(i), d)
+        })
+        .collect();
+    let pc = PcTable::new(t, dists).expect("all vars covered");
+    assert_eq!(
+        pc.table().vars().len(),
+        nvars as usize,
+        "workload must use every variable"
+    );
+    pc
+}
+
 /// `rows` distinct tuples `(i mod 8, i div 8)` — 8 join-key groups, so
 /// each pushed-down selection of [`ENGINE_PRODUCT_HEAVY`] keeps rows/8
 /// tuples.

@@ -251,6 +251,13 @@ impl std::fmt::Display for Tok {
     }
 }
 
+/// The largest column index / projection index / `{:n}` arity literal
+/// the parser accepts. Queries wider than this are far outside any
+/// realistic schema, and the cap keeps every arity computation over
+/// parsed queries (sums of operand arities, projection widths) well
+/// inside `usize`.
+pub const MAX_INDEX: usize = u16::MAX as usize;
+
 fn err(at: usize, msg: impl Into<String>) -> EngineError {
     EngineError::Parse {
         at,
@@ -448,7 +455,19 @@ impl Parser {
     fn expect_index(&mut self) -> Result<usize, EngineError> {
         let at = self.here();
         let n = self.expect_int()?;
-        usize::try_from(n).map_err(|_| err(at, format!("index {n} must be non-negative")))
+        let idx =
+            usize::try_from(n).map_err(|_| err(at, format!("index {n} must be non-negative")))?;
+        // Cap column refs, projection lists, and `{:n}` arity literals so
+        // downstream arity arithmetic (e.g. the planner's product arity
+        // `a + b`) stays far from usize overflow instead of silently
+        // wrapping in release builds.
+        if idx > MAX_INDEX {
+            return Err(err(
+                at,
+                format!("index {n} too large (maximum {MAX_INDEX})"),
+            ));
+        }
+        Ok(idx)
     }
 
     // query := prod (("union"|"diff"|"intersect") prod)*
@@ -907,6 +926,49 @@ mod tests {
                 other => panic!("source '{src}': expected parse error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn numeric_edges_fail_gracefully() {
+        // Oversized indexes in every index position (column refs,
+        // projection lists, join keys, arity literals) are rejected with
+        // a ParseError rather than flowing into usize arithmetic that
+        // could silently wrap when arities are summed.
+        for src in [
+            "pi[65536](V)",
+            "sigma[#65536=1](V)",
+            "sigma[#0=#65536](V)",
+            "join[#0=#65536](V, V)",
+            "{:65536}",
+            "{:9223372036854775807}",
+        ] {
+            match parse(src) {
+                Err(EngineError::Parse { msg, .. }) => {
+                    assert!(msg.contains("too large"), "source '{src}': got '{msg}'")
+                }
+                other => panic!("source '{src}': expected parse error, got {other:?}"),
+            }
+        }
+        // Integers past i64 are caught at tokenization, in any position.
+        for src in [
+            "{(9223372036854775808)}",
+            "sigma[#0=18446744073709551616](V)",
+            "{:99999999999999999999}",
+        ] {
+            match parse(src) {
+                Err(EngineError::Parse { msg, .. }) => {
+                    assert!(msg.contains("out of range"), "source '{src}': got '{msg}'")
+                }
+                other => panic!("source '{src}': expected parse error, got {other:?}"),
+            }
+        }
+        // The extremes that are in range still parse (and round-trip).
+        roundtrip(&parse("{(9223372036854775807,-9223372036854775808)}").unwrap());
+        let wide = parse(&format!("{{:{MAX_INDEX}}}")).unwrap();
+        assert_eq!(wide, Query::Lit(Instance::empty(MAX_INDEX)));
+        // Two maximal-arity literals still produce a sane product arity.
+        let prod = Query::product(wide.clone(), wide);
+        assert_eq!(prod.arity(1).unwrap(), 2 * MAX_INDEX);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! optimized form against any [`Backend`]; [`Prepared::explain`] shows
 //! what the optimizer did.
 
-use ipdb_rel::Query;
+use ipdb_prob::{PcTable, Weight};
+use ipdb_rel::{Query, Tuple};
 
 use crate::backend::Backend;
 use crate::error::EngineError;
@@ -132,6 +133,32 @@ impl Prepared {
         input.run(&self.naive_query)
     }
 
+    /// The full answer distribution over a pc-table backend — every
+    /// possible answer tuple with its exact probability — via the **BDD
+    /// fast path**: the optimized plan runs through the pruning c-table
+    /// executor (Thm 9 closure), then every answer tuple's presence
+    /// condition is compiled under the finite-domain one-hot encoding
+    /// and weighted-model-counted with one shared `BddManager`
+    /// ([`PcTable::marginals_bdd`]). No walk over the §8 valuation
+    /// product space.
+    pub fn answer_dist<W: Weight>(&self, pc: &PcTable<W>) -> Result<Vec<(Tuple, W)>, EngineError> {
+        self.check_arity(pc)?;
+        Ok(pc.run(&self.optimized_query)?.marginals_bdd()?)
+    }
+
+    /// The same answer distribution by full valuation enumeration over
+    /// the *naive* plan's result — exponential in the number of
+    /// variables. Kept reachable as the differential oracle for
+    /// [`Prepared::answer_dist`] (see `tests/prob_oracle.rs` and the
+    /// `bench_smoke` pc-table series).
+    pub fn answer_dist_enum<W: Weight>(
+        &self,
+        pc: &PcTable<W>,
+    ) -> Result<Vec<(Tuple, W)>, EngineError> {
+        self.check_arity(pc)?;
+        Ok(pc.run(&self.naive_query)?.mod_space()?.marginals())
+    }
+
     fn check_arity<B: Backend>(&self, input: &B) -> Result<(), EngineError> {
         let got = input.input_arity();
         if got != self.input_arity {
@@ -224,5 +251,38 @@ mod tests {
     fn prepare_rejects_ill_typed_text() {
         assert!(Engine::new().prepare_text("pi[4](V)", 2).is_err());
         assert!(Engine::new().prepare_text("pi[4(V)", 2).is_err());
+    }
+
+    #[test]
+    fn answer_dist_bdd_path_matches_enumeration() {
+        use ipdb_logic::{Condition, VarGen};
+        use ipdb_prob::{rat, FiniteSpace, PcTable};
+        use ipdb_rel::{tuple, Value};
+        use ipdb_tables::{t_const, t_var, CTable};
+
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(9)], Condition::eq_vv(x, y))
+            .build()
+            .unwrap();
+        let uniform =
+            |n: i64| FiniteSpace::new((0..n).map(|i| (Value::from(i), rat!(1, n)))).unwrap();
+        let pc = PcTable::new(t, [(x, uniform(3)), (y, uniform(3))]).unwrap();
+        let stmt = Engine::new()
+            .prepare_text("sigma[#0!=1](V union {(9)})", 1)
+            .unwrap();
+        let bdd = stmt.answer_dist(&pc).unwrap();
+        assert_eq!(bdd, stmt.answer_dist_enum(&pc).unwrap());
+        // (9) is certain via the literal; (0) and (2) carry P[x=i] = 1/3.
+        assert!(bdd.contains(&(tuple![9], rat!(1))));
+        assert!(bdd.contains(&(tuple![0], rat!(1, 3))));
+        // Arity mismatches are caught before any compilation.
+        let stmt2 = Engine::new().prepare_text("V", 2).unwrap();
+        assert!(matches!(
+            stmt2.answer_dist(&pc),
+            Err(EngineError::InputArityMismatch { .. })
+        ));
     }
 }

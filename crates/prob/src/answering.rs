@@ -11,16 +11,22 @@
 //!    condition with memoization on residual conditions (touches only
 //!    the variables the condition mentions);
 //! 3. [`tuple_prob_bdd`] — for *boolean* pc-tables, compile the presence
-//!    condition to a ROBDD and run weighted model counting.
+//!    condition to a ROBDD and run weighted model counting;
+//! 4. [`PcTable::tuple_prob_bdd`] / [`PcTable::answer_dist_bdd`] — the
+//!    general finite-domain BDD path: every multi-valued variable is
+//!    one-hot encoded (`ipdb_bdd::FdEncoding`), so arbitrary `Eq`/`Neq`
+//!    conditions compile, and the answer distribution is computed by
+//!    domain-aware WMC with one manager shared across all answer tuples.
 //!
-//! All three agree exactly (property-tested with `Rat`); the benches in
+//! All engines agree exactly (property-tested with `Rat`, including the
+//! `prob_oracle` differential suite in `ipdb-engine`); the benches in
 //! `ipdb-bench` measure the crossovers.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ipdb_bdd::{compile_condition, var_order, BddManager, Weight};
 use ipdb_logic::{Condition, Term, Valuation, Var};
-use ipdb_rel::{Tuple, Value};
+use ipdb_rel::{Domain, Tuple, Value};
 use ipdb_tables::{algebra, CTable};
 
 use crate::error::ProbError;
@@ -99,13 +105,13 @@ pub fn tuple_prob_shannon<W: Weight>(pc: &PcTable<W>, t: &Tuple) -> Result<W, Pr
 }
 
 /// Engine 3: `P[t ∈ I]` for boolean pc-tables via ROBDD + weighted model
-/// counting.
+/// counting (one Boolean BDD variable per table variable — leaner than
+/// the general one-hot path when conditions are already boolean).
 pub fn tuple_prob_bdd<W: Weight>(bpc: &BooleanPcTable<W>, t: &Tuple) -> Result<W, ProbError> {
     let cond = presence_condition(bpc.as_pctable().table(), t);
     let order = var_order(&cond);
     let mut mgr = BddManager::new();
-    let f = compile_condition(&mut mgr, &cond, &order)
-        .expect("boolean pc-table conditions are boolean");
+    let f = compile_condition(&mut mgr, &cond, &order)?;
     // weights[i] = (P[x=false], P[x=true]) in BDD index order.
     let dists = bpc.as_pctable().dists();
     let mut weights: Vec<(W, W)> = vec![(W::one(), W::zero()); order.len()];
@@ -113,7 +119,34 @@ pub fn tuple_prob_bdd<W: Weight>(bpc: &BooleanPcTable<W>, t: &Tuple) -> Result<W
         let d = &dists[v];
         weights[*idx as usize] = (d.prob(&Value::Bool(false)), d.prob(&Value::Bool(true)));
     }
-    Ok(mgr.wmc(f, &weights))
+    Ok(mgr.wmc(f, &weights)?)
+}
+
+/// The candidate answer tuples of a pc-table: every row's tuple grounded
+/// over the domains (distribution supports) of its own tuple variables,
+/// deduplicated in canonical order. Cheaper than materializing `Mod`,
+/// and complete: every tuple with non-zero marginal is among these.
+/// Shared by the Shannon ([`answer_marginals`]) and BDD
+/// ([`PcTable::marginals_bdd`]) paths so their candidate semantics
+/// cannot drift apart.
+pub(crate) fn candidate_tuples<W: Weight>(pc: &PcTable<W>) -> Result<BTreeSet<Tuple>, ProbError> {
+    let mut out = BTreeSet::new();
+    for row in pc.table().rows() {
+        let mut row_vars: Vec<Var> = row.tuple.iter().filter_map(Term::as_var).collect();
+        row_vars.sort_unstable();
+        row_vars.dedup();
+        let doms: BTreeMap<Var, Domain> = row_vars
+            .iter()
+            .map(|v| {
+                let d = Domain::new(pc.dists()[v].iter().map(|(val, _)| val.clone()));
+                (*v, d)
+            })
+            .collect();
+        for nu in Valuation::all_over(&doms) {
+            out.insert(row.apply(&nu)?);
+        }
+    }
+    Ok(out)
 }
 
 /// The full answer-tuple marginal table for `q` over `pc`: every
@@ -127,32 +160,14 @@ pub fn answer_marginals<W: Weight>(
     q: &ipdb_rel::Query,
 ) -> Result<Vec<(Tuple, W)>, ProbError> {
     let answered = pc.eval_query(q)?;
-    // Possible tuples: ground every row tuple under every valuation of
-    // the row's own variables (cheaper than materializing Mod).
-    let mut out: BTreeMap<Tuple, W> = BTreeMap::new();
-    for row in answered.table().rows() {
-        let mut row_vars: Vec<Var> = row.tuple.iter().filter_map(Term::as_var).collect();
-        row_vars.sort_unstable();
-        row_vars.dedup();
-        let doms: BTreeMap<Var, ipdb_rel::Domain> = row_vars
-            .iter()
-            .map(|v| {
-                let d =
-                    ipdb_rel::Domain::new(answered.dists()[v].iter().map(|(val, _)| val.clone()));
-                (*v, d)
-            })
-            .collect();
-        for nu in Valuation::all_over(&doms) {
-            let grounded = row.apply(&nu)?;
-            if let std::collections::btree_map::Entry::Vacant(e) = out.entry(grounded.clone()) {
-                let p = tuple_prob_shannon(&answered, &grounded)?;
-                if !p.is_zero() {
-                    e.insert(p);
-                }
-            }
+    let mut out = Vec::new();
+    for t in candidate_tuples(&answered)? {
+        let p = tuple_prob_shannon(&answered, &t)?;
+        if !p.is_zero() {
+            out.push((t, p));
         }
     }
-    Ok(out.into_iter().collect())
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -228,6 +243,35 @@ mod tests {
         }
         // P[(1)] = 1 - 1/2·3/4 = 5/8.
         assert_eq!(tuple_prob_bdd(&bpc, &tuple![1]).unwrap(), rat!(5, 8));
+    }
+
+    #[test]
+    fn fd_bdd_engine_agrees_on_general_tables() {
+        // small_pc has non-boolean atoms (x = 1, x = y), which the
+        // boolean compiler rejects; the finite-domain path handles them.
+        let pc = small_pc();
+        for t in [tuple![1], tuple![2], tuple![9], tuple![7]] {
+            let e = tuple_prob_enum(&pc, &t).unwrap();
+            let s = tuple_prob_shannon(&pc, &t).unwrap();
+            let d = pc.tuple_prob_bdd(&t).unwrap();
+            assert_eq!(e, d, "enum vs bdd on tuple {t}");
+            assert_eq!(s, d, "shannon vs bdd on tuple {t}");
+        }
+        assert_eq!(pc.tuple_prob_bdd(&tuple![9]).unwrap(), rat!(1, 3));
+    }
+
+    #[test]
+    fn answer_dist_bdd_matches_enum_and_shannon_marginals() {
+        let pc = small_pc();
+        for q in [
+            Query::Input,
+            Query::select(Query::Input, Pred::neq_const(0, 9)),
+            Query::union(Query::Input, Query::Lit(ipdb_rel::instance![[2]])),
+        ] {
+            let bdd = pc.answer_dist_bdd(&q).unwrap();
+            assert_eq!(bdd, pc.answer_dist_enum(&q).unwrap(), "query {q}");
+            assert_eq!(bdd, answer_marginals(&pc, &q).unwrap(), "query {q}");
+        }
     }
 
     #[test]

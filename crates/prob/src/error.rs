@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ipdb_bdd::BddError;
 use ipdb_logic::{LogicError, Var};
 use ipdb_rel::RelError;
 use ipdb_tables::TableError;
@@ -25,6 +26,8 @@ pub enum ProbError {
     Logic(LogicError),
     /// An underlying relational error.
     Rel(RelError),
+    /// An underlying BDD compilation / model-counting error.
+    Bdd(BddError),
     /// Lifted (extensional) evaluation was asked for a non-hierarchical
     /// query, where no safe plan exists (Dalvi–Suciu dichotomy; paper
     /// §8's discussion of \[9\]).
@@ -55,6 +58,7 @@ impl fmt::Display for ProbError {
             ProbError::Table(e) => write!(f, "{e}"),
             ProbError::Logic(e) => write!(f, "{e}"),
             ProbError::Rel(e) => write!(f, "{e}"),
+            ProbError::Bdd(e) => write!(f, "{e}"),
             ProbError::NonHierarchical(s) => {
                 write!(f, "query is not hierarchical (no safe plan): {s}")
             }
@@ -89,6 +93,12 @@ impl From<RelError> for ProbError {
     }
 }
 
+impl From<BddError> for ProbError {
+    fn from(e: BddError) -> Self {
+        ProbError::Bdd(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +111,9 @@ mod tests {
         assert!(e.to_string().contains("x3"));
         let e: ProbError = RelError::RaggedLiteral.into();
         assert!(matches!(e, ProbError::Rel(_)));
+        let e: ProbError = BddError::UnknownVar(Var(4)).into();
+        assert!(matches!(e, ProbError::Bdd(_)));
+        assert!(e.to_string().contains("x4"));
         assert!(ProbError::NonHierarchical("h0".into())
             .to_string()
             .contains("hierarchical"));

@@ -16,9 +16,13 @@
 //!   (Def. 13), the paper's contribution: complete (Thm 8, see
 //!   [`theorem8_table`]) and closed under RA (Thm 9, see
 //!   [`PcTable::eval_query`]);
-//! * [`answering`] — three engines for `P[t ∈ q-answer]`: enumeration,
-//!   Shannon expansion of the event expression, and BDD weighted model
-//!   counting;
+//! * [`answering`] — the engines for `P[t ∈ q-answer]`: valuation
+//!   enumeration, Shannon expansion of the event expression, boolean
+//!   BDD weighted model counting, and the finite-domain BDD fast path
+//!   ([`PcTable::tuple_prob_bdd`] / [`PcTable::answer_dist_bdd`]) that
+//!   one-hot-encodes multi-valued variables and counts presence
+//!   conditions with one shared manager instead of walking the §8
+//!   valuation product space;
 //! * [`extensional`] — the §8 reading of Dalvi–Suciu \[9\]: hierarchical
 //!   safety test, safe-plan evaluation, lineage-based exact evaluation,
 //!   and the unsound forced-extensional plan for contrast.

@@ -13,11 +13,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use ipdb_bdd::Weight;
+use ipdb_bdd::{BddManager, FdEncoding, Weight};
 use ipdb_logic::{Condition, Valuation, Var};
 use ipdb_rel::{Domain, Query, Tuple, Value};
 use ipdb_tables::{BooleanCTable, CTable};
 
+use crate::answering::presence_condition;
 use crate::error::ProbError;
 use crate::pdb::PDatabase;
 use crate::space::FiniteSpace;
@@ -48,6 +49,10 @@ pub struct PcTable<W> {
     table: CTable,
     dists: BTreeMap<Var, FiniteSpace<Value, W>>,
 }
+
+/// Shared state of the BDD probability engine: the manager, the one-hot
+/// encoding, and the Boolean branch-weight vector.
+type BddCtx<W> = (BddManager, FdEncoding, Vec<(W, W)>);
 
 impl<W: Weight> PcTable<W> {
     /// Builds a pc-table: every variable of `table` must have a
@@ -148,6 +153,125 @@ impl<W: Weight> PcTable<W> {
     /// see `crate::answering` for the smarter ones).
     pub fn tuple_prob_enum(&self, t: &Tuple) -> Result<W, ProbError> {
         Ok(self.mod_space()?.tuple_prob(t))
+    }
+
+    /// Shared BDD compilation state: a fresh manager, the one-hot
+    /// [`FdEncoding`], and the Boolean branch-weight vector derived from
+    /// the distributions.
+    ///
+    /// Only the variables the table actually mentions are encoded:
+    /// presence conditions cannot reference anything else, and a
+    /// marginalized-out independent variable contributes a probability
+    /// factor of exactly 1 — so the per-tuple WMC cost scales with the
+    /// (answered) table, not with how many variables the input carried.
+    fn bdd_ctx(&self) -> Result<BddCtx<W>, ProbError> {
+        let mut mgr = BddManager::new();
+        let tvars = self.table.vars();
+        let enc = FdEncoding::new(
+            &mut mgr,
+            self.dists
+                .iter()
+                .filter(|(v, _)| tvars.contains(v))
+                .map(|(v, d)| (*v, d.iter().map(|(val, _)| val.clone()).collect())),
+        )?;
+        let bweights = enc.weights_from(
+            self.dists
+                .iter()
+                .filter(|(v, _)| tvars.contains(v))
+                .flat_map(|(v, d)| d.iter().map(|(val, w)| (*v, val.clone(), w.clone()))),
+        )?;
+        Ok((mgr, enc, bweights))
+    }
+
+    /// `P[t ∈ I]` via BDD + weighted model counting: compile `t`'s
+    /// presence condition under the finite-domain encoding and count it —
+    /// no walk over the §8 valuation product space. Exponential only in
+    /// the worst-case BDD size, not unconditionally in the number of
+    /// variables like [`PcTable::tuple_prob_enum`].
+    pub fn tuple_prob_bdd(&self, t: &Tuple) -> Result<W, ProbError> {
+        let (mut mgr, enc, bw) = self.bdd_ctx()?;
+        let cond = presence_condition(&self.table, t);
+        let f = enc.compile(&mut mgr, &cond)?;
+        Ok(enc.wmc_with(&mut mgr, f, &bw)?)
+    }
+
+    /// The per-tuple marginal distribution of the table itself — every
+    /// possible tuple with its probability, computed by BDD + WMC with
+    /// **one manager shared across all answer tuples** (hash-consing and
+    /// the apply cache make later tuples' compilations reuse earlier
+    /// ones).
+    pub fn marginals_bdd(&self) -> Result<Vec<(Tuple, W)>, ProbError> {
+        let (mut mgr, enc, bw) = self.bdd_ctx()?;
+        let mut out = Vec::new();
+        for t in crate::answering::candidate_tuples(self)? {
+            let cond = presence_condition(&self.table, &t);
+            let f = enc.compile(&mut mgr, &cond)?;
+            let p = enc.wmc_with(&mut mgr, f, &bw)?;
+            if !p.is_zero() {
+                out.push((t, p));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The full answer distribution of `q` — every possible answer tuple
+    /// with its exact probability — via the Thm 9 closure followed by
+    /// BDD + WMC on the answered table ([`PcTable::marginals_bdd`]).
+    ///
+    /// This is the fast path for the §8 question; it agrees exactly with
+    /// valuation enumeration ([`PcTable::answer_dist_enum`], property-
+    /// tested in `ipdb-engine`'s `prob_oracle` suite) while touching the
+    /// valuation space only through the conditions' BDDs.
+    ///
+    /// ```
+    /// use ipdb_logic::{Condition, VarGen};
+    /// use ipdb_prob::{rat, FiniteSpace, PcTable, Rat};
+    /// use ipdb_rel::{tuple, Query, Value};
+    /// use ipdb_tables::{t_const, t_var, CTable};
+    ///
+    /// // The paper's §1/§8 running example: Alice takes course x with
+    /// // x ~ {math: .3, phys: .3, chem: .4}; Bob takes x if x ∈ {phys,
+    /// // chem}; Theo takes math iff t = 1, with P[t = 1] = .85.
+    /// let mut g = VarGen::new();
+    /// let (x, t) = (g.fresh(), g.fresh());
+    /// let table = CTable::builder(2)
+    ///     .row([t_const("Alice"), t_var(x)], Condition::True)
+    ///     .row(
+    ///         [t_const("Bob"), t_var(x)],
+    ///         Condition::or([Condition::eq_vc(x, "phys"), Condition::eq_vc(x, "chem")]),
+    ///     )
+    ///     .row([t_const("Theo"), t_const("math")], Condition::eq_vc(t, 1))
+    ///     .build()
+    ///     .unwrap();
+    /// let pc = PcTable::new(table, [
+    ///     (x, FiniteSpace::new([
+    ///         (Value::from("math"), rat!(3, 10)),
+    ///         (Value::from("phys"), rat!(3, 10)),
+    ///         (Value::from("chem"), rat!(4, 10)),
+    ///     ]).unwrap()),
+    ///     (t, FiniteSpace::new([
+    ///         (Value::from(0), rat!(15, 100)),
+    ///         (Value::from(1), rat!(85, 100)),
+    ///     ]).unwrap()),
+    /// ]).unwrap();
+    ///
+    /// // §8 asks for the probabilities of tuples in query answers; the
+    /// // BDD path computes them by weighted model counting.
+    /// let dist = pc.answer_dist_bdd(&Query::Input).unwrap();
+    /// assert!(dist.contains(&(tuple!["Theo", "math"], rat!(85, 100))));
+    /// assert!(dist.contains(&(tuple!["Bob", "chem"], rat!(4, 10))));
+    /// // And it matches the Def. 13 enumeration semantics exactly.
+    /// assert_eq!(dist, pc.answer_dist_enum(&Query::Input).unwrap());
+    /// ```
+    pub fn answer_dist_bdd(&self, q: &Query) -> Result<Vec<(Tuple, W)>, ProbError> {
+        self.eval_query(q)?.marginals_bdd()
+    }
+
+    /// The same answer distribution by full valuation enumeration
+    /// (`Mod` of the answered table) — the §8 baseline, kept as the
+    /// differential oracle for [`PcTable::answer_dist_bdd`].
+    pub fn answer_dist_enum(&self, q: &Query) -> Result<Vec<(Tuple, W)>, ProbError> {
+        Ok(self.eval_query(q)?.mod_space()?.marginals())
     }
 }
 
@@ -395,6 +519,29 @@ mod tests {
         let pc = running_example();
         assert!(BooleanPcTable::from_pctable(pc).is_err());
     }
+
+    #[test]
+    fn bdd_path_ignores_distributions_of_unmentioned_vars() {
+        // A distribution may cover variables the table never mentions
+        // (e.g. after external marginalization); the BDD path must not
+        // encode them — they contribute a factor of exactly 1.
+        let mut g = VarGen::new();
+        let (x, spare) = (g.fresh(), g.fresh());
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::neq_vc(x, 0))
+            .build()
+            .unwrap();
+        let uniform =
+            |n: i64| FiniteSpace::new((0..n).map(|i| (Value::from(i), rat!(1, n)))).unwrap();
+        let pc = PcTable::new(t, [(x, uniform(3)), (spare, uniform(4))]).unwrap();
+        assert_eq!(pc.tuple_prob_bdd(&tuple![1]).unwrap(), rat!(1, 3));
+        let m = pc.marginals_bdd().unwrap();
+        assert_eq!(m, vec![(tuple![1], rat!(1, 3)), (tuple![2], rat!(1, 3))]);
+        // And it still matches the enumeration oracle.
+        assert_eq!(m, pc.answer_dist_enum(&Query::Input).unwrap());
+    }
+
+    use ipdb_rel::Query;
 
     #[test]
     fn valuation_space_mass_is_one() {
