@@ -40,6 +40,11 @@ pub enum BddError {
     /// A valuation bound an encoded variable to a value outside its
     /// encoded domain — no indicator exists for that binding.
     ValueOutOfDomain(Var, Value),
+    /// Weight arithmetic overflowed during model counting (a checked
+    /// [`Weight`](crate::Weight) operation returned `None`). Exact
+    /// rational weights with adversarial denominators reach this; it is
+    /// an error, not a panic, so callers can degrade gracefully.
+    Overflow,
 }
 
 impl fmt::Display for BddError {
@@ -62,6 +67,9 @@ impl fmt::Display for BddError {
             }
             BddError::ValueOutOfDomain(v, val) => {
                 write!(f, "value {val} is outside the encoded domain of {v}")
+            }
+            BddError::Overflow => {
+                write!(f, "weight arithmetic overflowed during model counting")
             }
         }
     }

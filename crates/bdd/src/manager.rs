@@ -361,17 +361,23 @@ impl BddManager {
     /// Errors with [`BddError::VarOutOfRange`] if `f` decides a variable
     /// with no weight pair (instead of panicking on the index); the
     /// check rides along the memoized recursion, so each node is still
-    /// visited exactly once.
+    /// visited exactly once. All weight arithmetic goes through the
+    /// checked [`Weight`] operations, so exact weights that leave their
+    /// representable range report [`BddError::Overflow`] instead of
+    /// panicking mid-count.
     pub fn wmc<W: Weight>(&self, f: NodeRef, weights: &[(W, W)]) -> Result<W, BddError> {
         let nvars = weights.len() as u32;
         let mut memo: HashMap<NodeRef, W> = HashMap::new();
-        let skip = |from: u32, to: u32| -> W {
+        let skip = |from: u32, to: u32| -> Result<W, BddError> {
             let mut acc = W::one();
             for i in from..to {
                 let (wf, wt) = &weights[i as usize];
-                acc = acc.mul(&wf.add(wt));
+                acc = wf
+                    .checked_add(wt)
+                    .and_then(|s| acc.checked_mul(&s))
+                    .ok_or(BddError::Overflow)?;
             }
-            acc
+            Ok(acc)
         };
         fn level(mgr: &BddManager, n: NodeRef, nvars: u32) -> u32 {
             if n <= TRUE {
@@ -385,7 +391,7 @@ impl BddManager {
             n: NodeRef,
             weights: &[(W, W)],
             memo: &mut HashMap<NodeRef, W>,
-            skip: &dyn Fn(u32, u32) -> W,
+            skip: &dyn Fn(u32, u32) -> Result<W, BddError>,
         ) -> Result<W, BddError> {
             if n == FALSE {
                 return Ok(W::zero());
@@ -412,16 +418,21 @@ impl BddManager {
             let (wf, wt) = &weights[node.var as usize];
             let lo_level = level(mgr, node.lo, nvars);
             let hi_level = level(mgr, node.hi, nvars);
-            let c = wf
-                .mul(&skip(node.var + 1, lo_level))
-                .mul(&lo)
-                .add(&wt.mul(&skip(node.var + 1, hi_level)).mul(&hi));
+            let lo_arm = wf
+                .checked_mul(&skip(node.var + 1, lo_level)?)
+                .and_then(|w| w.checked_mul(&lo))
+                .ok_or(BddError::Overflow)?;
+            let hi_arm = wt
+                .checked_mul(&skip(node.var + 1, hi_level)?)
+                .and_then(|w| w.checked_mul(&hi))
+                .ok_or(BddError::Overflow)?;
+            let c = lo_arm.checked_add(&hi_arm).ok_or(BddError::Overflow)?;
             memo.insert(n, c.clone());
             Ok(c)
         }
         let count = rec(self, f, weights, &mut memo, &skip)?;
         let top = level(self, f, nvars).min(nvars);
-        Ok(skip(0, top).mul(&count))
+        skip(0, top)?.checked_mul(&count).ok_or(BddError::Overflow)
     }
 }
 

@@ -34,6 +34,34 @@ pub trait Weight: Clone + PartialEq + std::fmt::Debug {
     fn is_zero(&self) -> bool {
         *self == Self::zero()
     }
+
+    /// Checked addition: `None` when the result leaves the type's
+    /// representable range. The default forwards to [`Weight::add`] —
+    /// right for types that saturate or lose precision instead of
+    /// overflowing (`f64`); exact types (`Rat`) override it so model
+    /// counting and normalization can report
+    /// overflow instead of panicking.
+    fn checked_add(&self, other: &Self) -> Option<Self> {
+        Some(self.add(other))
+    }
+
+    /// Checked subtraction (see [`Weight::checked_add`]).
+    fn checked_sub(&self, other: &Self) -> Option<Self> {
+        Some(self.sub(other))
+    }
+
+    /// Checked multiplication (see [`Weight::checked_add`]).
+    fn checked_mul(&self, other: &Self) -> Option<Self> {
+        Some(self.mul(other))
+    }
+
+    /// Checked division. Exact types override this to return `None` on
+    /// overflow *or* a zero divisor; the default forwards to
+    /// [`Weight::div`], so lossy types (`f64`) keep their own division
+    /// semantics (`Some(inf)`/`Some(NaN)` rather than `None`).
+    fn checked_div(&self, other: &Self) -> Option<Self> {
+        Some(self.div(other))
+    }
 }
 
 impl Weight for f64 {

@@ -20,7 +20,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ipdb_bench::{
-    prob_smoke_pctable, random_ctable, skewed_instance, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
+    chain_pc_catalog, chain_schema, prob_smoke_pctable, random_chain_catalog, random_ctable,
+    skewed_instance, ENGINE_CHAIN_NAIVE, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
     ENGINE_PRODUCT_HEAVY_PUSHED as PRODUCT_HEAVY_PUSHED, PROB_SMOKE_QUERY,
 };
 use ipdb_engine::{Backend, Engine};
@@ -97,9 +98,52 @@ fn main() {
         pstmt.answer_dist(&pc).unwrap();
     });
 
+    // Named-relation catalog series: the 3-relation chain join
+    // R ⋈ S ⋈ T, prepared once over the {R,S,T} schema. Instance
+    // catalog: hash joins vs the naive σ((R×S)×T) walk of rows³
+    // concatenations. Pc-table catalog (shared variable namespace):
+    // BDD answer distribution vs §8 valuation enumeration. Equality is
+    // asserted before timing, as for the single-relation series.
+    const CHAIN_ROWS: usize = 64;
+    let chain_stmt = Engine::new()
+        .prepare_text_schema(ENGINE_CHAIN_NAIVE, &chain_schema())
+        .expect("well-typed");
+    assert!(
+        chain_stmt.explain().matches("join[").count() == 2,
+        "chain workload must plan to two stacked hash joins:\n{}",
+        chain_stmt.explain()
+    );
+    let chain_cat = random_chain_catalog(CHAIN_ROWS, 16, 0xCA7);
+    assert_eq!(
+        chain_stmt.execute_catalog(&chain_cat).unwrap(),
+        chain_stmt.execute_catalog_naive(&chain_cat).unwrap()
+    );
+    let chain_naive = time_ns(|| {
+        chain_stmt.execute_catalog_naive(&chain_cat).unwrap();
+    });
+    let chain_join = time_ns(|| {
+        chain_stmt.execute_catalog(&chain_cat).unwrap();
+    });
+
+    const CHAIN_VARS_PER_REL: u32 = 5;
+    let chain_pc = chain_pc_catalog(CHAIN_VARS_PER_REL, 4, 0xBDD2);
+    assert_eq!(
+        chain_stmt.answer_dist_catalog(&chain_pc).unwrap(),
+        chain_stmt.answer_dist_catalog_enum(&chain_pc).unwrap(),
+        "catalog BDD and enumeration paths must produce the same distribution"
+    );
+    let chain_prob_enum = time_ns(|| {
+        chain_stmt.answer_dist_catalog_enum(&chain_pc).unwrap();
+    });
+    let chain_prob_bdd = time_ns(|| {
+        chain_stmt.answer_dist_catalog(&chain_pc).unwrap();
+    });
+
     let speedup_inst = inst_naive / inst_join;
     let speedup_ct = ct_naive / ct_join;
     let speedup_prob = prob_enum / prob_bdd;
+    let speedup_chain = chain_naive / chain_join;
+    let speedup_chain_prob = chain_prob_enum / chain_prob_bdd;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"engine\",");
@@ -122,6 +166,22 @@ fn main() {
     let _ = writeln!(out, "    \"enum\": {prob_enum:.0},");
     let _ = writeln!(out, "    \"bdd\": {prob_bdd:.0},");
     let _ = writeln!(out, "    \"speedup_enum_over_bdd\": {speedup_prob:.2}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"catalog_chain_instance_{CHAIN_ROWS}\": {{");
+    let _ = writeln!(out, "    \"workload\": \"{ENGINE_CHAIN_NAIVE}\",");
+    let _ = writeln!(out, "    \"naive\": {chain_naive:.0},");
+    let _ = writeln!(out, "    \"join\": {chain_join:.0},");
+    let _ = writeln!(out, "    \"speedup_naive_over_join\": {speedup_chain:.2}");
+    let _ = writeln!(out, "  }},");
+    let chain_nvars = 3 * (CHAIN_VARS_PER_REL - 1) + 1;
+    let _ = writeln!(out, "  \"catalog_chain_pctable_{chain_nvars}var\": {{");
+    let _ = writeln!(out, "    \"workload\": \"{ENGINE_CHAIN_NAIVE}\",");
+    let _ = writeln!(out, "    \"enum\": {chain_prob_enum:.0},");
+    let _ = writeln!(out, "    \"bdd\": {chain_prob_bdd:.0},");
+    let _ = writeln!(
+        out,
+        "    \"speedup_enum_over_bdd\": {speedup_chain_prob:.2}"
+    );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
@@ -141,8 +201,19 @@ fn main() {
         "BDD probability path must be >= 10x valuation enumeration on the \
          {PROB_NVARS}-variable pc-table workload, measured {speedup_prob:.2}x"
     );
+    assert!(
+        speedup_chain >= 10.0,
+        "catalog hash joins must be >= 10x the naive product walk on the \
+         {CHAIN_ROWS}-row 3-relation chain join, measured {speedup_chain:.2}x"
+    );
+    assert!(
+        speedup_chain_prob >= 3.0,
+        "catalog BDD path must be >= 3x valuation enumeration on the \
+         {chain_nvars}-variable chain pc-catalog, measured {speedup_chain_prob:.2}x"
+    );
     println!(
         "bench_smoke: ok (instance {speedup_inst:.1}x, c-table {speedup_ct:.1}x, \
-         pc-table prob {speedup_prob:.1}x) -> BENCH_engine.json"
+         pc-table prob {speedup_prob:.1}x, chain {speedup_chain:.1}x, \
+         chain prob {speedup_chain_prob:.1}x) -> BENCH_engine.json"
     );
 }

@@ -7,6 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use ipdb_engine::{Catalog, Schema};
 use ipdb_logic::{Condition, Term, Var, VarGen};
 use ipdb_prob::{BooleanPcTable, FiniteSpace, PTable, PcTable, Rat};
 use ipdb_rel::{Domain, IDatabase, Instance, Tuple, Value};
@@ -283,4 +284,89 @@ pub fn skewed_instance(rows: usize) -> Instance {
         (0..rows).map(|i| Tuple::new([Value::from((i % 8) as i64), Value::from((i / 8) as i64)])),
     )
     .expect("fixed arity")
+}
+
+/// The 3-relation chain-join catalog workload (`R(a,b) ⋈ S(b,c) ⋈
+/// T(c,d)`) in its naive σ(×) spelling; prepared with the optimizer on,
+/// it plans to two stacked hash joins over the named relations.
+pub const ENGINE_CHAIN_NAIVE: &str = "sigma[and(#1=#2,#3=#4)]((R x S) x T)";
+
+/// The schema of the chain-join workload: three binary relations.
+pub fn chain_schema() -> Schema {
+    Schema::new([("R", 2), ("S", 2), ("T", 2)]).expect("distinct names")
+}
+
+/// A seeded instance catalog for [`ENGINE_CHAIN_NAIVE`]: three `rows`-row
+/// binary relations with keys drawn from `0..keys`, so each hash join
+/// keeps roughly `rows²/keys` pairs while the naive product walks
+/// `rows³` concatenations.
+pub fn random_chain_catalog(rows: usize, keys: i64, seed: u64) -> Catalog<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    for name in ["R", "S", "T"] {
+        let inst = Instance::from_tuples(
+            2,
+            (0..rows).map(|_| {
+                Tuple::new([
+                    Value::from(rng.gen_range(0..keys)),
+                    Value::from(rng.gen_range(0..keys)),
+                ])
+            }),
+        )
+        .expect("fixed arity");
+        cat.insert(name, inst);
+    }
+    cat
+}
+
+/// A seeded pc-table catalog for [`ENGINE_CHAIN_NAIVE`]: three binary
+/// pc-relations over **one shared variable namespace** — relation `j`
+/// uses variables `j·(k−1) ..= (j+1)·(k−1)`, so each consecutive pair
+/// shares a boundary variable (`3k − 2` variables in total, all binary:
+/// the enumeration path walks `2^(3k−2)` valuations). Ground join-key
+/// columns keep the chain joins hash-executed; the conditions carry the
+/// variables through to the answer.
+pub fn chain_pc_catalog(vars_per_rel: u32, keys: i64, seed: u64) -> Catalog<PcTable<Rat>> {
+    assert!(
+        vars_per_rel >= 2,
+        "need at least two variables per relation"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_vars = 3 * (vars_per_rel - 1) + 1;
+    // One distribution per variable, fixed up front so relations sharing
+    // a boundary variable agree exactly (the catalog contract).
+    let dists: Vec<(Var, FiniteSpace<Value, Rat>)> = (0..total_vars)
+        .map(|i| {
+            let p = Rat::new(rng.gen_range(1..=7), 8);
+            let d = FiniteSpace::new([(Value::from(1), p), (Value::from(0), Rat::ONE - p)])
+                .expect("dyadic mass");
+            (Var(i), d)
+        })
+        .collect();
+    let mut cat = Catalog::new();
+    for (j, name) in ["R", "S", "T"].into_iter().enumerate() {
+        let lo = j as u32 * (vars_per_rel - 1);
+        let vars: Vec<Var> = (lo..lo + vars_per_rel).map(Var).collect();
+        let mut b = CTable::builder(2);
+        for (i, w) in vars.windows(2).enumerate() {
+            let (x, y) = (w[0], w[1]);
+            let key = (i as i64 + j as i64) % keys;
+            b = b.ground_row(
+                [key, (key + 1) % keys],
+                Condition::or([Condition::eq_vc(x, 1), Condition::eq_vv(x, y)]),
+            );
+            b = b.ground_row(
+                [(key + 1) % keys, key],
+                Condition::and([Condition::neq_vc(y, 0), Condition::neq_vv(x, y)]),
+            );
+        }
+        let t = b.build().expect("arity fixed");
+        let mine: Vec<_> = dists
+            .iter()
+            .filter(|(v, _)| vars.contains(v))
+            .cloned()
+            .collect();
+        cat.insert(name, PcTable::new(t, mine).expect("all vars covered"));
+    }
+    cat
 }

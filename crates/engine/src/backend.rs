@@ -1,4 +1,5 @@
-//! The execution backends: one planned query, three semantics.
+//! The execution backends: one planned query, three semantics — over
+//! one relation or a named catalog of them.
 //!
 //! [`Backend`] abstracts "something a [`Query`] can run against". The
 //! three models the paper relates all implement it:
@@ -11,19 +12,114 @@
 //!   with the variable distributions carried along (and the same
 //!   condition simplification applied).
 //!
+//! [`Catalog`] generalizes the input side to the §2 footnote's
+//! "arbitrary relational schemas": a `name → relation` map, executed by
+//! [`Backend::run_catalog`]. The reserved names `V`/`W` make the
+//! classic one- and two-relation contexts ordinary catalogs, and a
+//! pc-table catalog shares **one variable namespace** across all of its
+//! relations — a variable appearing in two relations is the *same*
+//! random variable (its distributions must agree,
+//! [`ProbError::ConflictingDistribution`] otherwise), which is how
+//! cross-relation correlation is expressed.
+//!
 //! Because every optimizer rewrite is a worldwise identity, a plan
 //! prepared once executes on any backend with the same meaning — which
 //! is the paper's uniformity claim made operational.
+//!
+//! [`ProbError::ConflictingDistribution`]: ipdb_prob::ProbError::ConflictingDistribution
+
+use std::collections::BTreeMap;
 
 use ipdb_prob::{PcTable, Weight};
-use ipdb_rel::{Instance, Query, RelError};
+use ipdb_rel::{Instance, Query, RelError, Schema};
 use ipdb_tables::{CTable, TableError};
 
 use crate::error::EngineError;
 
+/// A named collection of relations of one backend type — the execution
+/// input for queries over a multi-relation [`Schema`].
+///
+/// Names are arbitrary here; the planner is what enforces surface-
+/// syntax validity on the names a *query* mentions. Inserting a name
+/// twice replaces the previous relation (like a map).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog<B> {
+    rels: BTreeMap<String, B>,
+}
+
+impl<B> Catalog<B> {
+    /// An empty catalog.
+    pub fn new() -> Catalog<B> {
+        Catalog {
+            rels: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a relation; returns the displaced one, if any.
+    pub fn insert(&mut self, name: impl Into<String>, rel: B) -> Option<B> {
+        self.rels.insert(name.into(), rel)
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&B> {
+        self.rels.get(name)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the catalog holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates over `(name, relation)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &B)> {
+        self.rels.iter().map(|(n, b)| (n.as_str(), b))
+    }
+
+    /// The relation names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.rels.keys().map(String::as_str)
+    }
+}
+
+impl<B> Default for Catalog<B> {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl<N: Into<String>, B> FromIterator<(N, B)> for Catalog<B> {
+    fn from_iter<I: IntoIterator<Item = (N, B)>>(iter: I) -> Self {
+        Catalog {
+            rels: iter.into_iter().map(|(n, b)| (n.into(), b)).collect(),
+        }
+    }
+}
+
+impl<B: Backend> Catalog<B> {
+    /// The schema this catalog implements: every relation name mapped to
+    /// its arity.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.iter().map(|(n, b)| (n, b.input_arity())))
+            .expect("catalog names are unique by construction")
+    }
+}
+
+/// The lookup error for a name a catalog (or single-table context) does
+/// not bind, lifted into the table layer (one shared rule —
+/// [`RelError::missing_relation`]).
+fn missing_rel(name: &str) -> TableError {
+    TableError::Rel(RelError::missing_relation(name))
+}
+
 /// The engine's c-table executor: the same `q̄` operators as
-/// [`CTable::eval_query`], but with every intermediate result passed
-/// through [`CTable::simplified`] + [`CTable::without_false_rows`].
+/// [`CTable::eval_query`], but resolving relation leaves through a
+/// name-lookup context and passing every intermediate result through
+/// [`CTable::simplified`] + [`CTable::without_false_rows`].
 ///
 /// Pruning between operators is sound — a row whose condition folds to
 /// `false` contributes to no possible world, so `ν(T)` is unchanged for
@@ -32,20 +128,25 @@ use crate::error::EngineError;
 /// product: ground rows that fail a pushed-down selection drop out of
 /// the factor instead of entering the cross product carrying a `false`
 /// condition.
-fn eval_ctable_pruned(t: &CTable, q: &Query) -> Result<CTable, TableError> {
+fn eval_ctable_pruned<'a, F>(lookup: &F, q: &Query) -> Result<CTable, TableError>
+where
+    F: Fn(&str) -> Result<&'a CTable, TableError>,
+{
     let prune = |x: CTable| x.simplified().without_false_rows();
     Ok(match q {
         // Leaves carry no freshly-composed conditions, so pruning them
         // would only re-simplify the (possibly shared) input once per
         // occurrence; operators below prune their own outputs.
-        Query::Input => t.clone(),
-        Query::Second => return Err(TableError::Rel(RelError::NoSecondInput)),
-        // Delegate literal embedding (ground subtable + domain carry-over).
-        Query::Lit(_) => t.eval_query(q)?,
-        Query::Project(cols, q) => prune(eval_ctable_pruned(t, q)?.project_bar(cols)?),
-        Query::Select(p, q) => prune(eval_ctable_pruned(t, q)?.select_bar(p)?),
+        Query::Input => lookup(Schema::INPUT)?.clone(),
+        Query::Second => lookup(Schema::SECOND)?.clone(),
+        Query::Rel(name) => lookup(name)?.clone(),
+        // A literal is a ground subtable; it carries no variables, so
+        // domain declarations merge in from the other operands.
+        Query::Lit(i) => CTable::from_instance(i),
+        Query::Project(cols, q) => prune(eval_ctable_pruned(lookup, q)?.project_bar(cols)?),
+        Query::Select(p, q) => prune(eval_ctable_pruned(lookup, q)?.select_bar(p)?),
         Query::Product(a, b) => {
-            prune(eval_ctable_pruned(t, a)?.product_bar(&eval_ctable_pruned(t, b)?)?)
+            prune(eval_ctable_pruned(lookup, a)?.product_bar(&eval_ctable_pruned(lookup, b)?)?)
         }
         // The hash path of `join_bar` already skips ground-key pairs
         // whose conditions would fold to `false`; pruning still re-folds
@@ -55,17 +156,19 @@ fn eval_ctable_pruned(t: &CTable, q: &Query) -> Result<CTable, TableError> {
             residual,
             left,
             right,
-        } => prune(eval_ctable_pruned(t, left)?.join_bar(
-            &eval_ctable_pruned(t, right)?,
+        } => prune(eval_ctable_pruned(lookup, left)?.join_bar(
+            &eval_ctable_pruned(lookup, right)?,
             on,
             residual.as_ref(),
         )?),
         Query::Union(a, b) => {
-            prune(eval_ctable_pruned(t, a)?.union_bar(&eval_ctable_pruned(t, b)?)?)
+            prune(eval_ctable_pruned(lookup, a)?.union_bar(&eval_ctable_pruned(lookup, b)?)?)
         }
-        Query::Diff(a, b) => prune(eval_ctable_pruned(t, a)?.diff_bar(&eval_ctable_pruned(t, b)?)?),
+        Query::Diff(a, b) => {
+            prune(eval_ctable_pruned(lookup, a)?.diff_bar(&eval_ctable_pruned(lookup, b)?)?)
+        }
         Query::Intersect(a, b) => {
-            prune(eval_ctable_pruned(t, a)?.intersect_bar(&eval_ctable_pruned(t, b)?)?)
+            prune(eval_ctable_pruned(lookup, a)?.intersect_bar(&eval_ctable_pruned(lookup, b)?)?)
         }
     })
 }
@@ -83,6 +186,12 @@ pub trait Backend {
 
     /// Runs a (already planned/optimized) query against this input.
     fn run(&self, q: &Query) -> Result<Self::Output, EngineError>;
+
+    /// Runs a planned query against a named catalog of this backend
+    /// type (`Input`/`Second` resolve as the reserved names `V`/`W`).
+    fn run_catalog(cat: &Catalog<Self>, q: &Query) -> Result<Self::Output, EngineError>
+    where
+        Self: Sized;
 }
 
 impl Backend for Instance {
@@ -95,6 +204,10 @@ impl Backend for Instance {
     fn run(&self, q: &Query) -> Result<Instance, EngineError> {
         Ok(q.eval(self)?)
     }
+
+    fn run_catalog(cat: &Catalog<Instance>, q: &Query) -> Result<Instance, EngineError> {
+        Ok(q.eval_catalog(&cat.rels)?)
+    }
 }
 
 impl Backend for CTable {
@@ -105,7 +218,21 @@ impl Backend for CTable {
     }
 
     fn run(&self, q: &Query) -> Result<CTable, EngineError> {
-        Ok(eval_ctable_pruned(self, q)?)
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            if name == Schema::INPUT {
+                Ok(self)
+            } else {
+                Err(missing_rel(name))
+            }
+        };
+        Ok(eval_ctable_pruned(&lookup, q)?)
+    }
+
+    fn run_catalog(cat: &Catalog<CTable>, q: &Query) -> Result<CTable, EngineError> {
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            cat.get(name).ok_or_else(|| missing_rel(name))
+        };
+        Ok(eval_ctable_pruned(&lookup, q)?)
     }
 }
 
@@ -120,7 +247,14 @@ impl<W: Weight> Backend for PcTable<W> {
         // Theorem 9 closure via the pruning executor; dropping a
         // distribution whose variable vanished marginalizes it, which is
         // exactly the image-space semantics (see `PcTable::eval_query`).
-        let qt = eval_ctable_pruned(self.table(), q)?;
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            if name == Schema::INPUT {
+                Ok(self.table())
+            } else {
+                Err(missing_rel(name))
+            }
+        };
+        let qt = eval_ctable_pruned(&lookup, q)?;
         let vars = qt.vars();
         let dists = self
             .dists()
@@ -130,13 +264,32 @@ impl<W: Weight> Backend for PcTable<W> {
             .collect::<Vec<_>>();
         Ok(PcTable::new(qt, dists)?)
     }
+
+    fn run_catalog(cat: &Catalog<PcTable<W>>, q: &Query) -> Result<PcTable<W>, EngineError> {
+        // All pc-relations live in one variable namespace: run the
+        // c-table closure over the catalog of underlying tables, then
+        // attach the union of the per-relation distributions
+        // (consistency-checked by `merged_dists`), marginalizing out the
+        // variables the answer no longer mentions.
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            cat.get(name)
+                .map(PcTable::table)
+                .ok_or_else(|| missing_rel(name))
+        };
+        let qt = eval_ctable_pruned(&lookup, q)?;
+        let vars = qt.vars();
+        let dists = PcTable::merged_dists(cat.rels.values())?
+            .into_iter()
+            .filter(|(v, _)| vars.contains(v));
+        Ok(PcTable::new(qt, dists)?)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ipdb_logic::{Condition, Valuation, VarGen};
-    use ipdb_prob::{rat, FiniteSpace, Rat};
+    use ipdb_prob::{rat, FiniteSpace, ProbError, Rat};
     use ipdb_rel::{instance, tuple, Pred, Value};
     use ipdb_tables::{t_const, t_var};
 
@@ -201,5 +354,132 @@ mod tests {
         let rhs = pc.eval_query(&query()).unwrap().mod_space().unwrap();
         assert!(lhs.same_distribution(&rhs));
         assert_eq!(lhs.tuple_prob(&tuple![1]), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn catalog_basics_and_schema() {
+        let mut cat: Catalog<Instance> = Catalog::default();
+        assert!(cat.is_empty());
+        cat.insert("R", instance![[1, 2]]);
+        cat.insert("S", instance![[2]]);
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("R").unwrap().arity(), 2);
+        assert!(cat.get("T").is_none());
+        assert_eq!(cat.names().collect::<Vec<_>>(), vec!["R", "S"]);
+        let schema = cat.schema();
+        assert_eq!(schema.arity_of("R"), Some(2));
+        assert_eq!(schema.arity_of("S"), Some(1));
+        // FromIterator builds the same catalog.
+        let cat2: Catalog<Instance> = [("R", instance![[1, 2]]), ("S", instance![[2]])]
+            .into_iter()
+            .collect();
+        assert_eq!(cat, cat2);
+    }
+
+    #[test]
+    fn instance_catalog_executes_named_queries() {
+        let cat: Catalog<Instance> = [
+            ("R", instance![[1, 2], [3, 4]]),
+            ("S", instance![[2, 9], [7, 7]]),
+        ]
+        .into_iter()
+        .collect();
+        let q = Query::join(Query::rel("R"), Query::rel("S"), [(1, 2)], None);
+        assert_eq!(
+            Instance::run_catalog(&cat, &q).unwrap(),
+            instance![[1, 2, 2, 9]]
+        );
+        // Missing relations error gracefully.
+        let bad = Query::rel("T");
+        assert_eq!(
+            Instance::run_catalog(&cat, &bad),
+            Err(EngineError::Rel(RelError::UnknownRelation {
+                name: "T".into()
+            }))
+        );
+        // `V` lookups against a V-less catalog are unknown relations; a
+        // missing `W` keeps its classic error.
+        assert!(matches!(
+            Instance::run_catalog(&cat, &Query::Input),
+            Err(EngineError::Rel(RelError::UnknownRelation { .. }))
+        ));
+        assert_eq!(
+            Instance::run_catalog(&cat, &Query::Second),
+            Err(EngineError::Rel(RelError::NoSecondInput))
+        );
+    }
+
+    #[test]
+    fn ctable_catalog_agrees_with_per_world_eval() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let r = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let s = CTable::builder(1)
+            .row([t_const(1)], Condition::neq_vc(x, 2))
+            .build()
+            .unwrap();
+        let cat: Catalog<CTable> = [("R", r.clone()), ("S", s.clone())].into_iter().collect();
+        // R ∩ S mixes conditions across the two relations — the shared
+        // variable namespace at work.
+        let q = Query::intersect(Query::rel("R"), Query::rel("S"));
+        let out = CTable::run_catalog(&cat, &q).unwrap();
+        for val in [1i64, 2, 3] {
+            let nu = Valuation::from_iter([(x, Value::from(val))]);
+            let world_r = r.apply_valuation(&nu).unwrap();
+            let world_s = s.apply_valuation(&nu).unwrap();
+            assert_eq!(
+                out.apply_valuation(&nu).unwrap(),
+                world_r.intersect(&world_s).unwrap(),
+                "valuation x={val}"
+            );
+        }
+    }
+
+    #[test]
+    fn pctable_catalog_shares_the_variable_namespace() {
+        // x appears in both relations with the *same* distribution: the
+        // catalog treats it as one random variable, so R ∩ S is
+        // perfectly correlated, not independent.
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let dist = || {
+            FiniteSpace::new([(Value::from(1), rat!(1, 4)), (Value::from(2), rat!(3, 4))]).unwrap()
+        };
+        let r = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let s = CTable::builder(1)
+            .row([t_const(1)], Condition::eq_vc(x, 1))
+            .build()
+            .unwrap();
+        let cat: Catalog<PcTable<Rat>> = [
+            ("R", PcTable::new(r, [(x, dist())]).unwrap()),
+            ("S", PcTable::new(s, [(x, dist())]).unwrap()),
+        ]
+        .into_iter()
+        .collect();
+        let q = Query::intersect(Query::rel("R"), Query::rel("S"));
+        let out = PcTable::run_catalog(&cat, &q).unwrap();
+        let m = out.mod_space().unwrap();
+        // P[{1}] = P[x=1] = 1/4 (fully correlated), not 1/16.
+        assert_eq!(m.tuple_prob(&tuple![1]), rat!(1, 4));
+
+        // Conflicting distributions for the shared variable are rejected.
+        let s2 = CTable::builder(1)
+            .row([t_const(1)], Condition::eq_vc(x, 1))
+            .build()
+            .unwrap();
+        let half =
+            FiniteSpace::new([(Value::from(1), rat!(1, 2)), (Value::from(2), rat!(1, 2))]).unwrap();
+        let mut conflicted = cat.clone();
+        conflicted.insert("S", PcTable::new(s2, [(x, half)]).unwrap());
+        assert_eq!(
+            PcTable::run_catalog(&conflicted, &q),
+            Err(EngineError::Prob(ProbError::ConflictingDistribution(x)))
+        );
     }
 }

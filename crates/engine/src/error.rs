@@ -41,6 +41,29 @@ pub enum EngineError {
     /// pairs is just a filtered product — write `sigma(... x ...)` so the
     /// plan says what it executes.
     EmptyJoinOn,
+    /// A `Query::Rel` leaf whose name is not a valid surface-syntax
+    /// relation name (identifier, not reserved). Rejected at plan build
+    /// so every prepared statement renders to re-parseable text.
+    BadRelationName {
+        /// The offending name.
+        name: String,
+    },
+    /// A catalog execution was missing a relation the prepared schema
+    /// declares.
+    MissingRelation {
+        /// The declared relation name absent from the catalog.
+        name: String,
+    },
+    /// A catalog relation's arity differs from the prepared schema's
+    /// declaration.
+    RelationArity {
+        /// The relation name.
+        name: String,
+        /// Arity the schema declares.
+        expected: usize,
+        /// Arity the catalog supplied.
+        got: usize,
+    },
     /// An underlying relational error (arity mismatch, bad column, use of
     /// `W` outside a two-relation context).
     Rel(RelError),
@@ -67,6 +90,22 @@ impl fmt::Display for EngineError {
             EngineError::EmptyJoinOn => write!(
                 f,
                 "join has no key pairs; use a selection over a product instead"
+            ),
+            EngineError::BadRelationName { name } => write!(
+                f,
+                "'{name}' is not a valid relation name (use an identifier that is \
+                 not a reserved word)"
+            ),
+            EngineError::MissingRelation { name } => {
+                write!(f, "catalog has no relation '{name}' declared by the schema")
+            }
+            EngineError::RelationArity {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation '{name}' prepared at arity {expected}, catalog supplied arity {got}"
             ),
             EngineError::Rel(e) => write!(f, "{e}"),
             EngineError::Table(e) => write!(f, "{e}"),
@@ -123,5 +162,17 @@ mod tests {
         assert!(EngineError::EmptyJoinOn
             .to_string()
             .contains("no key pairs"));
+        assert!(EngineError::BadRelationName { name: "pi".into() }
+            .to_string()
+            .contains("'pi'"));
+        assert!(EngineError::MissingRelation { name: "R".into() }
+            .to_string()
+            .contains("'R'"));
+        let a = EngineError::RelationArity {
+            name: "S".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(a.to_string().contains("'S'") && a.to_string().contains("arity 2"));
     }
 }

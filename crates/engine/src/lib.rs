@@ -57,6 +57,39 @@
 //! let explicit = Engine::new().prepare_text("join[#0=#2](V, V)", 2).unwrap();
 //! assert_eq!(explicit.plan(), stmt.plan());
 //! ```
+//!
+//! ## Named relations
+//!
+//! The paper's §2 footnote ("everything we say can be easily
+//! reformulated for arbitrary relational schemas") is first-class: any
+//! identifier that is not a reserved word names a relation, queries
+//! prepare against a [`Schema`] (`name → arity`), and execution takes a
+//! [`Catalog`] (`name → relation`) of any backend. `V`/`W` stay as the
+//! reserved names of the classic one- and two-relation contexts, so
+//! every single-input query is the special case of a `{"V": …}`
+//! catalog. A pc-table catalog shares one variable namespace across its
+//! relations — and [`Prepared::answer_dist_catalog`] compiles the whole
+//! answer's conditions with one shared `BddManager`.
+//!
+//! ```
+//! use ipdb_engine::{Catalog, Engine, Schema};
+//! use ipdb_rel::{instance, Instance};
+//!
+//! let schema = Schema::new([("R", 2), ("S", 2)]).unwrap();
+//! let stmt = Engine::new()
+//!     .prepare_text_schema("join[#0=#2](R, S)", &schema)
+//!     .unwrap();
+//! let cat: Catalog<Instance> = [
+//!     ("R", instance![[1, 2], [5, 6]]),
+//!     ("S", instance![[1, 9], [6, 0]]),
+//! ]
+//! .into_iter()
+//! .collect();
+//! assert_eq!(
+//!     stmt.execute_catalog(&cat).unwrap(),
+//!     instance![[1, 2, 1, 9]],
+//! );
+//! ```
 
 #![warn(missing_docs)]
 
@@ -67,13 +100,13 @@ pub mod parser;
 pub mod pipeline;
 pub mod plan;
 
-pub use backend::Backend;
+pub use backend::{Backend, Catalog};
 pub use error::EngineError;
-pub use optimize::{optimize, optimize_plan};
-pub use parser::{parse, render};
+pub use optimize::{optimize, optimize_in, optimize_plan, optimize_plan_stats, OptimizeStats};
+pub use parser::{is_relation_name, parse, render};
 pub use pipeline::{Engine, Prepared};
 pub use plan::{Plan, PlanNode};
 
 // Re-exported so doctests and downstream callers can name the AST types
 // without an explicit `ipdb-rel` dependency.
-pub use ipdb_rel::{Pred, Query};
+pub use ipdb_rel::{Pred, Query, Schema};

@@ -29,7 +29,7 @@
 //! operator per pass, so the fixpoint loop is bounded using the plan's
 //! [`Query::depth`] measure rather than iterating blindly.
 
-use ipdb_rel::{CmpOp, Instance, Operand, Pred, Query};
+use ipdb_rel::{CmpOp, Instance, Operand, Pred, Query, Schema};
 
 use crate::error::EngineError;
 use crate::plan::{Plan, PlanNode};
@@ -40,8 +40,50 @@ pub fn optimize(q: &Query, input_arity: usize) -> Result<Query, EngineError> {
     Ok(optimize_plan(&Plan::from_query(q, input_arity)?).to_query())
 }
 
+/// Optimizes a query over an arbitrary named [`Schema`].
+pub fn optimize_in(q: &Query, schema: &Schema) -> Result<Query, EngineError> {
+    Ok(optimize_plan(&Plan::from_query_schema(q, schema)?).to_query())
+}
+
 /// Rewrites a plan to fixpoint.
+///
+/// In debug builds, asserts that the pass bound derived from the plan's
+/// depth was actually sufficient — a rewrite that oscillates or
+/// descends slower than one level per pass is an optimizer bug, not a
+/// tuning matter. Use [`optimize_plan_stats`] to observe the pass count
+/// and convergence flag directly (the idempotence property
+/// `optimize_plan(optimize_plan(p)) == optimize_plan(p)` holds exactly
+/// when the loop converges, and is pinned by proptest).
 pub fn optimize_plan(plan: &Plan) -> Plan {
+    let (optimized, stats) = optimize_plan_stats(plan);
+    debug_assert!(
+        stats.converged,
+        "optimizer exhausted its fixpoint bound without converging \
+         ({} passes on a depth-{} plan)",
+        stats.passes,
+        plan.depth()
+    );
+    optimized
+}
+
+/// What [`optimize_plan`]'s fixpoint loop did: how many rewrite passes
+/// ran, and whether the loop reached a genuine fixpoint (a pass that
+/// changed nothing) before its bound ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Number of rewrite passes executed (including the final no-op
+    /// pass that certifies the fixpoint).
+    pub passes: usize,
+    /// Whether a no-op pass was observed within the bound. `false`
+    /// means the bound was exhausted while rewrites were still firing —
+    /// the returned plan is sound (every rewrite is an identity) but
+    /// possibly not fully optimized.
+    pub converged: bool,
+}
+
+/// Rewrites a plan to fixpoint, reporting the pass counter and whether
+/// the bound sufficed (see [`OptimizeStats`]).
+pub fn optimize_plan_stats(plan: &Plan) -> (Plan, OptimizeStats) {
     // Each pass finishes all upward rewrites and moves pushed-down
     // selections at least one level, so `depth` passes reach the
     // fixpoint; the loop also stops as soon as a pass changes nothing.
@@ -49,14 +91,30 @@ pub fn optimize_plan(plan: &Plan) -> Plan {
     // the final pushdown step, e.g. fusing into a child selection.)
     let bound = 2 * plan.depth() + 2;
     let mut cur = plan.clone();
-    for _ in 0..bound {
+    for passes in 1..=bound {
         let next = pass(&cur);
         if next == cur {
-            break;
+            return (
+                cur,
+                OptimizeStats {
+                    passes,
+                    converged: true,
+                },
+            );
         }
         cur = next;
     }
-    cur
+    // Bound exhausted with the last pass still rewriting: probe once
+    // more so `converged` reports whether that final pass happened to
+    // land on the fixpoint or the loop genuinely ran out of budget.
+    let converged = pass(&cur) == cur;
+    (
+        cur,
+        OptimizeStats {
+            passes: bound + 1,
+            converged,
+        },
+    )
 }
 
 /// One bottom-up rewrite pass.
@@ -65,6 +123,7 @@ fn pass(plan: &Plan) -> Plan {
     let node = match &plan.node {
         PlanNode::Input => PlanNode::Input,
         PlanNode::Second => PlanNode::Second,
+        PlanNode::Rel(name) => PlanNode::Rel(name.clone()),
         PlanNode::Lit(i) => PlanNode::Lit(i.clone()),
         PlanNode::Project(cols, p) => PlanNode::Project(cols.clone(), Box::new(pass(p))),
         PlanNode::Select(pred, p) => PlanNode::Select(pred.clone(), Box::new(pass(p))),
@@ -639,5 +698,46 @@ mod tests {
         let src = "sigma[#0=1](V x (V x (V x V)))";
         let out = opt(src, 1);
         assert_eq!(out, "(sigma[#0=1](V) x (V x (V x V)))");
+    }
+
+    #[test]
+    fn stats_report_convergence_and_pass_counts() {
+        // Already-optimal plan: one certifying pass.
+        let flat = Plan::from_query(&parse("V").unwrap(), 2).unwrap();
+        let (out, stats) = optimize_plan_stats(&flat);
+        assert_eq!(out, flat);
+        assert_eq!(stats.passes, 1);
+        assert!(stats.converged);
+
+        // A rewrite-heavy plan converges within its bound, strictly
+        // under the budget, and the pass counter says how fast.
+        let deep =
+            Plan::from_query(&parse("sigma[#0=1](sigma[#1=2](V x (V x V)))").unwrap(), 1).unwrap();
+        let (opt1, stats) = optimize_plan_stats(&deep);
+        assert!(stats.converged);
+        assert!(stats.passes <= 2 * deep.depth() + 2);
+        // Convergence is exactly idempotence: re-optimizing is a no-op
+        // that certifies in one pass.
+        let (opt2, stats2) = optimize_plan_stats(&opt1);
+        assert_eq!(opt1, opt2);
+        assert_eq!(stats2.passes, 1);
+    }
+
+    #[test]
+    fn optimizer_passes_through_named_relations() {
+        use ipdb_rel::Schema;
+        let schema = Schema::new([("R", 2), ("S", 2)]).unwrap();
+        let q = parse("sigma[#0=#2](R x S)").unwrap();
+        let o = optimize_in(&q, &schema).unwrap();
+        assert_eq!(render(&o), "join[#0=#2](R, S)");
+        // Idempotent-set-op collapse compares whole subtrees, so two
+        // *different* relations do not collapse but equal ones do.
+        assert_eq!(opt_in("R union R", &schema), "R");
+        assert_eq!(opt_in("R union S", &schema), "(R union S)");
+        assert_eq!(opt_in("R diff R", &schema), "{:2}");
+    }
+
+    fn opt_in(src: &str, schema: &ipdb_rel::Schema) -> String {
+        render(&optimize_in(&parse(src).unwrap(), schema).unwrap())
     }
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! query   := prod (("union" | "diff" | "intersect") prod)*     left-assoc
 //! prod    := atom ("x" atom)*                                  left-assoc
-//! atom    := "V" | "W" | literal
+//! atom    := name | literal
 //!          | "pi" "[" int ("," int)* "]" "(" query ")"
 //!          | "sigma" "[" pred "]" "(" query ")"
 //!          | "join" "[" onlist (";" pred)? "]" "(" query "," query ")"
@@ -21,6 +21,9 @@
 //!          | "not" "(" pred ")"
 //! operand := "#" int | value
 //! value   := int | "'" chars "'" | "true" | "false"
+//! name    := ident other than a reserved word; "V" and "W" parse to
+//!            the canonical `Input`/`Second` leaves, any other name to
+//!            `Query::Rel` (see [`is_relation_name`] / [`RESERVED_WORDS`])
 //! ```
 //!
 //! Column references `#i` and projection lists are **0-based** (matching
@@ -55,6 +58,9 @@ fn render_query(q: &Query, out: &mut String) {
     match q {
         Query::Input => out.push('V'),
         Query::Second => out.push('W'),
+        // Valid relation names (see `is_relation_name`) re-parse to the
+        // same AST; the planner rejects the rest before they can render.
+        Query::Rel(name) => out.push_str(name),
         Query::Lit(i) => render_literal(i, out),
         Query::Project(cols, q) => {
             out.push_str("pi[");
@@ -257,6 +263,42 @@ impl std::fmt::Display for Tok {
 /// parsed queries (sums of operand arities, projection widths) well
 /// inside `usize`.
 pub const MAX_INDEX: usize = u16::MAX as usize;
+
+/// The identifiers the grammar claims for itself: operator keywords,
+/// predicate connectives, boolean values, and the reserved relation
+/// names `V`/`W` (which parse to the canonical `Input`/`Second` leaves).
+/// None of these can name a [`Query::Rel`] relation.
+pub const RESERVED_WORDS: [&str; 14] = [
+    "V",
+    "W",
+    "pi",
+    "sigma",
+    "join",
+    "union",
+    "diff",
+    "intersect",
+    "x",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+];
+
+/// Whether `name` can name a relation in the surface syntax: a
+/// non-empty ASCII identifier (`[A-Za-z_][A-Za-z0-9_]*`) that is not a
+/// [reserved word](RESERVED_WORDS). The planner enforces this on every
+/// [`Query::Rel`] leaf so prepared queries always render to text that
+/// re-parses to the same AST.
+pub fn is_relation_name(name: &str) -> bool {
+    let mut chars = name.as_bytes().iter();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_');
+    head_ok
+        && chars.all(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        && !RESERVED_WORDS.contains(&name)
+}
 
 fn err(at: usize, msg: impl Into<String>) -> EngineError {
     EngineError::Parse {
@@ -564,10 +606,12 @@ impl Parser {
                     self.expect(&Tok::RParen)?;
                     Ok(Query::join(left, right, on, residual))
                 }
+                other if is_relation_name(other) => Ok(Query::rel(other)),
                 other => Err(err(
                     at,
                     format!(
-                        "expected a query (V, W, pi, sigma, a literal, or '('), found '{other}'"
+                        "expected a query (a relation name, pi, sigma, join, a literal, \
+                         or '('), found reserved word '{other}'"
                     ),
                 )),
             },
@@ -724,6 +768,7 @@ impl Parser {
 mod tests {
     use super::*;
     use ipdb_rel::instance;
+    use proptest::prelude::*;
 
     fn roundtrip(q: &Query) {
         let text = render(q);
@@ -969,6 +1014,83 @@ mod tests {
         // Two maximal-arity literals still produce a sane product arity.
         let prod = Query::product(wide.clone(), wide);
         assert_eq!(prod.arity(1).unwrap(), 2 * MAX_INDEX);
+    }
+
+    #[test]
+    fn named_relations_parse_and_roundtrip() {
+        assert_eq!(parse("R").unwrap(), Query::rel("R"));
+        assert_eq!(
+            parse("join[#0=#2](R, S)").unwrap(),
+            Query::join(Query::rel("R"), Query::rel("S"), [(0, 2)], None)
+        );
+        assert_eq!(
+            parse("pi[0](R x Some_Table2 union V)").unwrap(),
+            Query::project(
+                Query::union(
+                    Query::product(Query::rel("R"), Query::rel("Some_Table2")),
+                    Query::Input
+                ),
+                vec![0]
+            )
+        );
+        for q in [
+            Query::rel("R"),
+            Query::rel("_private"),
+            Query::product(Query::rel("R"), Query::rel("S")),
+            Query::join(Query::rel("R"), Query::Input, [(0, 2)], None),
+            Query::diff(Query::rel("xs"), Query::rel("xs")),
+        ] {
+            roundtrip(&q);
+        }
+        // The alias spellings parse to the canonical leaves.
+        assert_eq!(parse("V").unwrap(), Query::Input);
+        assert_eq!(parse("W").unwrap(), Query::Second);
+    }
+
+    #[test]
+    fn reserved_words_cannot_name_relations() {
+        for src in ["union", "x", "and", "not", "true", "diff"] {
+            match parse(src) {
+                Err(EngineError::Parse { msg, .. }) => {
+                    assert!(msg.contains("reserved"), "source '{src}': got '{msg}'")
+                }
+                other => panic!("source '{src}': expected parse error, got {other:?}"),
+            }
+        }
+        // And `is_relation_name` is the same judgement, plus identifier
+        // shape (the tokenizer already guarantees shape for parsed text).
+        for bad in ["", "x", "pi", "V", "W", "2col", "a-b", "π", "a b"] {
+            assert!(!is_relation_name(bad), "{bad:?} should be invalid");
+        }
+        for good in ["R", "_t", "Some_Table2", "vv", "xy"] {
+            assert!(is_relation_name(good), "{good:?} should be valid");
+        }
+    }
+
+    /// A pool biased toward the grammar's own metacharacters, with
+    /// multibyte characters adjacent to every quoting/escape construct —
+    /// any byte-boundary slip in the tokenizer panics here long before
+    /// the soak case count.
+    fn adversarial_source() -> impl Strategy<Value = String> {
+        let pool: Vec<char> = "pisgmajoundftrx VW()[]{},:;#=!'\\-09π√é💥∪⋈\n\t"
+            .chars()
+            .collect();
+        proptest::collection::vec(proptest::sample::select(pool), 0..32).prop_map(String::from_iter)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Acceptance criterion: the parser never panics, on any input —
+        /// including non-ASCII bytes in every position. Errors are fine;
+        /// successful parses must render and re-parse to the same query.
+        #[test]
+        fn parse_never_panics_on_adversarial_strings(src in adversarial_source()) {
+            if let Ok(q) = parse(&src) {
+                roundtrip(&q);
+            }
+            let _ = parse_pred(&src);
+        }
     }
 
     #[test]

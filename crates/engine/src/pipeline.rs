@@ -5,12 +5,15 @@
 //! optimize — and returns a [`Prepared`] statement holding both the
 //! naive and the optimized plan. [`Prepared::execute`] runs the
 //! optimized form against any [`Backend`]; [`Prepared::explain`] shows
-//! what the optimizer did.
+//! what the optimizer did. Multi-relation queries prepare against a
+//! named [`Schema`] ([`Engine::prepare_schema`] /
+//! [`Engine::prepare_text_schema`]) and execute against a [`Catalog`]
+//! ([`Prepared::execute_catalog`]).
 
 use ipdb_prob::{PcTable, Weight};
-use ipdb_rel::{Query, Tuple};
+use ipdb_rel::{Query, Schema, Tuple};
 
-use crate::backend::Backend;
+use crate::backend::{Backend, Catalog};
 use crate::error::EngineError;
 use crate::optimize::optimize_plan;
 use crate::parser;
@@ -38,7 +41,12 @@ impl Engine {
 
     /// Plans and optimizes a query for inputs of the given arity.
     pub fn prepare(&self, q: &Query, input_arity: usize) -> Result<Prepared, EngineError> {
-        let naive = Plan::from_query(q, input_arity)?;
+        self.prepare_schema(q, &Schema::single(input_arity))
+    }
+
+    /// Plans and optimizes a query over an arbitrary named [`Schema`].
+    pub fn prepare_schema(&self, q: &Query, schema: &Schema) -> Result<Prepared, EngineError> {
+        let naive = Plan::from_query_schema(q, schema)?;
         let optimized = if self.optimize {
             optimize_plan(&naive)
         } else {
@@ -49,7 +57,7 @@ impl Engine {
         let naive_query = naive.to_query();
         let optimized_query = optimized.to_query();
         Ok(Prepared {
-            input_arity,
+            schema: schema.clone(),
             naive,
             optimized,
             naive_query,
@@ -61,13 +69,20 @@ impl Engine {
     pub fn prepare_text(&self, src: &str, input_arity: usize) -> Result<Prepared, EngineError> {
         self.prepare(&parser::parse(src)?, input_arity)
     }
+
+    /// Parses the surface syntax, then plans and optimizes over a named
+    /// [`Schema`].
+    pub fn prepare_text_schema(&self, src: &str, schema: &Schema) -> Result<Prepared, EngineError> {
+        self.prepare_schema(&parser::parse(src)?, schema)
+    }
 }
 
 /// A planned (and possibly optimized) query, ready to execute on any
-/// backend whose input arity matches.
+/// backend whose input arity matches (or any catalog implementing the
+/// prepared schema).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Prepared {
-    input_arity: usize,
+    schema: Schema,
     naive: Plan,
     optimized: Plan,
     naive_query: Query,
@@ -75,9 +90,17 @@ pub struct Prepared {
 }
 
 impl Prepared {
-    /// The input arity the statement was prepared for.
+    /// The schema the statement was prepared over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The arity of the reserved input relation `V` in the prepared
+    /// schema — the classic single-input convention. `0` when the
+    /// schema declares no `V` (purely named schemas); prefer
+    /// [`Prepared::schema`] there.
     pub fn input_arity(&self) -> usize {
-        self.input_arity
+        self.schema.arity_of(Schema::INPUT).unwrap_or(0)
     }
 
     /// The plan as written (arity-annotated, unoptimized).
@@ -133,6 +156,25 @@ impl Prepared {
         input.run(&self.naive_query)
     }
 
+    /// Executes the optimized plan against a named catalog. The catalog
+    /// must supply every relation the prepared schema declares, at the
+    /// declared arity ([`EngineError::MissingRelation`] /
+    /// [`EngineError::RelationArity`] otherwise).
+    pub fn execute_catalog<B: Backend>(&self, cat: &Catalog<B>) -> Result<B::Output, EngineError> {
+        self.check_catalog(cat)?;
+        B::run_catalog(cat, &self.optimized_query)
+    }
+
+    /// Executes the *unoptimized* plan against a named catalog (the
+    /// differential baseline for [`Prepared::execute_catalog`]).
+    pub fn execute_catalog_naive<B: Backend>(
+        &self,
+        cat: &Catalog<B>,
+    ) -> Result<B::Output, EngineError> {
+        self.check_catalog(cat)?;
+        B::run_catalog(cat, &self.naive_query)
+    }
+
     /// The full answer distribution over a pc-table backend — every
     /// possible answer tuple with its exact probability — via the **BDD
     /// fast path**: the optimized plan runs through the pruning c-table
@@ -159,13 +201,69 @@ impl Prepared {
         Ok(pc.run(&self.naive_query)?.mod_space()?.marginals())
     }
 
+    /// The full answer distribution over a pc-table **catalog**: the
+    /// optimized plan runs through the pruning executor across all
+    /// pc-relations (one shared variable namespace — see
+    /// [`Backend::run_catalog`] for [`PcTable`]), then the answer's
+    /// presence conditions are compiled and counted with **one**
+    /// `BddManager` shared across all answer tuples
+    /// ([`PcTable::marginals_bdd`]).
+    pub fn answer_dist_catalog<W: Weight>(
+        &self,
+        cat: &Catalog<PcTable<W>>,
+    ) -> Result<Vec<(Tuple, W)>, EngineError> {
+        self.check_catalog(cat)?;
+        Ok(PcTable::run_catalog(cat, &self.optimized_query)?.marginals_bdd()?)
+    }
+
+    /// The same catalog answer distribution by full valuation
+    /// enumeration over the naive plan — the differential oracle for
+    /// [`Prepared::answer_dist_catalog`].
+    pub fn answer_dist_catalog_enum<W: Weight>(
+        &self,
+        cat: &Catalog<PcTable<W>>,
+    ) -> Result<Vec<(Tuple, W)>, EngineError> {
+        self.check_catalog(cat)?;
+        Ok(PcTable::run_catalog(cat, &self.naive_query)?
+            .mod_space()?
+            .marginals())
+    }
+
     fn check_arity<B: Backend>(&self, input: &B) -> Result<(), EngineError> {
+        let expected = match self.schema.arity_of(Schema::INPUT) {
+            Some(a) => a,
+            // Prepared over a purely named schema: a bare input has no
+            // name to bind to — same error a `V` leaf would report.
+            None => {
+                return Err(EngineError::Rel(ipdb_rel::RelError::UnknownRelation {
+                    name: Schema::INPUT.to_string(),
+                }))
+            }
+        };
         let got = input.input_arity();
-        if got != self.input_arity {
-            return Err(EngineError::InputArityMismatch {
-                expected: self.input_arity,
-                got,
-            });
+        if got != expected {
+            return Err(EngineError::InputArityMismatch { expected, got });
+        }
+        Ok(())
+    }
+
+    fn check_catalog<B: Backend>(&self, cat: &Catalog<B>) -> Result<(), EngineError> {
+        for (name, expected) in self.schema.iter() {
+            match cat.get(name) {
+                None => {
+                    return Err(EngineError::MissingRelation {
+                        name: name.to_string(),
+                    })
+                }
+                Some(rel) if rel.input_arity() != expected => {
+                    return Err(EngineError::RelationArity {
+                        name: name.to_string(),
+                        expected,
+                        got: rel.input_arity(),
+                    })
+                }
+                Some(_) => {}
+            }
         }
         Ok(())
     }
@@ -251,6 +349,171 @@ mod tests {
     fn prepare_rejects_ill_typed_text() {
         assert!(Engine::new().prepare_text("pi[4](V)", 2).is_err());
         assert!(Engine::new().prepare_text("pi[4(V)", 2).is_err());
+    }
+
+    #[test]
+    fn prepare_schema_and_execute_catalog() {
+        let schema = Schema::new([("R", 2), ("S", 2)]).unwrap();
+        let stmt = Engine::new()
+            .prepare_text_schema("join[#0=#2](R, S)", &schema)
+            .unwrap();
+        assert_eq!(stmt.schema(), &schema);
+        assert_eq!(stmt.output_arity(), 4);
+        // No V in this schema: the classic accessor degrades to 0 and
+        // single-input execution errors gracefully.
+        assert_eq!(stmt.input_arity(), 0);
+        assert!(matches!(
+            stmt.execute(&instance![[1, 2]]),
+            Err(EngineError::Rel(ipdb_rel::RelError::UnknownRelation { .. }))
+        ));
+
+        let cat: Catalog<Instance> = [
+            ("R", instance![[1, 2], [5, 6]]),
+            ("S", instance![[1, 9], [6, 0]]),
+        ]
+        .into_iter()
+        .collect();
+        let out = stmt.execute_catalog(&cat).unwrap();
+        assert_eq!(out, instance![[1, 2, 1, 9]]);
+        assert_eq!(out, stmt.execute_catalog_naive(&cat).unwrap());
+
+        // Round-trip of the named surface text.
+        let text = parser::render(stmt.naive_query());
+        assert_eq!(parser::parse(&text).unwrap(), *stmt.naive_query());
+
+        // Catalog checks: missing relation, wrong arity.
+        let missing: Catalog<Instance> = [("R", instance![[1, 2]])].into_iter().collect();
+        assert_eq!(
+            stmt.execute_catalog(&missing),
+            Err(EngineError::MissingRelation { name: "S".into() })
+        );
+        let narrow: Catalog<Instance> = [("R", instance![[1, 2]]), ("S", instance![[9]])]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            stmt.execute_catalog(&narrow),
+            Err(EngineError::RelationArity {
+                name: "S".into(),
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn classic_prepare_runs_against_a_v_catalog() {
+        // Single-input statements are the special case of catalogs keyed
+        // by the reserved name V — the alias claim end to end.
+        let stmt = Engine::new()
+            .prepare_text("sigma[#0=#1](V x V)", 1)
+            .unwrap();
+        let i = instance![[1], [2]];
+        let cat: Catalog<Instance> = [("V", i.clone())].into_iter().collect();
+        assert_eq!(
+            stmt.execute_catalog(&cat).unwrap(),
+            stmt.execute(&i).unwrap()
+        );
+    }
+
+    #[test]
+    fn prepare_schema_rejects_bad_relation_names() {
+        let schema = Schema::new([("R", 1)]).unwrap();
+        // Reserved word as a Rel leaf (constructed, not parsed).
+        let q = Query::Rel("pi".into());
+        assert_eq!(
+            Engine::new().prepare_schema(&q, &schema),
+            Err(EngineError::BadRelationName { name: "pi".into() })
+        );
+        // Non-identifier name.
+        let q = Query::Rel("not ident".into());
+        assert!(matches!(
+            Engine::new().prepare_schema(&q, &schema),
+            Err(EngineError::BadRelationName { .. })
+        ));
+        // Non-canonical alias spelling is rejected too (use Query::rel).
+        let q = Query::Rel("V".into());
+        assert!(matches!(
+            Engine::new().prepare_schema(&q, &schema),
+            Err(EngineError::BadRelationName { .. })
+        ));
+    }
+
+    #[test]
+    fn rat_overflow_surfaces_as_error_from_answer_dist() {
+        use ipdb_logic::{Condition, VarGen};
+        use ipdb_prob::{FiniteSpace, PcTable, ProbError, Rat};
+        use ipdb_rel::Value;
+        use ipdb_tables::{t_const, t_var, CTable};
+
+        // Adversarial denominators (~1e18 each) push the WMC and the
+        // enumeration normalization past i128: both public engine entry
+        // points must return ProbError::Overflow, never panic.
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        const D: i128 = 1_000_000_000_000_000_003;
+        let dist = || {
+            FiniteSpace::new([
+                (Value::from(0), Rat::new(1, D)),
+                (Value::from(1), Rat::new(D - 1, D)),
+            ])
+            .unwrap()
+        };
+        let t = CTable::builder(1)
+            .row(
+                [t_var(x)],
+                Condition::and([Condition::eq_vc(y, 0), Condition::eq_vc(z, 0)]),
+            )
+            .row([t_const(9)], Condition::eq_vc(x, 0))
+            .build()
+            .unwrap();
+        let pc = PcTable::new(t, [(x, dist()), (y, dist()), (z, dist())]).unwrap();
+        let stmt = Engine::new().prepare_text("sigma[#0!=1](V)", 1).unwrap();
+        assert_eq!(
+            stmt.answer_dist(&pc),
+            Err(EngineError::Prob(ProbError::Overflow))
+        );
+        assert_eq!(
+            stmt.answer_dist_enum(&pc),
+            Err(EngineError::Prob(ProbError::Overflow))
+        );
+    }
+
+    #[test]
+    fn answer_dist_catalog_matches_enumeration() {
+        use ipdb_logic::{Condition, VarGen};
+        use ipdb_prob::{rat, FiniteSpace, PcTable, Rat};
+        use ipdb_rel::Value;
+        use ipdb_tables::{t_var, CTable};
+
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let uniform =
+            |n: i64| FiniteSpace::new((0..n).map(|i| (Value::from(i), rat!(1, n)))).unwrap();
+        let r = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let s = CTable::builder(1)
+            .row([t_var(y)], Condition::neq_vv(x, y))
+            .build()
+            .unwrap();
+        let cat: Catalog<PcTable<Rat>> = [
+            ("R", PcTable::new(r, [(x, uniform(2))]).unwrap()),
+            (
+                "S",
+                PcTable::new(s, [(x, uniform(2)), (y, uniform(2))]).unwrap(),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let schema = Schema::new([("R", 1), ("S", 1)]).unwrap();
+        let stmt = Engine::new()
+            .prepare_text_schema("R intersect S", &schema)
+            .unwrap();
+        let bdd = stmt.answer_dist_catalog(&cat).unwrap();
+        assert_eq!(bdd, stmt.answer_dist_catalog_enum(&cat).unwrap());
+        // R ∩ S holds t iff x = t ∧ y = t ∧ x ≠ y: impossible.
+        assert!(bdd.is_empty());
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use std::fmt;
 
-use ipdb_rel::{Instance, Pred, Query, RelError};
+use ipdb_rel::{Instance, Pred, Query, RelError, Schema};
 
 use crate::error::EngineError;
-use crate::parser::render_pred_string;
+use crate::parser::{is_relation_name, render_pred_string};
 
 /// One node of a logical plan; mirrors [`Query`] with [`Plan`] children.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,11 @@ pub enum PlanNode {
     Input,
     /// The second input relation `W`.
     Second,
+    /// A named relation of the prepared schema. Building a plan rejects
+    /// names that are not surface-syntax identifiers (or that spell a
+    /// reserved word) with [`EngineError::BadRelationName`], so a
+    /// planned query always renders to re-parseable text.
+    Rel(String),
     /// A constant relation.
     Lit(Instance),
     /// `π_cols`.
@@ -70,7 +75,7 @@ impl Plan {
     /// Builds (and arity-checks) a plan from a query in a single-input
     /// context.
     pub fn from_query(q: &Query, input_arity: usize) -> Result<Plan, EngineError> {
-        Plan::build(q, input_arity, None)
+        Plan::build(q, &Schema::single(input_arity))
     }
 
     /// Builds a plan in a two-relation context (`V` and `W`).
@@ -79,25 +84,40 @@ impl Plan {
         input_arity: usize,
         second_arity: usize,
     ) -> Result<Plan, EngineError> {
-        Plan::build(q, input_arity, Some(second_arity))
+        Plan::build(q, &Schema::pair(input_arity, second_arity))
     }
 
-    fn build(q: &Query, input: usize, second: Option<usize>) -> Result<Plan, EngineError> {
+    /// Builds a plan over an arbitrary named [`Schema`]; `Input`/`Second`
+    /// resolve as the reserved names `V`/`W`.
+    pub fn from_query_schema(q: &Query, schema: &Schema) -> Result<Plan, EngineError> {
+        Plan::build(q, schema)
+    }
+
+    fn build(q: &Query, schema: &Schema) -> Result<Plan, EngineError> {
         let plan = match q {
             Query::Input => Plan {
                 node: PlanNode::Input,
-                arity: input,
+                arity: schema.resolve(Schema::INPUT)?,
             },
             Query::Second => Plan {
                 node: PlanNode::Second,
-                arity: second.ok_or(RelError::NoSecondInput)?,
+                arity: schema.resolve(Schema::SECOND)?,
             },
+            Query::Rel(name) => {
+                if !is_relation_name(name) {
+                    return Err(EngineError::BadRelationName { name: name.clone() });
+                }
+                Plan {
+                    arity: schema.resolve(name)?,
+                    node: PlanNode::Rel(name.clone()),
+                }
+            }
             Query::Lit(i) => Plan {
                 node: PlanNode::Lit(i.clone()),
                 arity: i.arity(),
             },
             Query::Project(cols, q) => {
-                let child = Plan::build(q, input, second)?;
+                let child = Plan::build(q, schema)?;
                 for &c in cols {
                     if c >= child.arity {
                         return Err(RelError::ColumnOutOfRange {
@@ -113,7 +133,7 @@ impl Plan {
                 }
             }
             Query::Select(p, q) => {
-                let child = Plan::build(q, input, second)?;
+                let child = Plan::build(q, schema)?;
                 p.validate(child.arity)?;
                 Plan {
                     arity: child.arity,
@@ -121,10 +141,7 @@ impl Plan {
                 }
             }
             Query::Product(a, b) => {
-                let (a, b) = (
-                    Plan::build(a, input, second)?,
-                    Plan::build(b, input, second)?,
-                );
+                let (a, b) = (Plan::build(a, schema)?, Plan::build(b, schema)?);
                 Plan {
                     arity: a.arity + b.arity,
                     node: PlanNode::Product(Box::new(a), Box::new(b)),
@@ -136,17 +153,11 @@ impl Plan {
                 left,
                 right,
             } => {
-                let (a, b) = (
-                    Plan::build(left, input, second)?,
-                    Plan::build(right, input, second)?,
-                );
+                let (a, b) = (Plan::build(left, schema)?, Plan::build(right, schema)?);
                 Plan::join(a, b, on, residual.clone())?
             }
             Query::Union(a, b) | Query::Diff(a, b) | Query::Intersect(a, b) => {
-                let (a, b) = (
-                    Plan::build(a, input, second)?,
-                    Plan::build(b, input, second)?,
-                );
+                let (a, b) = (Plan::build(a, schema)?, Plan::build(b, schema)?);
                 if a.arity != b.arity {
                     return Err(RelError::ArityMismatch {
                         expected: a.arity,
@@ -225,6 +236,7 @@ impl Plan {
         match &self.node {
             PlanNode::Input => Query::Input,
             PlanNode::Second => Query::Second,
+            PlanNode::Rel(name) => Query::Rel(name.clone()),
             PlanNode::Lit(i) => Query::Lit(i.clone()),
             PlanNode::Project(cols, p) => Query::project(p.to_query(), cols.clone()),
             PlanNode::Select(pred, p) => Query::select(p.to_query(), pred.clone()),
@@ -249,7 +261,7 @@ impl Plan {
     /// Height of the plan tree (same measure as [`Query::depth`]).
     pub fn depth(&self) -> usize {
         match &self.node {
-            PlanNode::Input | PlanNode::Second | PlanNode::Lit(_) => 1,
+            PlanNode::Input | PlanNode::Second | PlanNode::Rel(_) | PlanNode::Lit(_) => 1,
             PlanNode::Project(_, p) | PlanNode::Select(_, p) => 1 + p.depth(),
             PlanNode::Product(a, b)
             | PlanNode::Union(a, b)
@@ -289,6 +301,7 @@ impl Plan {
         let _ = match &self.node {
             PlanNode::Input => writeln!(out, "V  (arity {})", self.arity),
             PlanNode::Second => writeln!(out, "W  (arity {})", self.arity),
+            PlanNode::Rel(name) => writeln!(out, "{name}  (arity {})", self.arity),
             PlanNode::Lit(i) => {
                 writeln!(out, "lit {i}  (arity {}, {} rows)", self.arity, i.len())
             }
@@ -325,7 +338,7 @@ impl Plan {
             PlanNode::Intersect(..) => writeln!(out, "intersect  (arity {})", self.arity),
         };
         match &self.node {
-            PlanNode::Input | PlanNode::Second | PlanNode::Lit(_) => {}
+            PlanNode::Input | PlanNode::Second | PlanNode::Rel(_) | PlanNode::Lit(_) => {}
             PlanNode::Project(_, p) | PlanNode::Select(_, p) => p.render_into(indent + 1, out),
             PlanNode::Product(a, b)
             | PlanNode::Union(a, b)

@@ -21,13 +21,15 @@
 //! `PROPTEST_CASES=256 cargo test -p ipdb-engine --test join_oracle`
 //! (the vendored proptest honors the env override globally).
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 
-use ipdb_engine::{Engine, Plan, PlanNode};
+use ipdb_engine::{Catalog, Engine, Plan, PlanNode, Schema};
 use ipdb_logic::{Valuation, Var};
 use ipdb_prob::{FiniteSpace, PcTable, Rat};
-use ipdb_rel::strategies::{arb_instance, arb_pred, arb_query_with_arity};
-use ipdb_rel::{Fragment, Pred, Query, Value};
+use ipdb_rel::strategies::{arb_catalog_case, arb_instance, arb_pred, arb_query_with_arity};
+use ipdb_rel::{Domain, Fragment, Instance, Pred, Query, Value};
 use ipdb_tables::strategies::arb_finite_ctable;
 use ipdb_tables::CTable;
 
@@ -77,11 +79,11 @@ fn join_and_oracle(
     (Query::join(left, right, on, residual), naive)
 }
 
-/// Every total valuation of the table's variables over their finite
-/// domains — the c-table analogue of "all possible worlds".
-fn all_valuations(t: &CTable) -> Vec<Valuation> {
+/// Every total valuation over a set of finite variable domains — the
+/// c-table analogue of "all possible worlds".
+fn all_valuations_over(domains: &BTreeMap<Var, Domain>) -> Vec<Valuation> {
     let mut acc = vec![Valuation::new()];
-    for (v, dom) in t.domains() {
+    for (v, dom) in domains {
         let mut next = Vec::with_capacity(acc.len() * dom.len());
         for nu in &acc {
             for val in dom.iter() {
@@ -93,6 +95,11 @@ fn all_valuations(t: &CTable) -> Vec<Valuation> {
         acc = next;
     }
     acc
+}
+
+/// Every total valuation of one table's variables.
+fn all_valuations(t: &CTable) -> Vec<Valuation> {
+    all_valuations_over(t.domains())
 }
 
 /// Uniform distributions over each variable's domain, making the
@@ -115,7 +122,7 @@ fn uniform_pctable(t: &CTable) -> PcTable<Rat> {
 fn contains_join(p: &Plan) -> bool {
     match &p.node {
         PlanNode::Join { .. } => true,
-        PlanNode::Input | PlanNode::Second | PlanNode::Lit(_) => false,
+        PlanNode::Input | PlanNode::Second | PlanNode::Rel(_) | PlanNode::Lit(_) => false,
         PlanNode::Project(_, c) | PlanNode::Select(_, c) => contains_join(c),
         PlanNode::Product(a, b)
         | PlanNode::Union(a, b)
@@ -191,6 +198,93 @@ proptest! {
                 pruned.apply_valuation(&nu).unwrap(),
                 expect,
                 "pruning executor vs per-world eval: query {} under {}", join, nu
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog oracles: random 2–3 relation schemas. Catalog execution (the
+// optimized plan through the pruning executor) must equal naive
+// evaluation — directly on instances, and worldwise on c-tables, where
+// relations may *share* variables (one namespace: a shared variable is
+// the same unknown in every relation).
+// ---------------------------------------------------------------------
+
+/// Pairs the schema's names with its generated relations.
+fn catalog_of<T: Clone>(schema: &[(String, usize)], rels: [&T; 3]) -> Catalog<T> {
+    schema
+        .iter()
+        .zip(rels)
+        .map(|((n, _), r)| (n.clone(), r.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Instance catalogs: engine catalog execution (optimized and
+    /// naive plans) equals direct relational evaluation.
+    #[test]
+    fn catalog_execution_equals_naive_on_instances(
+        (schema, q, i0, i1, i2) in arb_catalog_case(2, 3, 3, |a| arb_instance(a, 4, 3).boxed())
+    ) {
+        let s = Schema::new(schema.clone()).unwrap();
+        let stmt = Engine::new().prepare_schema(&q, &s).unwrap();
+        let cat = catalog_of(&schema, [&i0, &i1, &i2]);
+        let map: BTreeMap<String, Instance> = cat
+            .iter()
+            .map(|(n, i)| (n.to_string(), i.clone()))
+            .collect();
+        let direct = q.eval_catalog(&map).unwrap();
+        prop_assert_eq!(
+            stmt.execute_catalog(&cat).unwrap(),
+            direct.clone(),
+            "optimized catalog plan diverged on {}", q
+        );
+        prop_assert_eq!(
+            stmt.execute_catalog_naive(&cat).unwrap(),
+            direct,
+            "naive catalog plan diverged on {}", q
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// C-table catalogs: under every valuation of the (shared) variable
+    /// namespace, the engine's catalog answer instantiates to exactly
+    /// the conventional evaluation of the instantiated catalog.
+    #[test]
+    fn catalog_execution_equals_per_world_eval_on_ctables(
+        (schema, q, t0, t1, t2) in arb_catalog_case(2, 2, 2, |a| arb_finite_ctable(a, 2, 3, 2))
+    ) {
+        let s = Schema::new(schema.clone()).unwrap();
+        let stmt = Engine::new().prepare_schema(&q, &s).unwrap();
+        let cat = catalog_of(&schema, [&t0, &t1, &t2]);
+        let optimized = stmt.execute_catalog(&cat).unwrap();
+        let naive = stmt.execute_catalog_naive(&cat).unwrap();
+        let mut domains: BTreeMap<Var, Domain> = BTreeMap::new();
+        for (_, t) in cat.iter() {
+            domains.extend(t.domains().clone());
+        }
+        for nu in all_valuations_over(&domains) {
+            let world: BTreeMap<String, Instance> = cat
+                .iter()
+                .map(|(n, t)| Ok((n.to_string(), t.apply_valuation(&nu)?)))
+                .collect::<Result<_, ipdb_tables::TableError>>()
+                .unwrap();
+            let expect = q.eval_catalog(&world).unwrap();
+            prop_assert_eq!(
+                optimized.apply_valuation(&nu).unwrap(),
+                expect.clone(),
+                "optimized catalog executor vs per-world eval: {} under {}", q, nu
+            );
+            prop_assert_eq!(
+                naive.apply_valuation(&nu).unwrap(),
+                expect,
+                "naive catalog executor vs per-world eval: {} under {}", q, nu
             );
         }
     }

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use ipdb_engine::{optimize, parser, Engine};
+use ipdb_engine::{optimize, optimize_plan, optimize_plan_stats, parser, Engine, Plan};
 use ipdb_logic::{Valuation, Var};
 use ipdb_prob::{FiniteSpace, PcTable, Rat};
 use ipdb_rel::strategies::{arb_instance, arb_query};
@@ -68,6 +68,25 @@ proptest! {
     fn optimize_preserves_arity(q in arb_query(2, 3, 3, 3)) {
         let o = optimize(&q, 2).unwrap();
         prop_assert_eq!(o.arity(2).unwrap(), q.arity(2).unwrap());
+    }
+
+    /// Acceptance criterion: the fixpoint loop genuinely converges
+    /// within its `2·depth + 2` bound — so optimization is idempotent
+    /// (`optimize_plan ∘ optimize_plan = optimize_plan`) and the stats
+    /// report the convergence it certifies.
+    #[test]
+    fn optimize_plan_is_idempotent(q in arb_query(2, 3, 4, 3)) {
+        let plan = Plan::from_query(&q, 2).unwrap();
+        let (once, stats) = optimize_plan_stats(&plan);
+        prop_assert!(
+            stats.converged,
+            "bound exhausted after {} passes on {}", stats.passes, q
+        );
+        prop_assert_eq!(optimize_plan(&once), once.clone());
+        // A fixpoint certifies in exactly one (no-op) pass.
+        let (_, again) = optimize_plan_stats(&once);
+        prop_assert_eq!(again.passes, 1);
+        prop_assert!(again.converged);
     }
 
     /// Instance backend: optimized and naive evaluation coincide.

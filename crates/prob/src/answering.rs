@@ -67,14 +67,14 @@ pub fn prob_of_condition<W: Weight>(
         cond: &Condition,
         dists: &BTreeMap<Var, FiniteSpace<Value, W>>,
         memo: &mut BTreeMap<Condition, W>,
-    ) -> W {
+    ) -> Result<W, ProbError> {
         match cond {
-            Condition::True => return W::one(),
-            Condition::False => return W::zero(),
+            Condition::True => return Ok(W::one()),
+            Condition::False => return Ok(W::zero()),
             _ => {}
         }
         if let Some(p) = memo.get(cond) {
-            return p.clone();
+            return Ok(p.clone());
         }
         let v = *cond
             .vars()
@@ -85,12 +85,15 @@ pub fn prob_of_condition<W: Weight>(
         for (val, p) in dists[&v].iter() {
             let step = Valuation::from_iter([(v, val.clone())]);
             let residual = cond.partial_eval(&step);
-            acc = acc.add(&p.mul(&rec(&residual, dists, memo)));
+            let branch = p
+                .checked_mul(&rec(&residual, dists, memo)?)
+                .ok_or(ProbError::Overflow)?;
+            acc = acc.checked_add(&branch).ok_or(ProbError::Overflow)?;
         }
         memo.insert(cond.clone(), acc.clone());
-        acc
+        Ok(acc)
     }
-    Ok(rec(&cond.simplify(), dists, &mut memo))
+    rec(&cond.simplify(), dists, &mut memo)
 }
 
 /// Engine 1: `P[t ∈ I]` by full enumeration of `Mod(T)`.

@@ -20,6 +20,15 @@ pub enum ProbError {
     DuplicateOutcome(String),
     /// A distribution has no outcomes.
     EmptyDistribution,
+    /// Two pc-relations of one catalog gave the same (shared-namespace)
+    /// variable different distributions.
+    ConflictingDistribution(Var),
+    /// Exact-weight arithmetic left the weight type's representable
+    /// range (e.g. [`Rat`](crate::Rat) denominators past `i128`) during
+    /// model counting or normalization. Surfaced as an error instead of
+    /// a panic so adversarial weights cannot crash the answering entry
+    /// points.
+    Overflow,
     /// An underlying table error.
     Table(TableError),
     /// An underlying logic error.
@@ -55,6 +64,15 @@ impl fmt::Display for ProbError {
             }
             ProbError::DuplicateOutcome(s) => write!(f, "duplicate outcome in distribution: {s}"),
             ProbError::EmptyDistribution => write!(f, "distribution has no outcomes"),
+            ProbError::ConflictingDistribution(v) => write!(
+                f,
+                "variable {v} carries different distributions in different relations \
+                 of the catalog"
+            ),
+            ProbError::Overflow => write!(
+                f,
+                "exact rational arithmetic overflowed during probability computation"
+            ),
             ProbError::Table(e) => write!(f, "{e}"),
             ProbError::Logic(e) => write!(f, "{e}"),
             ProbError::Rel(e) => write!(f, "{e}"),
@@ -95,7 +113,14 @@ impl From<RelError> for ProbError {
 
 impl From<BddError> for ProbError {
     fn from(e: BddError) -> Self {
-        ProbError::Bdd(e)
+        match e {
+            // Weight overflow is a property of the probability layer's
+            // arithmetic, not of the diagram: keep one variant for it so
+            // callers match a single error regardless of which engine
+            // (WMC, Shannon, enumeration) hit the edge.
+            BddError::Overflow => ProbError::Overflow,
+            e => ProbError::Bdd(e),
+        }
     }
 }
 
@@ -117,5 +142,11 @@ mod tests {
         assert!(ProbError::NonHierarchical("h0".into())
             .to_string()
             .contains("hierarchical"));
+        let e: ProbError = BddError::Overflow.into();
+        assert_eq!(e, ProbError::Overflow);
+        assert!(e.to_string().contains("overflow"));
+        assert!(ProbError::ConflictingDistribution(Var(2))
+            .to_string()
+            .contains("x2"));
     }
 }

@@ -101,8 +101,10 @@ impl<W: Weight> PcTable<W> {
     }
 
     /// The product space of valuations `V = Π_x dom(x)` (§8), as
-    /// `(valuation, probability)` pairs.
-    pub fn valuation_space(&self) -> Vec<(Valuation, W)> {
+    /// `(valuation, probability)` pairs. Probability products go through
+    /// the checked [`Weight`] multiplication, so adversarial exact
+    /// weights report [`ProbError::Overflow`] instead of panicking.
+    pub fn valuation_space(&self) -> Result<Vec<(Valuation, W)>, ProbError> {
         let vars: Vec<Var> = self.table.vars().into_iter().collect();
         let mut acc: Vec<(Valuation, W)> = vec![(Valuation::new(), W::one())];
         for v in vars {
@@ -112,25 +114,51 @@ impl<W: Weight> PcTable<W> {
                 for (val, p) in dist.iter() {
                     let mut nu2 = nu.clone();
                     nu2.bind(v, val.clone());
-                    next.push((nu2, w.mul(p)));
+                    next.push((nu2, w.checked_mul(p).ok_or(ProbError::Overflow)?));
                 }
             }
             acc = next;
         }
-        acc
+        Ok(acc)
     }
 
     /// **Def. 13 semantics**: `Mod(T)` = image of the valuation space
     /// under `g(ν) = ν(T)`.
     pub fn mod_space(&self) -> Result<PDatabase<W>, ProbError> {
         let mut outcomes = Vec::new();
-        for (nu, w) in self.valuation_space() {
+        for (nu, w) in self.valuation_space()? {
             outcomes.push((self.table.apply_valuation(&nu)?, w));
         }
         Ok(PDatabase::from_space(
             self.arity(),
             FiniteSpace::new_unnormalized(outcomes)?,
         ))
+    }
+
+    /// The union of several pc-tables' variable distributions — the
+    /// shared-namespace contract of catalog execution: a variable
+    /// appearing in more than one relation is *one* random variable, so
+    /// its distributions must coincide exactly
+    /// ([`ProbError::ConflictingDistribution`] otherwise).
+    pub fn merged_dists<'a>(
+        tables: impl IntoIterator<Item = &'a PcTable<W>>,
+    ) -> Result<BTreeMap<Var, FiniteSpace<Value, W>>, ProbError>
+    where
+        W: 'a,
+    {
+        let mut out: BTreeMap<Var, FiniteSpace<Value, W>> = BTreeMap::new();
+        for t in tables {
+            for (v, d) in &t.dists {
+                match out.get(v) {
+                    None => {
+                        out.insert(*v, d.clone());
+                    }
+                    Some(existing) if existing == d => {}
+                    Some(_) => return Err(ProbError::ConflictingDistribution(*v)),
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// **Theorem 9** (closure): `q̄(T)` with the variable distributions
@@ -544,10 +572,54 @@ mod tests {
     use ipdb_rel::Query;
 
     #[test]
+    fn adversarial_weights_overflow_gracefully_not_panic() {
+        // Regression: three variables with ~1e18 denominators make every
+        // answering engine's arithmetic leave i128 (products reach 1e54).
+        // Each entry point must report ProbError::Overflow, not panic.
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        const D: i128 = 1_000_000_000_000_000_003;
+        let dist = || {
+            FiniteSpace::new([
+                (Value::from(0), Rat::new(1, D)),
+                (Value::from(1), Rat::new(D - 1, D)),
+            ])
+            .unwrap()
+        };
+        let t = CTable::builder(1)
+            .row(
+                [t_const(7)],
+                Condition::and([
+                    Condition::eq_vc(x, 0),
+                    Condition::eq_vc(y, 0),
+                    Condition::eq_vc(z, 0),
+                ]),
+            )
+            .build()
+            .unwrap();
+        let pc = PcTable::new(t, [(x, dist()), (y, dist()), (z, dist())]).unwrap();
+        // BDD + WMC fast path.
+        assert_eq!(pc.tuple_prob_bdd(&tuple![7]), Err(ProbError::Overflow));
+        assert_eq!(pc.marginals_bdd(), Err(ProbError::Overflow));
+        assert_eq!(pc.answer_dist_bdd(&Query::Input), Err(ProbError::Overflow));
+        // Shannon expansion.
+        assert_eq!(
+            crate::answering::tuple_prob_shannon(&pc, &tuple![7]),
+            Err(ProbError::Overflow)
+        );
+        // Valuation enumeration (§8 product space).
+        assert_eq!(pc.valuation_space(), Err(ProbError::Overflow));
+        assert!(matches!(pc.mod_space(), Err(ProbError::Overflow)));
+        assert_eq!(pc.answer_dist_enum(&Query::Input), Err(ProbError::Overflow));
+        assert_eq!(pc.tuple_prob_enum(&tuple![7]), Err(ProbError::Overflow));
+    }
+
+    #[test]
     fn valuation_space_mass_is_one() {
         let pc = running_example();
         let total = pc
             .valuation_space()
+            .unwrap()
             .into_iter()
             .fold(Rat::ZERO, |acc, (_, w)| acc + w);
         assert_eq!(total, Rat::ONE);

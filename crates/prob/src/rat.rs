@@ -6,8 +6,13 @@
 //! defects. [`Rat`] is a small exact rational over `i128` (always
 //! reduced, positive denominator). Probabilities in examples and tests
 //! have denominators like 10, 20, 256 — products of dozens of such
-//! factors stay far inside `i128`; arithmetic panics loudly on overflow
-//! rather than silently wrapping.
+//! factors stay far inside `i128`. The operator forms panic loudly on
+//! overflow rather than silently wrapping; the checked forms
+//! ([`Rat::checked_add`] & co., wired into the [`Weight`] trait's
+//! checked operations) return `None`, so the model-counting and
+//! normalization hot paths surface
+//! [`ProbError::Overflow`](crate::ProbError::Overflow) instead of
+//! panicking on adversarial weights.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -88,54 +93,90 @@ impl Rat {
         self.num as f64 / self.den as f64
     }
 
-    fn checked(num: Option<i128>, den: Option<i128>, op: &str) -> Rat {
-        match (num, den) {
-            (Some(n), Some(d)) => Rat::new(n, d),
-            _ => panic!("rational overflow in {op}"),
+    /// `num/den` reduced, or `None` when `den == 0` or the sign
+    /// normalization itself overflows.
+    fn checked_make(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
         }
+        let (num, den) = if den < 0 {
+            (num.checked_neg()?, den.checked_neg()?)
+        } else {
+            (num, den)
+        };
+        // den > 0, so gcd(|num|, den) ≥ 1.
+        let g = gcd(num, den);
+        Some(Rat {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// Checked addition: `None` when the exact result does not fit.
+    pub fn checked_add(self, o: Rat) -> Option<Rat> {
+        // a/b + c/d = (ad + cb) / bd, with a pre-reduction through
+        // gcd(b, d) to delay overflow.
+        let g = gcd(self.den, o.den);
+        let (b, d) = (self.den / g, o.den / g);
+        let num = self
+            .num
+            .checked_mul(d)?
+            .checked_add(o.num.checked_mul(b)?)?;
+        Rat::checked_make(num, self.den.checked_mul(d)?)
+    }
+
+    /// Checked subtraction: `None` when the exact result does not fit.
+    pub fn checked_sub(self, o: Rat) -> Option<Rat> {
+        // Negating a reduced rational keeps it reduced.
+        self.checked_add(Rat {
+            num: o.num.checked_neg()?,
+            den: o.den,
+        })
+    }
+
+    /// Checked multiplication: `None` when the exact result does not
+    /// fit.
+    pub fn checked_mul(self, o: Rat) -> Option<Rat> {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, o.den);
+        let g2 = gcd(o.num, self.den);
+        let g1 = if g1 == 0 { 1 } else { g1 };
+        let g2 = if g2 == 0 { 1 } else { g2 };
+        let num = (self.num / g1).checked_mul(o.num / g2)?;
+        Rat::checked_make(num, (self.den / g2).checked_mul(o.den / g1)?)
+    }
+
+    /// Checked division: `None` on a zero divisor or when the exact
+    /// result does not fit.
+    pub fn checked_div(self, o: Rat) -> Option<Rat> {
+        if o.num == 0 {
+            return None;
+        }
+        self.checked_mul(Rat::checked_make(o.den, o.num)?)
     }
 }
 
 impl std::ops::Add for Rat {
     type Output = Rat;
     fn add(self, o: Rat) -> Rat {
-        // a/b + c/d = (ad + cb) / bd, with a pre-reduction through
-        // gcd(b, d) to delay overflow.
-        let g = gcd(self.den, o.den);
-        let (b, d) = (self.den / g, o.den / g);
-        Rat::checked(
-            self.num
-                .checked_mul(d)
-                .and_then(|x| o.num.checked_mul(b).and_then(|y| x.checked_add(y))),
-            self.den.checked_mul(d),
-            "add",
-        )
+        self.checked_add(o)
+            .unwrap_or_else(|| panic!("rational overflow in add"))
     }
 }
 
 impl std::ops::Sub for Rat {
     type Output = Rat;
     fn sub(self, o: Rat) -> Rat {
-        self + Rat {
-            num: -o.num,
-            den: o.den,
-        }
+        self.checked_sub(o)
+            .unwrap_or_else(|| panic!("rational overflow in sub"))
     }
 }
 
 impl std::ops::Mul for Rat {
     type Output = Rat;
     fn mul(self, o: Rat) -> Rat {
-        // Cross-reduce before multiplying.
-        let g1 = gcd(self.num, o.den);
-        let g2 = gcd(o.num, self.den);
-        let g1 = if g1 == 0 { 1 } else { g1 };
-        let g2 = if g2 == 0 { 1 } else { g2 };
-        Rat::checked(
-            (self.num / g1).checked_mul(o.num / g2),
-            (self.den / g2).checked_mul(o.den / g1),
-            "mul",
-        )
+        self.checked_mul(o)
+            .unwrap_or_else(|| panic!("rational overflow in mul"))
     }
 }
 
@@ -143,7 +184,8 @@ impl std::ops::Div for Rat {
     type Output = Rat;
     fn div(self, o: Rat) -> Rat {
         assert!(o.num != 0, "division by zero rational");
-        self * Rat::new(o.den, o.num)
+        self.checked_div(o)
+            .unwrap_or_else(|| panic!("rational overflow in div"))
     }
 }
 
@@ -207,6 +249,18 @@ impl Weight for Rat {
     }
     fn div(&self, other: &Self) -> Self {
         *self / *other
+    }
+    fn checked_add(&self, other: &Self) -> Option<Self> {
+        Rat::checked_add(*self, *other)
+    }
+    fn checked_sub(&self, other: &Self) -> Option<Self> {
+        Rat::checked_sub(*self, *other)
+    }
+    fn checked_mul(&self, other: &Self) -> Option<Self> {
+        Rat::checked_mul(*self, *other)
+    }
+    fn checked_div(&self, other: &Self) -> Option<Self> {
+        Rat::checked_div(*self, *other)
     }
 }
 
@@ -315,5 +369,32 @@ mod tests {
         for _ in 0..50 {
             acc = acc * rat!(3, 10);
         }
+    }
+
+    #[test]
+    fn checked_ops_match_operators_in_range() {
+        assert_eq!(rat!(1, 6).checked_add(rat!(1, 3)), Some(rat!(1, 2)));
+        assert_eq!(rat!(1, 3).checked_sub(rat!(1, 6)), Some(rat!(1, 6)));
+        assert_eq!(rat!(1, 6).checked_mul(rat!(1, 3)), Some(rat!(1, 18)));
+        assert_eq!(rat!(1, 6).checked_div(rat!(1, 3)), Some(rat!(1, 2)));
+    }
+
+    #[test]
+    fn checked_ops_report_overflow_as_none() {
+        let tiny = Rat::new(1, i128::MAX / 3);
+        assert_eq!(tiny.checked_mul(tiny), None);
+        let big = Rat::int(i128::MAX);
+        assert_eq!(big.checked_add(Rat::ONE), None);
+        assert_eq!(Rat::int(i128::MIN).checked_sub(Rat::ONE), None);
+        assert_eq!(tiny.checked_div(big), None);
+        // Division by zero is `None`, not a panic, in checked form.
+        assert_eq!(Rat::ONE.checked_div(Rat::ZERO), None);
+        // The Weight-trait checked ops route through the same paths.
+        assert_eq!(Weight::checked_mul(&tiny, &tiny), None);
+        assert_eq!(Weight::checked_add(&big, &Rat::ONE), None);
+        assert_eq!(
+            Weight::checked_add(&rat!(1, 4), &rat!(1, 4)),
+            Some(rat!(1, 2))
+        );
     }
 }

@@ -56,7 +56,7 @@ impl<T: Ord + Clone, W: Weight> FiniteSpace<T, W> {
     /// the total mass is exactly `1`.
     pub fn new(outcomes: impl IntoIterator<Item = (T, W)>) -> Result<Self, ProbError> {
         let space = Self::new_unnormalized(outcomes)?;
-        let mass = space.total_mass();
+        let mass = space.checked_total_mass()?;
         if mass != W::one() {
             return Err(ProbError::MassNotOne(format!("total mass {mass:?}")));
         }
@@ -64,12 +64,14 @@ impl<T: Ord + Clone, W: Weight> FiniteSpace<T, W> {
     }
 
     /// Builds a sub-probability space (no mass check); used internally by
-    /// constructions that assemble mass incrementally.
+    /// constructions that assemble mass incrementally. Duplicate merging
+    /// uses checked addition, surfacing [`ProbError::Overflow`] on exact
+    /// weights that leave their representable range.
     pub fn new_unnormalized(outcomes: impl IntoIterator<Item = (T, W)>) -> Result<Self, ProbError> {
         let mut map: BTreeMap<T, W> = BTreeMap::new();
         for (t, w) in outcomes {
             match map.get_mut(&t) {
-                Some(acc) => *acc = acc.add(&w),
+                Some(acc) => *acc = acc.checked_add(&w).ok_or(ProbError::Overflow)?,
                 None => {
                     map.insert(t, w);
                 }
@@ -108,13 +110,27 @@ impl<T: Ord + Clone, W: Weight> FiniteSpace<T, W> {
         acc
     }
 
-    /// Total mass (1 for checked spaces).
+    /// Total mass (1 for checked spaces). Uses the panicking weight
+    /// addition — fine on spaces that already passed construction; use
+    /// [`FiniteSpace::checked_total_mass`] where adversarial weights
+    /// can reach the sum.
     pub fn total_mass(&self) -> W {
         let mut acc = W::zero();
         for w in self.outcomes.values() {
             acc = acc.add(w);
         }
         acc
+    }
+
+    /// Total mass via checked addition: [`ProbError::Overflow`] instead
+    /// of a panic when exact weights leave their representable range —
+    /// the summation [`FiniteSpace::new`] validates mass with.
+    pub fn checked_total_mass(&self) -> Result<W, ProbError> {
+        let mut acc = W::zero();
+        for w in self.outcomes.values() {
+            acc = acc.checked_add(w).ok_or(ProbError::Overflow)?;
+        }
+        Ok(acc)
     }
 
     /// **Image space** (paper Def. 10): push the distribution forward

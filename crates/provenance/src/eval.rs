@@ -32,6 +32,12 @@ pub fn eval<K: Semiring>(q: &Query, input: &KRelation<K>) -> Result<KRelation<K>
     Ok(match q {
         Query::Input => input.clone(),
         Query::Second => return Err(ProvError::Rel(ipdb_rel::RelError::NoSecondInput)),
+        // Single-relation context: no catalog to resolve names against.
+        Query::Rel(name) => {
+            return Err(ProvError::Rel(ipdb_rel::RelError::UnknownRelation {
+                name: name.clone(),
+            }))
+        }
         Query::Lit(i) => KRelation::from_instance(i),
         Query::Project(cols, q) => {
             let inner = eval(q, input)?;

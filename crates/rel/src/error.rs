@@ -27,6 +27,34 @@ pub enum RelError {
     /// The query references the second input relation (`W`), but was
     /// evaluated in a single-relation context.
     NoSecondInput,
+    /// The query references a named relation absent from the schema or
+    /// catalog it was checked/evaluated against.
+    UnknownRelation {
+        /// The relation name the query used.
+        name: String,
+    },
+    /// A schema declared the same relation name twice.
+    DuplicateRelation {
+        /// The repeated relation name.
+        name: String,
+    },
+}
+
+impl RelError {
+    /// The error a failed relation-name lookup reports — the one rule
+    /// every lookup context (schema resolution, instance evaluation,
+    /// executor catalogs) shares: a missing `W` is the classic
+    /// [`RelError::NoSecondInput`], any other missing name is
+    /// [`RelError::UnknownRelation`].
+    pub fn missing_relation(name: &str) -> RelError {
+        if name == crate::schema::Schema::SECOND {
+            RelError::NoSecondInput
+        } else {
+            RelError::UnknownRelation {
+                name: name.to_string(),
+            }
+        }
+    }
 }
 
 impl fmt::Display for RelError {
@@ -43,6 +71,12 @@ impl fmt::Display for RelError {
                 f,
                 "query uses the second input relation W outside a two-relation context"
             ),
+            RelError::UnknownRelation { name } => {
+                write!(f, "unknown relation '{name}' (not in the schema/catalog)")
+            }
+            RelError::DuplicateRelation { name } => {
+                write!(f, "relation '{name}' declared twice in the schema")
+            }
         }
     }
 }
@@ -68,5 +102,11 @@ mod tests {
             "column 5 out of range for arity 2"
         );
         assert!(RelError::RaggedLiteral.to_string().contains("literal"));
+        assert!(RelError::UnknownRelation { name: "R".into() }
+            .to_string()
+            .contains("'R'"));
+        assert!(RelError::DuplicateRelation { name: "S".into() }
+            .to_string()
+            .contains("twice"));
     }
 }

@@ -19,6 +19,12 @@
 //!   constructions), an evaluator, and *fragment classification* so that
 //!   completion theorems can verify their queries stay inside the claimed
 //!   fragment (SPJU, SP, PJ, PU, S⁺PJ, …).
+//! * [`Schema`] — named relational schemas (`name → arity`), the §2
+//!   footnote's "arbitrary relational schemas": [`Query::Rel`] leaves
+//!   resolve against a schema ([`Query::arity_in`]) and evaluate against
+//!   a name-keyed catalog of instances ([`Query::eval_catalog`]), with
+//!   `Input`/`Second` as canonical aliases for the reserved names
+//!   `V`/`W`.
 //!
 //! The incomplete/probabilistic layers ([`ipdb-tables`], [`ipdb-prob`])
 //! build on these types; nothing in this crate knows about variables or
@@ -35,6 +41,7 @@ pub mod idb;
 pub mod instance;
 pub mod pred;
 pub mod query;
+pub mod schema;
 pub mod tuple;
 pub mod value;
 
@@ -47,5 +54,6 @@ pub use idb::IDatabase;
 pub use instance::Instance;
 pub use pred::{normalize_join_keys, CmpOp, Operand, Pred};
 pub use query::Query;
+pub use schema::Schema;
 pub use tuple::Tuple;
 pub use value::{Domain, Value};

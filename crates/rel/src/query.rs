@@ -11,6 +11,7 @@
 //! report the operations they use ([`Query::op_set`]) so completion
 //! theorems can verify fragment claims.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::RelError;
@@ -18,6 +19,7 @@ use crate::fragment::OpSet;
 use crate::idb::IDatabase;
 use crate::instance::Instance;
 use crate::pred::Pred;
+use crate::schema::Schema;
 
 /// An unnamed relational-algebra query over one input relation.
 ///
@@ -44,6 +46,18 @@ pub enum Query {
     /// [`Query::eval2`]; single-relation evaluation reports
     /// [`RelError::NoSecondInput`].
     Second,
+    /// A named relation of an arbitrary schema — the §2 footnote taken
+    /// at its word. Arity-checked against a [`Schema`]
+    /// ([`Query::arity_in`]) and evaluated against a name-keyed catalog
+    /// of instances ([`Query::eval_catalog`]).
+    ///
+    /// [`Query::Input`] and [`Query::Second`] are canonical aliases for
+    /// the reserved names `V` and `W` ([`Schema::INPUT`] /
+    /// [`Schema::SECOND`]): every lookup context resolves all three leaf
+    /// forms through the same name map. Build named leaves with
+    /// [`Query::rel`], which folds `rel("V")`/`rel("W")` back to the
+    /// canonical variants so equal queries compare equal.
+    Rel(String),
     /// A constant relation (e.g. the singleton `{c}`); independent of the
     /// input.
     Lit(Instance),
@@ -85,6 +99,19 @@ pub enum Query {
 }
 
 impl Query {
+    /// The named relation `name`, canonicalizing the reserved names:
+    /// `rel("V")` is [`Query::Input`] and `rel("W")` is
+    /// [`Query::Second`], so the alias spellings cannot produce a second
+    /// AST form for the same leaf.
+    pub fn rel(name: impl Into<String>) -> Query {
+        let name = name.into();
+        match name.as_str() {
+            Schema::INPUT => Query::Input,
+            Schema::SECOND => Query::Second,
+            _ => Query::Rel(name),
+        }
+    }
+
     /// `π_cols(q)`.
     pub fn project(q: Query, cols: Vec<usize>) -> Query {
         Query::Project(cols, Box::new(q))
@@ -165,24 +192,28 @@ impl Query {
 
     /// Output arity given the input relation's arity; validates column
     /// references and arity agreement along the way. Errors on queries
-    /// using [`Query::Second`] (use [`Query::arity2`]).
+    /// using [`Query::Second`] (use [`Query::arity2`]) or named
+    /// relations (use [`Query::arity_in`]).
     pub fn arity(&self, input_arity: usize) -> Result<usize, RelError> {
-        self.arity_impl(input_arity, None)
+        self.arity_in(&Schema::single(input_arity))
     }
 
     /// Output arity in a two-relation context (`V` of arity
     /// `input_arity`, `W` of arity `second_arity`).
     pub fn arity2(&self, input_arity: usize, second_arity: usize) -> Result<usize, RelError> {
-        self.arity_impl(input_arity, Some(second_arity))
+        self.arity_in(&Schema::pair(input_arity, second_arity))
     }
 
-    fn arity_impl(&self, input_arity: usize, second: Option<usize>) -> Result<usize, RelError> {
+    /// Output arity over an arbitrary named [`Schema`]; `Input`/`Second`
+    /// resolve as the reserved names `V`/`W`.
+    pub fn arity_in(&self, schema: &Schema) -> Result<usize, RelError> {
         match self {
-            Query::Input => Ok(input_arity),
-            Query::Second => second.ok_or(RelError::NoSecondInput),
+            Query::Input => schema.resolve(Schema::INPUT),
+            Query::Second => schema.resolve(Schema::SECOND),
+            Query::Rel(name) => schema.resolve(name),
             Query::Lit(i) => Ok(i.arity()),
             Query::Project(cols, q) => {
-                let a = q.arity_impl(input_arity, second)?;
+                let a = q.arity_in(schema)?;
                 for &c in cols {
                     if c >= a {
                         return Err(RelError::ColumnOutOfRange { col: c, arity: a });
@@ -191,21 +222,18 @@ impl Query {
                 Ok(cols.len())
             }
             Query::Select(p, q) => {
-                let a = q.arity_impl(input_arity, second)?;
+                let a = q.arity_in(schema)?;
                 p.validate(a)?;
                 Ok(a)
             }
-            Query::Product(a, b) => {
-                Ok(a.arity_impl(input_arity, second)? + b.arity_impl(input_arity, second)?)
-            }
+            Query::Product(a, b) => Ok(a.arity_in(schema)? + b.arity_in(schema)?),
             Query::Join {
                 on,
                 residual,
                 left,
                 right,
             } => {
-                let total = left.arity_impl(input_arity, second)?
-                    + right.arity_impl(input_arity, second)?;
+                let total = left.arity_in(schema)? + right.arity_in(schema)?;
                 for &(i, j) in on {
                     let col = i.max(j);
                     if col >= total {
@@ -218,8 +246,8 @@ impl Query {
                 Ok(total)
             }
             Query::Union(a, b) | Query::Diff(a, b) | Query::Intersect(a, b) => {
-                let aa = a.arity_impl(input_arity, second)?;
-                let ab = b.arity_impl(input_arity, second)?;
+                let aa = a.arity_in(schema)?;
+                let ab = b.arity_in(schema)?;
                 if aa != ab {
                     return Err(RelError::ArityMismatch {
                         expected: aa,
@@ -232,24 +260,39 @@ impl Query {
     }
 
     /// Evaluates the query on a conventional instance. Errors on queries
-    /// using [`Query::Second`] (use [`Query::eval2`]).
+    /// using [`Query::Second`] (use [`Query::eval2`]) or named relations
+    /// (use [`Query::eval_catalog`]).
     pub fn eval(&self, input: &Instance) -> Result<Instance, RelError> {
-        self.eval_impl(input, None)
+        self.eval_impl(&RelCtx::Pair {
+            input,
+            second: None,
+        })
     }
 
     /// Evaluates in a two-relation context: `V = input`, `W = second`.
     pub fn eval2(&self, input: &Instance, second: &Instance) -> Result<Instance, RelError> {
-        self.eval_impl(input, Some(second))
+        self.eval_impl(&RelCtx::Pair {
+            input,
+            second: Some(second),
+        })
     }
 
-    fn eval_impl(&self, input: &Instance, second: Option<&Instance>) -> Result<Instance, RelError> {
+    /// Evaluates against a named catalog of instances; `Input`/`Second`
+    /// resolve as the reserved names `V`/`W`, so a catalog with those
+    /// keys runs classic queries unchanged.
+    pub fn eval_catalog(&self, rels: &BTreeMap<String, Instance>) -> Result<Instance, RelError> {
+        self.eval_impl(&RelCtx::Map(rels))
+    }
+
+    fn eval_impl(&self, ctx: &RelCtx<'_>) -> Result<Instance, RelError> {
         match self {
-            Query::Input => Ok(input.clone()),
-            Query::Second => second.cloned().ok_or(RelError::NoSecondInput),
+            Query::Input => Ok(ctx.lookup(Schema::INPUT)?.clone()),
+            Query::Second => Ok(ctx.lookup(Schema::SECOND)?.clone()),
+            Query::Rel(name) => Ok(ctx.lookup(name)?.clone()),
             Query::Lit(i) => Ok(i.clone()),
-            Query::Project(cols, q) => q.eval_impl(input, second)?.project(cols),
+            Query::Project(cols, q) => q.eval_impl(ctx)?.project(cols),
             Query::Select(p, q) => {
-                let inner = q.eval_impl(input, second)?;
+                let inner = q.eval_impl(ctx)?;
                 p.validate(inner.arity())?;
                 let mut out = Instance::empty(inner.arity());
                 for t in inner.iter() {
@@ -259,28 +302,18 @@ impl Query {
                 }
                 Ok(out)
             }
-            Query::Product(a, b) => Ok(a
-                .eval_impl(input, second)?
-                .product(&b.eval_impl(input, second)?)),
+            Query::Product(a, b) => Ok(a.eval_impl(ctx)?.product(&b.eval_impl(ctx)?)),
             Query::Join {
                 on,
                 residual,
                 left,
                 right,
-            } => left.eval_impl(input, second)?.equijoin(
-                &right.eval_impl(input, second)?,
-                on,
-                residual.as_ref(),
-            ),
-            Query::Union(a, b) => a
-                .eval_impl(input, second)?
-                .union(&b.eval_impl(input, second)?),
-            Query::Diff(a, b) => a
-                .eval_impl(input, second)?
-                .difference(&b.eval_impl(input, second)?),
-            Query::Intersect(a, b) => a
-                .eval_impl(input, second)?
-                .intersect(&b.eval_impl(input, second)?),
+            } => left
+                .eval_impl(ctx)?
+                .equijoin(&right.eval_impl(ctx)?, on, residual.as_ref()),
+            Query::Union(a, b) => a.eval_impl(ctx)?.union(&b.eval_impl(ctx)?),
+            Query::Diff(a, b) => a.eval_impl(ctx)?.difference(&b.eval_impl(ctx)?),
+            Query::Intersect(a, b) => a.eval_impl(ctx)?.intersect(&b.eval_impl(ctx)?),
         }
     }
 
@@ -298,7 +331,7 @@ impl Query {
     /// The operations used by this query (for fragment checking).
     pub fn op_set(&self) -> OpSet {
         match self {
-            Query::Input | Query::Second => OpSet::default(),
+            Query::Input | Query::Second | Query::Rel(_) => OpSet::default(),
             Query::Lit(_) => OpSet {
                 literal: true,
                 ..OpSet::default()
@@ -364,7 +397,7 @@ impl Query {
     /// Number of operator nodes (size of the query tree).
     pub fn size(&self) -> usize {
         match self {
-            Query::Input | Query::Second | Query::Lit(_) => 1,
+            Query::Input | Query::Second | Query::Rel(_) | Query::Lit(_) => 1,
             Query::Project(_, q) | Query::Select(_, q) => 1 + q.size(),
             Query::Product(a, b)
             | Query::Union(a, b)
@@ -384,7 +417,7 @@ impl Query {
     /// `ipdb-engine` uses this as its fixpoint bound.
     pub fn depth(&self) -> usize {
         match self {
-            Query::Input | Query::Second | Query::Lit(_) => 1,
+            Query::Input | Query::Second | Query::Rel(_) | Query::Lit(_) => 1,
             Query::Project(_, q) | Query::Select(_, q) => 1 + q.depth(),
             Query::Product(a, b)
             | Query::Union(a, b)
@@ -398,7 +431,7 @@ impl Query {
     /// don't are constant, e.g. the `I_i` world-builders of Thm 7).
     pub fn uses_input(&self) -> bool {
         match self {
-            Query::Input | Query::Second => true,
+            Query::Input | Query::Second | Query::Rel(_) => true,
             Query::Lit(_) => false,
             Query::Project(_, q) | Query::Select(_, q) => q.uses_input(),
             Query::Product(a, b)
@@ -410,11 +443,38 @@ impl Query {
     }
 }
 
+/// Evaluation context: where relation-name lookups resolve. The classic
+/// one/two-relation entry points and the named-catalog one share the
+/// same resolution rule (`Input` ≡ `V`, `Second` ≡ `W`), so the alias
+/// claim is structural, not re-implemented per entry point.
+enum RelCtx<'a> {
+    /// The paper's positional contexts: `V` (+ optionally `W`).
+    Pair {
+        input: &'a Instance,
+        second: Option<&'a Instance>,
+    },
+    /// A named catalog.
+    Map(&'a BTreeMap<String, Instance>),
+}
+
+impl RelCtx<'_> {
+    fn lookup(&self, name: &str) -> Result<&Instance, RelError> {
+        let found = match self {
+            RelCtx::Pair { input, .. } if name == Schema::INPUT => Some(*input),
+            RelCtx::Pair { second, .. } if name == Schema::SECOND => *second,
+            RelCtx::Pair { .. } => None,
+            RelCtx::Map(rels) => rels.get(name),
+        };
+        found.ok_or_else(|| RelError::missing_relation(name))
+    }
+}
+
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Query::Input => write!(f, "V"),
             Query::Second => write!(f, "W"),
+            Query::Rel(name) => write!(f, "{name}"),
             Query::Lit(i) => write!(f, "{i}"),
             Query::Project(cols, q) => {
                 write!(f, "π")?;
@@ -466,6 +526,56 @@ mod tests {
         assert_eq!(lit.eval(&i).unwrap(), instance![[9]]);
         assert!(!lit.uses_input());
         assert!(Query::Input.uses_input());
+    }
+
+    #[test]
+    fn rel_constructor_canonicalizes_reserved_names() {
+        assert_eq!(Query::rel("V"), Query::Input);
+        assert_eq!(Query::rel("W"), Query::Second);
+        assert_eq!(Query::rel("R"), Query::Rel("R".into()));
+        assert_eq!(Query::rel("R").to_string(), "R");
+        assert!(Query::rel("R").uses_input());
+        assert_eq!(Query::rel("R").size(), 1);
+        assert_eq!(Query::rel("R").depth(), 1);
+        assert_eq!(Query::rel("R").op_set(), OpSet::default());
+    }
+
+    #[test]
+    fn named_relations_resolve_through_schema_and_catalog() {
+        use crate::Schema;
+        let schema = Schema::new([("R", 2), ("S", 1)]).unwrap();
+        let q = Query::join(Query::rel("R"), Query::rel("S"), [(1, 2)], None);
+        assert_eq!(q.arity_in(&schema).unwrap(), 3);
+        assert_eq!(
+            Query::rel("T").arity_in(&schema),
+            Err(RelError::UnknownRelation { name: "T".into() })
+        );
+        // The classic entry points reject named relations gracefully.
+        assert_eq!(
+            Query::rel("R").arity(2),
+            Err(RelError::UnknownRelation { name: "R".into() })
+        );
+        assert_eq!(
+            Query::rel("R").eval(&instance![[1]]),
+            Err(RelError::UnknownRelation { name: "R".into() })
+        );
+
+        let cat = BTreeMap::from([
+            ("R".to_string(), instance![[1, 2], [3, 4]]),
+            ("S".to_string(), instance![[2], [9]]),
+        ]);
+        assert_eq!(q.eval_catalog(&cat).unwrap(), instance![[1, 2, 2]]);
+        // A catalog with the reserved names runs classic queries.
+        let vcat = BTreeMap::from([("V".to_string(), instance![[7]])]);
+        assert_eq!(Query::Input.eval_catalog(&vcat).unwrap(), instance![[7]]);
+        assert_eq!(
+            Query::Second.eval_catalog(&vcat),
+            Err(RelError::NoSecondInput)
+        );
+        assert_eq!(
+            Query::rel("R").eval_catalog(&vcat),
+            Err(RelError::UnknownRelation { name: "R".into() })
+        );
     }
 
     #[test]

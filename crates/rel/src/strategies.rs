@@ -102,9 +102,34 @@ pub fn arb_query_with_arity(
     fragment: Fragment,
     max_int: i64,
 ) -> BoxedStrategy<Query> {
+    arb_query_with_arity_schema(
+        vec![("V".to_string(), input_arity)],
+        target_arity,
+        depth,
+        fragment,
+        max_int,
+    )
+}
+
+/// Strategy for a well-typed query of a given output arity over a
+/// *named* schema (`(name, arity)` pairs; `"V"`/`"W"` canonicalize to
+/// `Input`/`Second` via [`Query::rel`]).
+///
+/// Every schema relation whose arity matches the target is a candidate
+/// leaf, so generated queries mix relations freely — the generator
+/// behind the catalog differential oracles.
+pub fn arb_query_with_arity_schema(
+    schema: Vec<(String, usize)>,
+    target_arity: usize,
+    depth: u32,
+    fragment: Fragment,
+    max_int: i64,
+) -> BoxedStrategy<Query> {
     let mut leaves: Vec<BoxedStrategy<Query>> = Vec::new();
-    if target_arity == input_arity {
-        leaves.push(Just(Query::Input).boxed());
+    for (name, arity) in &schema {
+        if *arity == target_arity {
+            leaves.push(Just(Query::rel(name.clone())).boxed());
+        }
     }
     leaves.push(
         arb_instance(target_arity, 3, max_int)
@@ -117,17 +142,25 @@ pub fn arb_query_with_arity(
     }
 
     let mut choices: Vec<BoxedStrategy<Query>> = vec![leaf];
+    let max_rel_arity = schema.iter().map(|(_, a)| *a).max().unwrap_or(0);
 
     if fragment.project {
         // Project from a child of some arity ≥ max(1, needed indexes).
-        let child_arities: Vec<usize> = (1..=input_arity.max(target_arity).max(1) + 1).collect();
+        let child_arities: Vec<usize> = (1..=max_rel_arity.max(target_arity).max(1) + 1).collect();
         let frag = fragment;
+        let sch = schema.clone();
         choices.push(
             proptest::sample::select(child_arities)
                 .prop_flat_map(move |child_arity| {
                     let cols = proptest::collection::vec(0..child_arity, target_arity);
                     (
-                        arb_query_with_arity(input_arity, child_arity, depth - 1, frag, max_int),
+                        arb_query_with_arity_schema(
+                            sch.clone(),
+                            child_arity,
+                            depth - 1,
+                            frag,
+                            max_int,
+                        ),
                         cols,
                     )
                         .prop_map(|(q, cols)| Query::project(q, cols))
@@ -140,7 +173,7 @@ pub fn arb_query_with_arity(
         let kind = fragment.select;
         let frag = fragment;
         choices.push(
-            arb_query_with_arity(input_arity, target_arity, depth - 1, frag, max_int)
+            arb_query_with_arity_schema(schema.clone(), target_arity, depth - 1, frag, max_int)
                 .prop_flat_map(move |q| {
                     let pred: BoxedStrategy<Pred> = match kind {
                         SelectKind::ColEqOnly => {
@@ -167,13 +200,14 @@ pub fn arb_query_with_arity(
 
     if fragment.product && target_arity >= 2 {
         let frag = fragment;
+        let sch = schema.clone();
         choices.push(
             (1..target_arity)
                 .prop_flat_map(move |left| {
                     let right = target_arity - left;
                     (
-                        arb_query_with_arity(input_arity, left, depth - 1, frag, max_int),
-                        arb_query_with_arity(input_arity, right, depth - 1, frag, max_int),
+                        arb_query_with_arity_schema(sch.clone(), left, depth - 1, frag, max_int),
+                        arb_query_with_arity_schema(sch.clone(), right, depth - 1, frag, max_int),
                     )
                         .prop_map(|(a, b)| Query::product(a, b))
                 })
@@ -187,6 +221,7 @@ pub fn arb_query_with_arity(
     // product and selection admits the bare join.
     if fragment.product && fragment.select != SelectKind::None && target_arity >= 2 {
         let frag = fragment;
+        let sch = schema.clone();
         choices.push(
             (1..target_arity)
                 .prop_flat_map(move |left| {
@@ -204,8 +239,8 @@ pub fn arb_query_with_arity(
                         _ => Just(None).boxed(),
                     };
                     (
-                        arb_query_with_arity(input_arity, left, depth - 1, frag, max_int),
-                        arb_query_with_arity(input_arity, right, depth - 1, frag, max_int),
+                        arb_query_with_arity_schema(sch.clone(), left, depth - 1, frag, max_int),
+                        arb_query_with_arity_schema(sch.clone(), right, depth - 1, frag, max_int),
                         on,
                         residual,
                     )
@@ -224,10 +259,17 @@ pub fn arb_query_with_arity(
     for (enabled, ctor) in binary_ops {
         if enabled {
             let frag = fragment;
+            let sch = schema.clone();
             choices.push(
                 (
-                    arb_query_with_arity(input_arity, target_arity, depth - 1, frag, max_int),
-                    arb_query_with_arity(input_arity, target_arity, depth - 1, frag, max_int),
+                    arb_query_with_arity_schema(
+                        sch.clone(),
+                        target_arity,
+                        depth - 1,
+                        frag,
+                        max_int,
+                    ),
+                    arb_query_with_arity_schema(sch, target_arity, depth - 1, frag, max_int),
                 )
                     .prop_map(move |(a, b)| ctor(a, b))
                     .boxed(),
@@ -249,6 +291,69 @@ pub fn arb_query(
     (1..=max_arity)
         .prop_flat_map(move |target| {
             arb_query_with_arity(input_arity, target, depth, Fragment::RA, max_int)
+        })
+        .boxed()
+}
+
+/// Strategy for a well-typed full-RA query over a named schema, with
+/// output arity in `1..=max_arity`.
+pub fn arb_query_schema(
+    schema: Vec<(String, usize)>,
+    max_arity: usize,
+    depth: u32,
+    max_int: i64,
+) -> BoxedStrategy<Query> {
+    (1..=max_arity)
+        .prop_flat_map(move |target| {
+            arb_query_with_arity_schema(schema.clone(), target, depth, Fragment::RA, max_int)
+        })
+        .boxed()
+}
+
+/// Strategy for a random named schema of 2–3 relations (`R`, `S`, and
+/// sometimes `T`) with arities in `1..=max_arity` — the schemas the
+/// catalog differential oracles run over.
+pub fn arb_schema(max_arity: usize) -> BoxedStrategy<Vec<(String, usize)>> {
+    let arity = 1..=max_arity;
+    proptest::collection::vec(arity, 2..=3)
+        .prop_map(|arities| {
+            ["R", "S", "T"]
+                .iter()
+                .zip(arities)
+                .map(|(n, a)| (n.to_string(), a))
+                .collect()
+        })
+        .boxed()
+}
+
+/// A schema, a query over it, and one payload per relation (the schema
+/// has at most three relations; ignore the tail payloads when it has
+/// two) — the case shape of the catalog differential oracles.
+pub type CatalogCase<T> = (Vec<(String, usize)>, Query, T, T, T);
+
+/// Strategy for a random catalog workload: a 2–3 relation schema from
+/// [`arb_schema`] (arities in `1..=max_arity`), a full-RA query over it
+/// with output arity in `1..=max_arity`, and one payload per relation
+/// built by `per_rel` from that relation's arity. Always three
+/// payloads, so one generator serves every payload type (instances,
+/// c-tables, pc-tables) without a variable-length strategy.
+pub fn arb_catalog_case<T: std::fmt::Debug>(
+    max_arity: usize,
+    query_depth: u32,
+    max_int: i64,
+    per_rel: impl Fn(usize) -> BoxedStrategy<T> + 'static,
+) -> BoxedStrategy<CatalogCase<T>> {
+    arb_schema(max_arity)
+        .prop_flat_map(move |schema| {
+            let arities: Vec<usize> = schema.iter().map(|(_, a)| *a).collect();
+            let a = move |k: usize| arities.get(k).copied().unwrap_or(1);
+            (
+                Just(schema.clone()),
+                arb_query_schema(schema, max_arity, query_depth, max_int),
+                per_rel(a(0)),
+                per_rel(a(1)),
+                per_rel(a(2)),
+            )
         })
         .boxed()
 }
@@ -303,6 +408,31 @@ mod tests {
                 prop_assert!(image.contains(&q.eval(w).unwrap()));
             }
             prop_assert!(image.len() <= db.len());
+        }
+
+        #[test]
+        fn schema_queries_are_well_typed_and_evaluate(
+            (schema, q, i0, i1, i2) in arb_schema(2).prop_flat_map(|schema| {
+                let arities: Vec<usize> = schema.iter().map(|(_, a)| *a).collect();
+                let a = move |k: usize| arities.get(k).copied().unwrap_or(1);
+                (
+                    Just(schema.clone()),
+                    arb_query_schema(schema, 2, 3, 3),
+                    arb_instance(a(0), 3, 3),
+                    arb_instance(a(1), 3, 3),
+                    arb_instance(a(2), 3, 3),
+                )
+            })
+        ) {
+            let s = crate::Schema::new(schema.clone()).unwrap();
+            let arity = q.arity_in(&s).unwrap();
+            let cat = schema
+                .iter()
+                .zip([i0, i1, i2])
+                .map(|((n, _), i)| (n.clone(), i))
+                .collect::<std::collections::BTreeMap<_, _>>();
+            let out = q.eval_catalog(&cat).unwrap();
+            prop_assert_eq!(out.arity(), arity);
         }
 
         #[test]

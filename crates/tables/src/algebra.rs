@@ -341,6 +341,13 @@ impl CTable {
         Ok(match q {
             Query::Input => self.clone(),
             Query::Second => return Err(TableError::Rel(ipdb_rel::RelError::NoSecondInput)),
+            // Single-table context: named relations have nothing to bind
+            // to (the engine's catalog executor resolves them).
+            Query::Rel(name) => {
+                return Err(TableError::Rel(ipdb_rel::RelError::UnknownRelation {
+                    name: name.clone(),
+                }))
+            }
             Query::Lit(i) => lit_table(i, self)?,
             Query::Project(cols, q) => self.eval_query(q)?.project_bar(cols)?,
             Query::Select(p, q) => self.eval_query(q)?.select_bar(p)?,

@@ -115,4 +115,31 @@ fn main() {
     let naive = stmt2.execute_naive(&pc).expect("naive evaluation");
     assert!(m.same_distribution(&naive.mod_space().expect("finite")));
     println!("optimized ≡ naive on the pc-table backend ✓");
+
+    // ------------------------------------------------------------------
+    // Named relations: the §2 footnote's "arbitrary relational schemas".
+    // Prepare over a Schema, execute over a Catalog; σ(×) over two
+    // *named* relations still plans to a hash join.
+    // ------------------------------------------------------------------
+    let schema = Schema::new([("Takes", 2), ("Passed", 2)]).expect("distinct names");
+    let joined = engine
+        .prepare_text_schema("pi[0,1](sigma[and(#0=#2, #1=#3)](Takes x Passed))", &schema)
+        .expect("well-typed over the named schema");
+    println!("\nnamed-relation query over {schema}:");
+    println!("{}", joined.explain());
+    let cat: Catalog<Instance> = [
+        (
+            "Takes",
+            instance![["Alice", "math"], ["Bob", "chem"], ["Theo", "math"]],
+        ),
+        ("Passed", instance![["Alice", "math"], ["Bob", "phys"]]),
+    ]
+    .into_iter()
+    .collect();
+    let passed_what_they_take = joined
+        .execute_catalog(&cat)
+        .expect("schema matches catalog");
+    println!("Takes ⋈ Passed = {passed_what_they_take}");
+    assert_eq!(passed_what_they_take, instance![["Alice", "math"]]);
+    println!("named-relation catalog execution ✓");
 }

@@ -57,7 +57,7 @@ pub use ipdb_tables as tables;
 pub mod prelude {
     pub use ipdb_logic::{Condition, Term, Valuation, Var, VarGen};
     pub use ipdb_rel::{
-        instance, tuple, Domain, Fragment, IDatabase, Instance, Pred, Query, Tuple, Value,
+        instance, tuple, Domain, Fragment, IDatabase, Instance, Pred, Query, Schema, Tuple, Value,
     };
     pub use ipdb_tables::{
         t_const, t_var, BooleanCTable, CTable, OrSetTable, QTable, RepresentationSystem,
@@ -65,7 +65,7 @@ pub mod prelude {
 
     pub use ipdb_prob::{BooleanPcTable, PDatabase, POrSetTable, PTable, PcTable, Rat, Weight};
 
-    pub use ipdb_engine::{Backend, Engine, EngineError, Prepared};
+    pub use ipdb_engine::{Backend, Catalog, Engine, EngineError, Prepared};
 
     pub use ipdb_core as theory;
 }
