@@ -286,6 +286,41 @@ pub fn skewed_instance(rows: usize) -> Instance {
     .expect("fixed arity")
 }
 
+/// The morsel-executor scaling workload: an asymmetric equijoin of a
+/// small build relation `R` against a ≥100k-row probe relation `S`,
+/// written as σ(×) so the optimizer extracts the hash join on `#1=#2`,
+/// pushes `#1!=0` onto `R`, and leaves `#0!=#3` as a vectorized
+/// residual. The probe scan dominates the runtime, which is exactly the
+/// shape morsel fan-out parallelizes.
+pub const ENGINE_PARALLEL_JOIN: &str = "sigma[and(#1=#2, #0!=#3, #1!=0)](R x S)";
+
+/// The schema of the scaling workload: build side `R`, probe side `S`.
+pub fn parallel_schema() -> Schema {
+    Schema::new([("R", 2), ("S", 2)]).expect("distinct names")
+}
+
+/// The [`ENGINE_PARALLEL_JOIN`] build side: `rows` key pairs `(k, k)`.
+pub fn parallel_build_side(rows: usize) -> Instance {
+    Instance::from_tuples(
+        2,
+        (0..rows).map(|k| Tuple::new([Value::from(k as i64), Value::from(k as i64)])),
+    )
+    .expect("fixed arity")
+}
+
+/// The [`ENGINE_PARALLEL_JOIN`] probe side: `rows` tuples `(j, j mod 3)`.
+/// Joining `R.#1 = S.#0` hashes every one of the `rows` probe keys but
+/// only the `|R|` smallest hit, so the output (and its set-semantics
+/// materialization) stays small while the parallelizable probe scan does
+/// the work.
+pub fn parallel_probe_side(rows: usize) -> Instance {
+    Instance::from_tuples(
+        2,
+        (0..rows).map(|j| Tuple::new([Value::from(j as i64), Value::from(j as i64 % 3)])),
+    )
+    .expect("fixed arity")
+}
+
 /// The 3-relation chain-join catalog workload (`R(a,b) ⋈ S(b,c) ⋈
 /// T(c,d)`) in its naive σ(×) spelling; prepared with the optimizer on,
 /// it plans to two stacked hash joins over the named relations.

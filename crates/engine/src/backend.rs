@@ -35,6 +35,7 @@ use ipdb_rel::{Instance, Query, RelError, Schema};
 use ipdb_tables::{CTable, TableError};
 
 use crate::error::EngineError;
+use crate::morsel::ExecConfig;
 
 /// A named collection of relations of one backend type — the execution
 /// input for queries over a multi-relation [`Schema`].
@@ -83,6 +84,12 @@ impl<B> Catalog<B> {
     /// The relation names, in order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.rels.keys().map(String::as_str)
+    }
+
+    /// The underlying name → relation map (crate-internal: executors
+    /// borrow it wholesale instead of going through `get` per name).
+    pub(crate) fn rels(&self) -> &BTreeMap<String, B> {
+        &self.rels
     }
 }
 
@@ -144,7 +151,10 @@ where
         // domain declarations merge in from the other operands.
         Query::Lit(i) => CTable::from_instance(i),
         Query::Project(cols, q) => prune(eval_ctable_pruned(lookup, q)?.project_bar(cols)?),
-        Query::Select(p, q) => prune(eval_ctable_pruned(lookup, q)?.select_bar(p)?),
+        // Vectorized when every referenced column is ground (falls back
+        // to the term-at-a-time path otherwise); `prune` makes the two
+        // paths byte-identical (see `select_bar_vectorized`).
+        Query::Select(p, q) => prune(eval_ctable_pruned(lookup, q)?.select_bar_vectorized(p)?),
         Query::Product(a, b) => {
             prune(eval_ctable_pruned(lookup, a)?.product_bar(&eval_ctable_pruned(lookup, b)?)?)
         }
@@ -202,11 +212,13 @@ impl Backend for Instance {
     }
 
     fn run(&self, q: &Query) -> Result<Instance, EngineError> {
-        Ok(q.eval(self)?)
+        // Columnar, morsel-parallel executor; bit-identical to
+        // `q.eval(self)` at every thread count (see [`crate::morsel`]).
+        crate::morsel::run_instance(self, q, &ExecConfig::from_env())
     }
 
     fn run_catalog(cat: &Catalog<Instance>, q: &Query) -> Result<Instance, EngineError> {
-        Ok(q.eval_catalog(&cat.rels)?)
+        crate::morsel::run_instance_map(&cat.rels, q, &ExecConfig::from_env())
     }
 }
 
@@ -255,13 +267,7 @@ impl<W: Weight> Backend for PcTable<W> {
             }
         };
         let qt = eval_ctable_pruned(&lookup, q)?;
-        let vars = qt.vars();
-        let dists = self
-            .dists()
-            .iter()
-            .filter(|(v, _)| vars.contains(v))
-            .map(|(v, d)| (*v, d.clone()))
-            .collect::<Vec<_>>();
+        let dists = self.dists_restricted(&qt.vars());
         Ok(PcTable::new(qt, dists)?)
     }
 
@@ -269,18 +275,16 @@ impl<W: Weight> Backend for PcTable<W> {
         // All pc-relations live in one variable namespace: run the
         // c-table closure over the catalog of underlying tables, then
         // attach the union of the per-relation distributions
-        // (consistency-checked by `merged_dists`), marginalizing out the
-        // variables the answer no longer mentions.
+        // (conflict-checked across *all* shared variables, cloned only
+        // for the survivors), marginalizing out the variables the
+        // answer no longer mentions.
         let lookup = |name: &str| -> Result<&CTable, TableError> {
             cat.get(name)
                 .map(PcTable::table)
                 .ok_or_else(|| missing_rel(name))
         };
         let qt = eval_ctable_pruned(&lookup, q)?;
-        let vars = qt.vars();
-        let dists = PcTable::merged_dists(cat.rels.values())?
-            .into_iter()
-            .filter(|(v, _)| vars.contains(v));
+        let dists = PcTable::merged_dists_restricted(cat.rels.values(), &qt.vars())?;
         Ok(PcTable::new(qt, dists)?)
     }
 }
@@ -354,6 +358,44 @@ mod tests {
         let rhs = pc.eval_query(&query()).unwrap().mod_space().unwrap();
         assert!(lhs.same_distribution(&rhs));
         assert_eq!(lhs.tuple_prob(&tuple![1]), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn pc_run_marginalizes_variables_of_pruned_rows() {
+        // x survives; y appears only in the condition of a row whose
+        // ground tuple fails the selection, so the pruning executor
+        // drops the row AND y's distribution. Dropping must equal
+        // summing y out: the answer distribution has to match full
+        // valuation enumeration over the *input* pc-table.
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let y = g.fresh();
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(7)], Condition::eq(t_var(y), t_const(3)))
+            .build()
+            .unwrap();
+        let dx =
+            FiniteSpace::new([(Value::from(1), rat!(1, 2)), (Value::from(2), rat!(1, 2))]).unwrap();
+        let dy =
+            FiniteSpace::new([(Value::from(3), rat!(1, 4)), (Value::from(4), rat!(3, 4))]).unwrap();
+        let pc = PcTable::new(t, [(x, dx), (y, dy)]).unwrap();
+        let q = Query::select(Query::Input, Pred::neq_const(0, 7));
+        let out = pc.run(&q).unwrap();
+        assert!(out.dists().contains_key(&x));
+        assert!(
+            !out.dists().contains_key(&y),
+            "y's row was pruned, so its distribution must be marginalized out"
+        );
+        // Exactness oracle: enumerate every (x, y) valuation of the
+        // input, apply the query worldwise, and compare distributions.
+        let mut worlds = Vec::new();
+        for (nu, w) in pc.valuation_space().unwrap() {
+            let world = pc.table().apply_valuation(&nu).unwrap();
+            worlds.push((q.eval(&world).unwrap(), w));
+        }
+        let oracle = FiniteSpace::new(worlds).unwrap();
+        assert!(out.mod_space().unwrap().space().same_distribution(&oracle));
     }
 
     #[test]

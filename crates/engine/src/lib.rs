@@ -28,6 +28,18 @@
 //!    back to condition-conjunction pairing for rows with variable keys,
 //!    preserving the c-table semantics exactly.
 //!
+//! The `Instance` backend executes through the columnar, morsel-parallel
+//! evaluator in [`morsel`]: leaves convert to `ipdb-rel`'s
+//! [`ColumnarInstance`](ipdb_rel::ColumnarInstance) batches, the
+//! data-intensive kernels (selection masks, hash-join probes, row
+//! materialization) are split into fixed-size morsels drained by a
+//! persistent worker pool, and the result is *bit-identical for every
+//! thread count and morsel size*. The worker count defaults to
+//! [`std::thread::available_parallelism`], overridable with
+//! `IPDB_THREADS` (`IPDB_THREADS=1` forces serial execution); pass an
+//! explicit [`ExecConfig`] via [`Prepared::execute_with`] /
+//! [`Prepared::execute_catalog_with`] to pin it programmatically.
+//!
 //! ```
 //! use ipdb_engine::{parser, Engine};
 //! use ipdb_rel::instance;
@@ -95,6 +107,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod morsel;
 pub mod optimize;
 pub mod parser;
 pub mod pipeline;
@@ -102,6 +115,7 @@ pub mod plan;
 
 pub use backend::{Backend, Catalog};
 pub use error::EngineError;
+pub use morsel::ExecConfig;
 pub use optimize::{optimize, optimize_in, optimize_plan, optimize_plan_stats, OptimizeStats};
 pub use parser::{is_relation_name, parse, render};
 pub use pipeline::{Engine, Prepared};

@@ -1,0 +1,700 @@
+//! Morsel-driven parallel execution for the [`Instance`] backend.
+//!
+//! The engine evaluates instance queries over `ipdb-rel`'s columnar
+//! batches ([`ColumnarInstance`]) and parallelizes the data-intensive
+//! kernels morsel-wise (Leis et al.'s morsel-driven model, scoped to
+//! `std::thread` — no crates.io dependencies):
+//!
+//! * the probe side of a hash join, the predicate masks of selections
+//!   and join residuals, and the final row materialization are split
+//!   into fixed-size row ranges (*morsels*, [`ExecConfig::morsel_rows`]);
+//! * the calling thread plus a process-wide pool of persistent workers
+//!   (spawned once, parked between stages — thread creation is far too
+//!   slow on some hosts to pay per stage) pull morsels from a shared
+//!   atomic counter, so scheduling is dynamic but each morsel's output
+//!   depends only on its input rows;
+//! * per-morsel outputs are merged back **in morsel order** and the
+//!   final result is an [`Instance`] — a canonical `BTreeSet` — so the
+//!   answer is *bit-identical for every thread count and morsel size*.
+//!   Determinism is structural, not incidental: kernels never branch on
+//!   scheduling, and set semantics make the merge order-insensitive
+//!   anyway.
+//!
+//! The worker count comes from [`ExecConfig::from_env`]:
+//! `IPDB_THREADS` if set (a positive integer), otherwise
+//! [`std::thread::available_parallelism`]. `IPDB_THREADS=1` forces
+//! serial execution (CI runs the tier-1 suite both ways).
+//!
+//! Set operations (`∪`, `−`, `∩`) and leaf lookups convert through row
+//! form — they are cheap relative to the join/select kernels and their
+//! `BTreeSet` implementations are already canonical.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use ipdb_rel::{
+    ColumnarInstance, Instance, JoinIndex, Pred, Query, RelError, Schema, Tuple, Value,
+};
+
+use crate::error::EngineError;
+
+/// Default morsel size (rows per scheduling unit).
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Execution knobs for the morsel-parallel instance executor.
+///
+/// Results are identical for every configuration (see the module docs);
+/// the knobs trade scheduling overhead against parallelism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker count for morsel fan-out; `1` means fully serial.
+    pub threads: usize,
+    /// Rows per morsel (clamped to at least 1).
+    pub morsel_rows: usize,
+}
+
+impl ExecConfig {
+    /// Serial execution (one worker, default morsel size).
+    pub fn serial() -> ExecConfig {
+        ExecConfig {
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+
+    /// `threads` workers with the default morsel size.
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        ExecConfig {
+            threads: threads.max(1),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+
+    /// The environment-driven default: `IPDB_THREADS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> ExecConfig {
+        let threads = std::env::var("IPDB_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        ExecConfig::with_threads(threads)
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::from_env()
+    }
+}
+
+/// A type-erased pool job. Jobs are `'static`: [`run_morsels`] erases
+/// the borrow lifetime of its fan-out closure and re-establishes safety
+/// by never returning (or unwinding) before every job it submitted has
+/// finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The persistent worker pool behind [`run_morsels`]. Thread creation
+/// is far too slow on some hosts (hundreds of microseconds under
+/// hardened/virtualized kernels) to pay per pipeline stage, so workers
+/// are spawned once, park on a condvar between stages, and are shared
+/// by every executor invocation in the process. Workers created for one
+/// stage are reused by all later ones; the pool only ever grows, up to
+/// [`run_morsels`]'s worker clamp.
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Worker threads spawned so far (the pool only grows).
+    spawned: Mutex<usize>,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    wake: Condvar,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                wake: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+        })
+    }
+
+    /// Grows the pool to at least `want` parked workers.
+    fn ensure_workers(&self, want: usize) {
+        let mut spawned = self.spawned.lock().expect("pool spawn mutex");
+        while *spawned < want {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("ipdb-morsel-{spawned}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut q = shared.queue.lock().expect("pool queue mutex");
+                        loop {
+                            match q.pop_front() {
+                                Some(job) => break job,
+                                None => q = shared.wake.wait(q).expect("pool queue mutex"),
+                            }
+                        }
+                    };
+                    job();
+                })
+                .expect("spawn morsel pool worker");
+            *spawned += 1;
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue mutex")
+            .push_back(job);
+        self.shared.wake.notify_one();
+    }
+}
+
+/// Counts job completions; [`run_morsels`] blocks on it (via
+/// [`WaitGuard`]) until every job it submitted has arrived.
+struct Latch {
+    done: Mutex<usize>,
+    wake: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            done: Mutex::new(0),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut done = self.done.lock().expect("latch mutex");
+        *done += 1;
+        self.wake.notify_all();
+    }
+
+    fn wait_for(&self, n: usize) {
+        let mut done = self.done.lock().expect("latch mutex");
+        while *done < n {
+            done = self.wake.wait(done).expect("latch mutex");
+        }
+    }
+}
+
+/// Blocks on drop until `expected` jobs have arrived at the latch —
+/// including during a panic unwind, which is what makes the lifetime
+/// erasure in [`run_morsels`] sound.
+struct WaitGuard<'a> {
+    latch: &'a Latch,
+    expected: usize,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.wait_for(self.expected);
+    }
+}
+
+/// Runs `f(lo, hi)` over every morsel of `0..rows` and returns the
+/// outputs in morsel order. Serial when one worker (or one morsel)
+/// suffices; otherwise the calling thread and `threads - 1` pool
+/// workers pull morsel indexes from a shared atomic counter.
+#[allow(unsafe_code)]
+fn run_morsels<T, F>(rows: usize, cfg: &ExecConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let morsel = cfg.morsel_rows.max(1);
+    let n_morsels = rows.div_ceil(morsel);
+    let span = |k: usize| (k * morsel, ((k + 1) * morsel).min(rows));
+    // Hard worker clamp: more fan-out than morsels is useless, and the
+    // pool should stay a bounded resource however `IPDB_THREADS` is set.
+    let threads = cfg.threads.max(1).min(n_morsels.max(1)).min(64);
+    if threads <= 1 || n_morsels <= 1 {
+        return (0..n_morsels)
+            .map(|k| {
+                let (lo, hi) = span(k);
+                f(lo, hi)
+            })
+            .collect();
+    }
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_morsels).map(|_| None).collect());
+    // The calling thread and every pool worker run the same drain loop;
+    // results land keyed by morsel index, so the merge is deterministic
+    // regardless of which thread claimed what.
+    let drive = || {
+        let mut local: Vec<(usize, T)> = Vec::new();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= n_morsels {
+                break;
+            }
+            let (lo, hi) = span(k);
+            local.push((k, f(lo, hi)));
+        }
+        let mut slots = slots.lock().expect("morsel slots mutex");
+        for (k, out) in local {
+            slots[k] = Some(out);
+        }
+    };
+    let finished = Latch::new();
+    let worker_panicked = AtomicBool::new(false);
+    let task = || {
+        if catch_unwind(AssertUnwindSafe(&drive)).is_err() {
+            worker_panicked.store(true, Ordering::Relaxed);
+        }
+        finished.arrive();
+    };
+    let task_ref: &(dyn Fn() + Sync) = &task;
+    // SAFETY: the erased borrows (`task` and everything it captures live
+    // in this frame) cannot outlive the frame: `guard` blocks — on
+    // return AND on unwind — until every submitted job has arrived at
+    // `finished`, and pool workers drop each job as soon as it runs.
+    let task_static: &'static (dyn Fn() + Sync + 'static) =
+        unsafe { std::mem::transmute(task_ref) };
+    let mut guard = WaitGuard {
+        latch: &finished,
+        expected: 0,
+    };
+    for _ in 0..threads - 1 {
+        pool.submit(Box::new(task_static));
+        guard.expected += 1;
+    }
+    let main_result = catch_unwind(AssertUnwindSafe(&drive));
+    drop(guard);
+    if let Err(payload) = main_result {
+        resume_unwind(payload);
+    }
+    assert!(
+        !worker_panicked.load(Ordering::Relaxed),
+        "morsel worker panicked"
+    );
+    slots
+        .into_inner()
+        .expect("morsel slots mutex")
+        .into_iter()
+        .map(|t| t.expect("every morsel index was claimed exactly once"))
+        .collect()
+}
+
+/// Parallel `σ_p`: the mask is evaluated morsel-wise, then the kept row
+/// ids (already in ascending order) become one selection vector.
+fn par_select(
+    ci: &ColumnarInstance,
+    p: &Pred,
+    cfg: &ExecConfig,
+) -> Result<ColumnarInstance, RelError> {
+    p.validate(ci.arity())?;
+    let chunks = run_morsels(ci.len(), cfg, |lo, hi| {
+        ci.eval_mask_range(p, lo, hi)
+            .expect("predicate validated above")
+            .into_iter()
+            .enumerate()
+            .filter_map(|(k, keep)| keep.then_some(lo + k))
+            .collect::<Vec<usize>>()
+    });
+    let keep: Vec<usize> = chunks.into_iter().flatten().collect();
+    Ok(ci.gather_rows(&keep))
+}
+
+/// Parallel hash equijoin: serial build on the smaller side, morsel-
+/// parallel probe, serial gather, parallel residual mask. Key
+/// normalization is the shared [`ipdb_rel::normalize_join_keys`], so
+/// this can never classify keys differently from the row path.
+fn par_join(
+    left: &ColumnarInstance,
+    right: &ColumnarInstance,
+    on: &[(usize, usize)],
+    residual: Option<&Pred>,
+    cfg: &ExecConfig,
+) -> Result<ColumnarInstance, RelError> {
+    let total = left.arity() + right.arity();
+    let (keys, extra) = ipdb_rel::normalize_join_keys(on, left.arity(), total)?;
+    if let Some(p) = residual {
+        p.validate(total)?;
+    }
+    let filter = Pred::conj_all(extra.into_iter().chain(residual.cloned()));
+    if keys.is_empty() {
+        let prod = left.product(right);
+        return if filter == Pred::True {
+            Ok(prod)
+        } else {
+            par_select(&prod, &filter, cfg)
+        };
+    }
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let (build_cols, probe_cols): (Vec<usize>, Vec<usize>) = if build_left {
+        keys.iter().copied().unzip()
+    } else {
+        keys.iter().map(|&(i, j)| (j, i)).unzip()
+    };
+    let index = JoinIndex::build(build, build_cols);
+    // Each morsel probes AND gathers its own output batch, so the value
+    // copies of the join result happen in parallel; the batches then
+    // stack by moving column storage (`vstack`), preserving morsel
+    // order.
+    let batches = run_morsels(probe.len(), cfg, |lo, hi| {
+        let mut pairs = Vec::new();
+        index.probe_range(build, probe, &probe_cols, lo, hi, &mut pairs);
+        if !build_left {
+            for p in &mut pairs {
+                *p = (p.1, p.0);
+            }
+        }
+        ColumnarInstance::concat_pairs(left, right, &pairs)
+    });
+    let joined = ColumnarInstance::vstack(total, batches)?;
+    if filter == Pred::True {
+        Ok(joined)
+    } else {
+        par_select(&joined, &filter, cfg)
+    }
+}
+
+/// Parallel row→column conversion for leaf relations: the tuple
+/// pointers are collected serially (cheap), the value clones — the
+/// expensive part of a scan — happen morsel-wise, and the per-morsel
+/// batches stack by moving their columns.
+fn from_rows_par(i: &Instance, cfg: &ExecConfig) -> ColumnarInstance {
+    let arity = i.arity();
+    let tuples: Vec<&Tuple> = i.iter().collect();
+    let batches = run_morsels(tuples.len(), cfg, |lo, hi| {
+        let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(hi - lo)).collect();
+        for t in &tuples[lo..hi] {
+            for (c, v) in t.values().iter().enumerate() {
+                cols[c].push(v.clone());
+            }
+        }
+        ColumnarInstance::from_columns(cols, hi - lo).expect("columns match the chunk length")
+    });
+    ColumnarInstance::vstack(arity, batches).expect("chunks share the relation's arity")
+}
+
+/// Parallel row materialization: each morsel builds and *sorts* its
+/// tuples, then the chunks feed the bulk set constructor — whose stable
+/// sort merges the presorted runs cheaply — giving the canonical
+/// `BTreeSet` (set semantics make chunking invisible in the result).
+fn to_rows_par(ci: &ColumnarInstance, cfg: &ExecConfig) -> Instance {
+    let chunks = run_morsels(ci.len(), cfg, |lo, hi| {
+        let mut tuples: Vec<Tuple> = (lo..hi).map(|r| ci.tuple_at(r)).collect();
+        tuples.sort_unstable();
+        tuples
+    });
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut all: Vec<Tuple> = Vec::with_capacity(total);
+    for c in chunks {
+        all.extend(c);
+    }
+    Instance::from_tuple_batch(ci.arity(), all).expect("columnar rows share the batch arity")
+}
+
+/// The columnar/morsel evaluator over a name-lookup context; mirrors
+/// `Query::eval`'s structure (and errors) operator by operator.
+fn eval_columnar<'a, F>(
+    lookup: &F,
+    q: &Query,
+    cfg: &ExecConfig,
+) -> Result<ColumnarInstance, RelError>
+where
+    F: Fn(&str) -> Result<&'a Instance, RelError>,
+{
+    match q {
+        Query::Input => Ok(from_rows_par(lookup(Schema::INPUT)?, cfg)),
+        Query::Second => Ok(from_rows_par(lookup(Schema::SECOND)?, cfg)),
+        Query::Rel(name) => Ok(from_rows_par(lookup(name)?, cfg)),
+        Query::Lit(i) => Ok(ColumnarInstance::from_rows(i)),
+        Query::Project(cols, q) => eval_columnar(lookup, q, cfg)?.project(cols),
+        Query::Select(p, q) => par_select(&eval_columnar(lookup, q, cfg)?, p, cfg),
+        Query::Product(a, b) => {
+            Ok(eval_columnar(lookup, a, cfg)?.product(&eval_columnar(lookup, b, cfg)?))
+        }
+        Query::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => par_join(
+            &eval_columnar(lookup, left, cfg)?,
+            &eval_columnar(lookup, right, cfg)?,
+            on,
+            residual.as_ref(),
+            cfg,
+        ),
+        // Set operations go through canonical row form; their BTreeSet
+        // implementations are the deterministic merge.
+        Query::Union(a, b) => {
+            let a = to_rows_par(&eval_columnar(lookup, a, cfg)?, cfg);
+            let b = to_rows_par(&eval_columnar(lookup, b, cfg)?, cfg);
+            Ok(ColumnarInstance::from_rows(&a.union(&b)?))
+        }
+        Query::Diff(a, b) => {
+            let a = to_rows_par(&eval_columnar(lookup, a, cfg)?, cfg);
+            let b = to_rows_par(&eval_columnar(lookup, b, cfg)?, cfg);
+            Ok(ColumnarInstance::from_rows(&a.difference(&b)?))
+        }
+        Query::Intersect(a, b) => {
+            let a = to_rows_par(&eval_columnar(lookup, a, cfg)?, cfg);
+            let b = to_rows_par(&eval_columnar(lookup, b, cfg)?, cfg);
+            Ok(ColumnarInstance::from_rows(&a.intersect(&b)?))
+        }
+    }
+}
+
+/// Runs `q` against a single input relation (`V`) with an explicit
+/// configuration — the entry point the `Instance` backend uses (with
+/// [`ExecConfig::from_env`]) and the determinism oracles sweep.
+pub fn run_instance(
+    input: &Instance,
+    q: &Query,
+    cfg: &ExecConfig,
+) -> Result<Instance, EngineError> {
+    let lookup = |name: &str| -> Result<&Instance, RelError> {
+        if name == Schema::INPUT {
+            Ok(input)
+        } else {
+            Err(RelError::missing_relation(name))
+        }
+    };
+    Ok(to_rows_par(&eval_columnar(&lookup, q, cfg)?, cfg))
+}
+
+/// Runs `q` against a named map of relations (`Input`/`Second` resolve
+/// as the reserved names `V`/`W`, exactly like `Query::eval_catalog`).
+pub fn run_instance_map(
+    rels: &BTreeMap<String, Instance>,
+    q: &Query,
+    cfg: &ExecConfig,
+) -> Result<Instance, EngineError> {
+    let lookup = |name: &str| -> Result<&Instance, RelError> {
+        rels.get(name)
+            .ok_or_else(|| RelError::missing_relation(name))
+    };
+    Ok(to_rows_par(&eval_columnar(&lookup, q, cfg)?, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipdb_rel::instance;
+
+    fn chain_query() -> Query {
+        // σ_{#1=#2 ∧ #0≠#3}(V × V), exercising join extraction shape
+        // plus residual; written directly as the join node.
+        Query::join(
+            Query::Input,
+            Query::Input,
+            [(1, 2)],
+            Some(Pred::neq_cols(0, 3)),
+        )
+    }
+
+    #[test]
+    fn from_env_honors_ipdb_threads_format() {
+        // Pure parser-side checks (no env mutation: other tests run in
+        // parallel in this process).
+        assert_eq!(ExecConfig::with_threads(0).threads, 1);
+        assert_eq!(ExecConfig::serial().threads, 1);
+        assert!(ExecConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn run_morsels_is_order_deterministic() {
+        let cfg = ExecConfig {
+            threads: 8,
+            morsel_rows: 3,
+        };
+        let out = run_morsels(25, &cfg, |lo, hi| (lo, hi));
+        let expected: Vec<(usize, usize)> =
+            (0..9).map(|k| (k * 3, ((k + 1) * 3).min(25))).collect();
+        // The 8-thread run returns spans in morsel order, whatever order
+        // the workers claimed them in.
+        assert_eq!(out, expected);
+        let serial = run_morsels(25, &ExecConfig::serial(), |lo, hi| (lo, hi));
+        assert_eq!(serial, vec![(0, 25)]);
+        // Zero rows → no morsels.
+        assert!(run_morsels(0, &cfg, |lo, hi| (lo, hi)).is_empty());
+    }
+
+    #[test]
+    fn run_morsels_survives_payload_panics() {
+        let cfg = ExecConfig {
+            threads: 4,
+            morsel_rows: 1,
+        };
+        // A panicking morsel payload propagates (whichever thread ran
+        // it) without deadlocking the caller...
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_morsels(16, &cfg, |lo, _| {
+                assert!(lo != 7, "boom");
+                lo
+            })
+        }));
+        assert!(result.is_err());
+        // ...and leaves the worker pool usable for the next stage.
+        let ok = run_morsels(16, &cfg, |lo, _| lo);
+        assert_eq!(ok, (0..16).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn executor_matches_row_path_across_configs() {
+        let i = Instance::from_rows(2, (0..40i64).map(|x| [x % 6, x % 4])).unwrap();
+        let q = chain_query();
+        let expected = q.eval(&i).unwrap();
+        for threads in [1usize, 2, 8] {
+            for morsel_rows in [1usize, 7, 1024] {
+                let cfg = ExecConfig {
+                    threads,
+                    morsel_rows,
+                };
+                assert_eq!(
+                    run_instance(&i, &q, &cfg).unwrap(),
+                    expected,
+                    "threads={threads} morsel={morsel_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executor_mirrors_row_path_errors() {
+        let i = instance![[1, 2]];
+        let cfg = ExecConfig::serial();
+        // Missing second input.
+        let q = Query::product(Query::Input, Query::Second);
+        assert!(matches!(
+            run_instance(&i, &q, &cfg),
+            Err(EngineError::Rel(RelError::NoSecondInput))
+        ));
+        // Unknown relation.
+        let q = Query::rel("R");
+        assert!(matches!(
+            run_instance(&i, &q, &cfg),
+            Err(EngineError::Rel(RelError::UnknownRelation { .. }))
+        ));
+        // Out-of-range selection column.
+        let q = Query::select(Query::Input, Pred::eq_cols(0, 9));
+        assert_eq!(
+            run_instance(&i, &q, &cfg),
+            Err(EngineError::Rel(RelError::ColumnOutOfRange {
+                col: 9,
+                arity: 2
+            }))
+        );
+        // Set-op arity mismatch.
+        let q = Query::union(Query::Input, Query::Lit(instance![[1]]));
+        assert!(run_instance(&i, &q, &cfg).is_err());
+    }
+
+    #[test]
+    #[ignore = "manual stage profiling; run with --release --nocapture"]
+    fn profile_parallel_stages() {
+        use std::time::Instant;
+        let build_rows = 1024usize;
+        let probe_rows = 100_000usize;
+        let r = Instance::from_rows(2, (0..build_rows as i64).map(|k| [k, k])).unwrap();
+        let i = Instance::from_rows(2, (0..probe_rows as i64).map(|j| [j, j % 3])).unwrap();
+        let rels: BTreeMap<String, Instance> =
+            [("R".to_string(), r.clone()), ("S".to_string(), i.clone())]
+                .into_iter()
+                .collect();
+        let q = Query::join(
+            Query::select(Query::rel("R"), Pred::neq_const(1, Value::from(0i64))),
+            Query::rel("S"),
+            [(1, 2)],
+            Some(Pred::neq_cols(0, 3)),
+        );
+        fn med(mut f: impl FnMut()) -> f64 {
+            let mut s: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    f();
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[2]
+        }
+        for threads in [1usize, 2] {
+            let cfg = ExecConfig::with_threads(threads);
+            let left = from_rows_par(&r, &cfg);
+            let right = from_rows_par(&i, &cfg);
+            let t_from = med(|| {
+                from_rows_par(&i, &cfg);
+            });
+            let index = JoinIndex::build(&left, vec![1]);
+            let t_build = med(|| {
+                JoinIndex::build(&left, vec![1]);
+            });
+            let probe = || {
+                run_morsels(right.len(), &cfg, |lo, hi| {
+                    let mut pairs = Vec::new();
+                    index.probe_range(&left, &right, &[0], lo, hi, &mut pairs);
+                    ColumnarInstance::concat_pairs(&left, &right, &pairs)
+                })
+            };
+            let t_probe = med(|| {
+                probe();
+            });
+            let joined = ColumnarInstance::vstack(4, probe()).unwrap();
+            let t_vstack = med(|| {
+                ColumnarInstance::vstack(4, probe()).unwrap();
+            }) - t_probe;
+            let filter = Pred::neq_cols(0, 3);
+            let filtered = par_select(&joined, &filter, &cfg).unwrap();
+            let t_select = med(|| {
+                par_select(&joined, &filter, &cfg).unwrap();
+            });
+            let out = to_rows_par(&filtered, &cfg);
+            let t_rows = med(|| {
+                to_rows_par(&filtered, &cfg);
+            });
+            let t_whole = med(|| {
+                run_instance_map(&rels, &q, &cfg).unwrap();
+            });
+            eprintln!(
+                "threads={threads}: from_rows(S) {t_from:.1}ms build {t_build:.1}ms \
+                 probe+gather {t_probe:.1}ms vstack {t_vstack:.1}ms select {t_select:.1}ms \
+                 to_rows {t_rows:.1}ms | whole {t_whole:.1}ms ({} rows probed->{} out)",
+                right.len(),
+                out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_map_resolves_reserved_names() {
+        let rels: BTreeMap<String, Instance> = [
+            ("V".to_string(), instance![[1], [2]]),
+            ("R".to_string(), instance![[2], [3]]),
+        ]
+        .into_iter()
+        .collect();
+        let q = Query::intersect(Query::Input, Query::rel("R"));
+        let cfg = ExecConfig::serial();
+        assert_eq!(
+            run_instance_map(&rels, &q, &cfg).unwrap(),
+            q.eval_catalog(&rels).unwrap()
+        );
+    }
+}

@@ -11,10 +11,11 @@
 //! ([`Prepared::execute_catalog`]).
 
 use ipdb_prob::{PcTable, Weight};
-use ipdb_rel::{Query, Schema, Tuple};
+use ipdb_rel::{Instance, Query, Schema, Tuple};
 
 use crate::backend::{Backend, Catalog};
 use crate::error::EngineError;
+use crate::morsel::ExecConfig;
 use crate::optimize::optimize_plan;
 use crate::parser;
 use crate::plan::Plan;
@@ -156,6 +157,19 @@ impl Prepared {
         input.run(&self.naive_query)
     }
 
+    /// Executes the optimized plan on the [`Instance`] backend with an
+    /// explicit [`ExecConfig`] instead of [`ExecConfig::from_env`] —
+    /// how benchmarks and determinism oracles pin thread count and
+    /// morsel size without touching the process environment.
+    pub fn execute_with(
+        &self,
+        input: &Instance,
+        cfg: &ExecConfig,
+    ) -> Result<Instance, EngineError> {
+        self.check_arity(input)?;
+        crate::morsel::run_instance(input, &self.optimized_query, cfg)
+    }
+
     /// Executes the optimized plan against a named catalog. The catalog
     /// must supply every relation the prepared schema declares, at the
     /// declared arity ([`EngineError::MissingRelation`] /
@@ -163,6 +177,17 @@ impl Prepared {
     pub fn execute_catalog<B: Backend>(&self, cat: &Catalog<B>) -> Result<B::Output, EngineError> {
         self.check_catalog(cat)?;
         B::run_catalog(cat, &self.optimized_query)
+    }
+
+    /// [`Prepared::execute_catalog`] on the [`Instance`] backend with
+    /// an explicit [`ExecConfig`] (see [`Prepared::execute_with`]).
+    pub fn execute_catalog_with(
+        &self,
+        cat: &Catalog<Instance>,
+        cfg: &ExecConfig,
+    ) -> Result<Instance, EngineError> {
+        self.check_catalog(cat)?;
+        crate::morsel::run_instance_map(cat.rels(), &self.optimized_query, cfg)
     }
 
     /// Executes the *unoptimized* plan against a named catalog (the

@@ -25,10 +25,12 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use ipdb_engine::{Catalog, Engine, Plan, PlanNode, Schema};
+use ipdb_engine::{Catalog, Engine, ExecConfig, Plan, PlanNode, Schema};
 use ipdb_logic::{Valuation, Var};
 use ipdb_prob::{FiniteSpace, PcTable, Rat};
-use ipdb_rel::strategies::{arb_catalog_case, arb_instance, arb_pred, arb_query_with_arity};
+use ipdb_rel::strategies::{
+    arb_catalog_case, arb_instance, arb_pred, arb_query, arb_query_with_arity,
+};
 use ipdb_rel::{Domain, Fragment, Instance, Pred, Query, Value};
 use ipdb_tables::strategies::arb_finite_ctable;
 use ipdb_tables::CTable;
@@ -286,6 +288,126 @@ proptest! {
                 expect,
                 "naive catalog executor vs per-world eval: {} under {}", q, nu
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel-determinism oracles: the columnar morsel executor behind the
+// Instance backend must be *bit-identical* to row-at-a-time evaluation
+// for every thread count and morsel size — scheduling may never show
+// through. The sweep covers degenerate morsels (1 row), a size that
+// splits small inputs unevenly (7), and the default (1024, i.e. one
+// morsel on test-sized data).
+// ---------------------------------------------------------------------
+
+/// The (threads, morsel_rows) grid every determinism property sweeps.
+const EXEC_SWEEP: [(usize, usize); 9] = [
+    (1, 1),
+    (1, 7),
+    (1, 1024),
+    (2, 1),
+    (2, 7),
+    (2, 1024),
+    (8, 1),
+    (8, 7),
+    (8, 1024),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Instance backend: for random RA queries, every executor
+    /// configuration returns exactly `Query::eval`'s answer — on both
+    /// the naive and the optimized plan.
+    #[test]
+    fn morsel_executor_identical_across_configs(
+        q in arb_query(2, 2, 3, 3),
+        i in arb_instance(2, 6, 3),
+    ) {
+        let expected = q.eval(&i).unwrap();
+        let opt = Engine::new().prepare(&q, 2).unwrap();
+        let naive = Engine { optimize: false }.prepare(&q, 2).unwrap();
+        for (threads, morsel_rows) in EXEC_SWEEP {
+            let cfg = ExecConfig { threads, morsel_rows };
+            prop_assert_eq!(
+                naive.execute_with(&i, &cfg).unwrap(),
+                expected.clone(),
+                "naive plan diverged at threads={} morsel={} on {}", threads, morsel_rows, q
+            );
+            prop_assert_eq!(
+                opt.execute_with(&i, &cfg).unwrap(),
+                expected.clone(),
+                "optimized plan diverged at threads={} morsel={} on {}", threads, morsel_rows, q
+            );
+        }
+    }
+
+    /// Join shapes specifically: the parallel hash join equals the
+    /// filtered product under every configuration.
+    #[test]
+    fn morsel_join_identical_across_configs(
+        (l, r, on, residual) in arb_join_shape(),
+        i in arb_instance(2, 4, 3),
+    ) {
+        let (join, naive) = join_and_oracle(l, r, on, residual);
+        let expected = naive.eval(&i).unwrap();
+        let stmt = Engine { optimize: false }.prepare(&join, 2).unwrap();
+        for (threads, morsel_rows) in EXEC_SWEEP {
+            let cfg = ExecConfig { threads, morsel_rows };
+            prop_assert_eq!(
+                stmt.execute_with(&i, &cfg).unwrap(),
+                expected.clone(),
+                "join {} diverged at threads={} morsel={}", join, threads, morsel_rows
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Catalog form: named-relation execution through the morsel
+    /// executor equals direct relational evaluation for every
+    /// configuration.
+    #[test]
+    fn morsel_catalog_identical_across_configs(
+        (schema, q, i0, i1, i2) in arb_catalog_case(2, 3, 3, |a| arb_instance(a, 4, 3).boxed())
+    ) {
+        let s = Schema::new(schema.clone()).unwrap();
+        let stmt = Engine::new().prepare_schema(&q, &s).unwrap();
+        let cat = catalog_of(&schema, [&i0, &i1, &i2]);
+        let map: BTreeMap<String, Instance> = cat
+            .iter()
+            .map(|(n, i)| (n.to_string(), i.clone()))
+            .collect();
+        let expected = q.eval_catalog(&map).unwrap();
+        for (threads, morsel_rows) in EXEC_SWEEP {
+            let cfg = ExecConfig { threads, morsel_rows };
+            prop_assert_eq!(
+                stmt.execute_catalog_with(&cat, &cfg).unwrap(),
+                expected.clone(),
+                "catalog query {} diverged at threads={} morsel={}", q, threads, morsel_rows
+            );
+        }
+    }
+
+    /// C-table backend: the vectorized ground-column selection agrees
+    /// with the term-at-a-time path after condition pruning — the same
+    /// normal form the engine's executor applies — and mirrors its
+    /// error behavior exactly.
+    #[test]
+    fn vectorized_select_equals_term_path_on_ctables(
+        p in arb_pred(2, 3, false),
+        t in arb_finite_ctable(2, 3, 3, 2),
+    ) {
+        match (t.select_bar_vectorized(&p), t.select_bar(&p)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a.simplified().without_false_rows(),
+                b.simplified().without_false_rows(),
+                "vectorized σ diverged from term path on {}", p
+            ),
+            (a, b) => prop_assert_eq!(a, b, "paths disagreed on the error for {}", p),
         }
     }
 }

@@ -78,6 +78,27 @@ proptest! {
         prop_assert_eq!(pc.tuple_prob_enum(&absent).unwrap(), Rat::ZERO);
     }
 
+    /// Engine executor vs plain Theorem 9 closure: the pruning,
+    /// ground-column-vectorized executor (`Backend::run`, behind
+    /// `Prepared::execute`) induces exactly the same answer
+    /// distribution as the term-at-a-time `PcTable::eval_query` —
+    /// pruning a row and dropping a marginalized variable must never
+    /// change the induced distribution.
+    #[test]
+    fn pruned_executor_preserves_distributions(
+        q in arb_query(2, 2, 2, 2),
+        t in arb_finite_ctable(2, 2, 2, 2),
+    ) {
+        let pc = skewed_pctable(&t);
+        let stmt = Engine { optimize: false }.prepare(&q, 2).unwrap();
+        let run = stmt.execute(&pc).unwrap().mod_space().unwrap();
+        let plain = pc.eval_query(&q).unwrap().mod_space().unwrap();
+        prop_assert!(
+            run.same_distribution(&plain),
+            "executor changed the distribution of {}", q
+        );
+    }
+
     /// The BDD path is invariant under optimization: the optimized and
     /// naive plans induce the same BDD-computed distribution.
     #[test]

@@ -46,7 +46,7 @@ pub use chain::{ChainPcTable, CondDist};
 pub use complete::theorem8_table;
 pub use error::ProbError;
 pub use ipdb_bdd::Weight;
-pub use pctable::{BooleanPcTable, PcTable};
+pub use pctable::{BooleanPcTable, PcTable, VarDists};
 pub use pdb::PDatabase;
 pub use porset::{PCell, POrSetTable};
 pub use possibilistic::{PiDatabase, PossCTable, PossDist};

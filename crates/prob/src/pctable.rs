@@ -10,7 +10,7 @@
 //! algebra of Theorem 4 does all the work. [`PcTable::eval_query`]
 //! implements it; the equality is property-tested.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use ipdb_bdd::{BddManager, FdEncoding, Weight};
@@ -53,6 +53,10 @@ pub struct PcTable<W> {
 /// Shared state of the BDD probability engine: the manager, the one-hot
 /// encoding, and the Boolean branch-weight vector.
 type BddCtx<W> = (BddManager, FdEncoding, Vec<(W, W)>);
+
+/// A variable-to-distribution assignment, in the list form accepted by
+/// [`PcTable::new`] and produced by the `dists_restricted` family.
+pub type VarDists<W> = Vec<(Var, FiniteSpace<Value, W>)>;
 
 impl<W: Weight> PcTable<W> {
     /// Builds a pc-table: every variable of `table` must have a
@@ -161,19 +165,66 @@ impl<W: Weight> PcTable<W> {
         Ok(out)
     }
 
+    /// The distributions restricted to `keep ∩ dom(dists)` — the
+    /// marginalization step of the Theorem 9 closure. A variable absent
+    /// from the answered table is independent of every surviving
+    /// condition, so dropping its distribution integrates it out
+    /// exactly; a variable a selection pruned away *with its row* is
+    /// dropped for the same reason (pinned by the `marginalization_*`
+    /// regression tests). Walks the smaller of the two sets and clones
+    /// only the kept distributions.
+    pub fn dists_restricted(&self, keep: &BTreeSet<Var>) -> VarDists<W> {
+        if keep.len() <= self.dists.len() {
+            keep.iter()
+                .filter_map(|v| self.dists.get(v).map(|d| (*v, d.clone())))
+                .collect()
+        } else {
+            self.dists
+                .iter()
+                .filter(|(v, _)| keep.contains(v))
+                .map(|(v, d)| (*v, d.clone()))
+                .collect()
+        }
+    }
+
+    /// [`PcTable::merged_dists`] restricted to `keep`: the conflict
+    /// check still covers **every** variable shared between tables (two
+    /// relations disagreeing on a marginalized-out variable is still an
+    /// inconsistent catalog), but distributions are compared by
+    /// reference and only the kept ones are cloned.
+    pub fn merged_dists_restricted<'a>(
+        tables: impl IntoIterator<Item = &'a PcTable<W>>,
+        keep: &BTreeSet<Var>,
+    ) -> Result<VarDists<W>, ProbError>
+    where
+        W: 'a,
+    {
+        let mut seen: BTreeMap<Var, &'a FiniteSpace<Value, W>> = BTreeMap::new();
+        for t in tables {
+            for (v, d) in &t.dists {
+                match seen.get(v) {
+                    None => {
+                        seen.insert(*v, d);
+                    }
+                    Some(existing) if *existing == d => {}
+                    Some(_) => return Err(ProbError::ConflictingDistribution(*v)),
+                }
+            }
+        }
+        Ok(seen
+            .into_iter()
+            .filter(|(v, _)| keep.contains(v))
+            .map(|(v, d)| (v, d.clone()))
+            .collect())
+    }
+
     /// **Theorem 9** (closure): `q̄(T)` with the variable distributions
     /// carried along (restricted to the surviving variables — dropping an
     /// independent variable marginalizes it, which is exactly the image-
     /// space semantics).
     pub fn eval_query(&self, q: &Query) -> Result<PcTable<W>, ProbError> {
         let qt = self.table.eval_query(q)?;
-        let vars = qt.vars();
-        let dists = self
-            .dists
-            .iter()
-            .filter(|(v, _)| vars.contains(v))
-            .map(|(v, d)| (*v, d.clone()))
-            .collect::<Vec<_>>();
+        let dists = self.dists_restricted(&qt.vars());
         PcTable::new(qt, dists)
     }
 
@@ -482,6 +533,54 @@ mod tests {
         );
         assert_eq!(m.tuple_prob(&tuple!["Theo", "math"]), rat!(85, 100));
         assert_eq!(m.tuple_prob(&tuple!["Alice", "chem"]), rat!(4, 10));
+    }
+
+    #[test]
+    fn restricted_dists_marginalize_without_losing_conflicts() {
+        let pc = running_example();
+        let all: BTreeSet<Var> = pc.dists().keys().copied().collect();
+        // keep = ∅ clones nothing; keep = dom(dists) clones everything.
+        assert!(pc.dists_restricted(&BTreeSet::new()).is_empty());
+        assert_eq!(pc.dists_restricted(&all).len(), pc.dists().len());
+        // A keep-set larger than dom(dists) flips the walk direction and
+        // silently ignores the unknown variables.
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let mut big = all.clone();
+        for _ in 0..8 {
+            big.insert(g.fresh());
+        }
+        let from_small = pc.dists_restricted(&all);
+        let from_big = pc.dists_restricted(&big);
+        assert_eq!(from_small, from_big);
+
+        // merged_dists_restricted: the conflict check covers variables
+        // the keep-set drops — two relations disagreeing on a
+        // marginalized-out variable is still an inconsistent catalog.
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let d1 =
+            FiniteSpace::new([(Value::from(1), rat!(1, 2)), (Value::from(2), rat!(1, 2))]).unwrap();
+        let d2 =
+            FiniteSpace::new([(Value::from(1), rat!(1, 4)), (Value::from(2), rat!(3, 4))]).unwrap();
+        let a = PcTable::new(t.clone(), [(x, d1.clone())]).unwrap();
+        let b = PcTable::new(t.clone(), [(x, d2)]).unwrap();
+        assert_eq!(
+            PcTable::merged_dists_restricted([&a, &b], &BTreeSet::new()).unwrap_err(),
+            ProbError::ConflictingDistribution(x)
+        );
+        // Agreeing duplicates merge; restriction keeps only `keep`.
+        let c = PcTable::new(t, [(x, d1.clone())]).unwrap();
+        let keep: BTreeSet<Var> = [x].into_iter().collect();
+        assert_eq!(
+            PcTable::merged_dists_restricted([&a, &c], &keep).unwrap(),
+            vec![(x, d1)]
+        );
+        assert!(PcTable::merged_dists_restricted([&a, &c], &BTreeSet::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

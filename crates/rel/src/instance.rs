@@ -48,6 +48,27 @@ impl Instance {
         Ok(inst)
     }
 
+    /// Builds an instance from a pre-collected batch in one shot:
+    /// arity-checks every tuple up front, then hands the whole batch to
+    /// `BTreeSet::from_iter`, whose sort-then-bulk-load path is much
+    /// faster than per-tuple insertion for large batches — and rewards
+    /// presorted (or presorted-in-runs) input. Semantically identical
+    /// to [`Instance::from_tuples`].
+    pub fn from_tuple_batch(arity: usize, tuples: Vec<Tuple>) -> Result<Self, RelError> {
+        for t in &tuples {
+            if t.arity() != arity {
+                return Err(RelError::ArityMismatch {
+                    expected: arity,
+                    got: t.arity(),
+                });
+            }
+        }
+        Ok(Instance {
+            arity,
+            tuples: tuples.into_iter().collect(),
+        })
+    }
+
     /// Builds an instance from rows of raw values (each row must have the
     /// same length, which becomes the arity).
     ///
@@ -186,29 +207,74 @@ impl Instance {
             p.validate(total)?;
         }
         let filter = Pred::conj_all(extra.into_iter().chain(residual.cloned()));
+        let trivial_filter = filter == Pred::True;
 
-        // Build side: index the right relation on its key columns. With
-        // no spanning keys every tuple lands in one bucket and the join
-        // degenerates to a filtered product, which is still correct.
-        let mut index: std::collections::HashMap<Vec<&Value>, Vec<&Tuple>> =
-            std::collections::HashMap::new();
-        for t in &other.tuples {
-            let key: Vec<&Value> = keys.iter().map(|&(_, j)| &t.values()[j]).collect();
-            index.entry(key).or_default().push(t);
-        }
         let mut out = Instance::empty(total);
-        for l in &self.tuples {
-            let key: Vec<&Value> = keys.iter().map(|&(i, _)| &l.values()[i]).collect();
-            let Some(matches) = index.get(&key) else {
+        let mut vals: Vec<Value> = Vec::with_capacity(total);
+        let emit = |out: &mut Instance,
+                    vals: &mut Vec<Value>,
+                    l: &Tuple,
+                    r: &Tuple|
+         -> Result<(), RelError> {
+            vals.clear();
+            vals.extend_from_slice(l.values());
+            vals.extend_from_slice(r.values());
+            if trivial_filter || filter.eval(vals)? {
+                out.tuples.insert(Tuple::new(std::mem::take(vals)));
+            }
+            Ok(())
+        };
+
+        // With no spanning keys, hashing would put every tuple in one
+        // bucket; short-circuit to a (filtered) product instead.
+        if keys.is_empty() {
+            if trivial_filter {
+                return Ok(self.product(other));
+            }
+            for l in &self.tuples {
+                for r in &other.tuples {
+                    emit(&mut out, &mut vals, l, r)?;
+                }
+            }
+            return Ok(out);
+        }
+
+        // Index the *smaller* relation on its key columns and probe with
+        // the other; output columns stay left ++ right either way. Keys
+        // are hashed in place (no per-row key vector); buckets group by
+        // hash, so probes re-verify the key columns for equality.
+        let build_left = self.tuples.len() <= other.tuples.len();
+        let (build, probe) = if build_left {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // Key pairs are (left col, right-local col), so both sides'
+        // indexes are already local to their own tuples.
+        let (build_cols, probe_cols): (Vec<usize>, Vec<usize>) = if build_left {
+            keys.iter().copied().unzip()
+        } else {
+            keys.iter().map(|&(i, j)| (j, i)).unzip()
+        };
+
+        let mut index: std::collections::HashMap<u64, Vec<&Tuple>> =
+            std::collections::HashMap::with_capacity(build.tuples.len());
+        for t in &build.tuples {
+            index
+                .entry(hash_key_cols(t.values(), &build_cols))
+                .or_default()
+                .push(t);
+        }
+        for p in &probe.tuples {
+            let Some(bucket) = index.get(&hash_key_cols(p.values(), &probe_cols)) else {
                 continue;
             };
-            for r in matches {
-                let mut vals = Vec::with_capacity(total);
-                vals.extend_from_slice(l.values());
-                vals.extend_from_slice(r.values());
-                if filter == Pred::True || filter.eval(&vals)? {
-                    out.tuples.insert(Tuple::new(vals));
+            for b in bucket {
+                if !key_cols_eq(b.values(), &build_cols, p.values(), &probe_cols) {
+                    continue;
                 }
+                let (l, r) = if build_left { (*b, p) } else { (p, *b) };
+                emit(&mut out, &mut vals, l, r)?;
             }
         }
         Ok(out)
@@ -281,6 +347,26 @@ impl Instance {
         }
         Ok(())
     }
+}
+
+/// Hashes the values at `cols` of a row directly into a `u64`, without
+/// materializing a per-row key vector. Buckets built from these hashes
+/// group by hash value only, so lookups must confirm with
+/// [`key_cols_eq`]; the hasher is `DefaultHasher` with its default keys,
+/// which is deterministic within a build.
+pub(crate) fn hash_key_cols(row: &[Value], cols: &[usize]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Whether two rows agree on their respective key columns (the
+/// collision check paired with [`hash_key_cols`]).
+pub(crate) fn key_cols_eq(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> bool {
+    a_cols.iter().zip(b_cols).all(|(&i, &j)| a[i] == b[j])
 }
 
 impl fmt::Display for Instance {
@@ -387,6 +473,63 @@ mod tests {
             .equijoin(&Instance::empty(1), &[(0, 1)], None)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn from_tuple_batch_equals_from_tuples() {
+        let tuples: Vec<Tuple> = [[3, 1], [1, 2], [3, 1], [2, 0]]
+            .into_iter()
+            .map(|r| Tuple::new(r.map(Value::from)))
+            .collect();
+        assert_eq!(
+            Instance::from_tuple_batch(2, tuples.clone()).unwrap(),
+            Instance::from_tuples(2, tuples).unwrap()
+        );
+        assert_eq!(
+            Instance::from_tuple_batch(2, vec![Tuple::new([Value::from(1)])]),
+            Err(RelError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            Instance::from_tuple_batch(3, vec![]).unwrap(),
+            Instance::empty(3)
+        );
+    }
+
+    #[test]
+    fn equijoin_build_side_is_size_independent() {
+        use crate::Pred;
+        // Tiny left / huge right and the transpose must agree with the
+        // filtered-product oracle and keep left ++ right column order,
+        // whichever side the hash index is built on.
+        let small = Instance::from_rows(2, (0..3i64).map(|i| [i, i])).unwrap();
+        let big = Instance::from_rows(2, (0..50i64).map(|i| [i % 5, i])).unwrap();
+        let oracle = |l: &Instance, r: &Instance, filter: &Pred| {
+            let mut out = Instance::empty(4);
+            for t in l.product(r).iter() {
+                if Pred::eq_cols(0, 2)
+                    .conj(filter.clone())
+                    .eval(t.values())
+                    .unwrap()
+                {
+                    out.insert(t.clone()).unwrap();
+                }
+            }
+            out
+        };
+        for (l, r) in [(&small, &big), (&big, &small)] {
+            assert_eq!(
+                l.equijoin(r, &[(0, 2)], None).unwrap(),
+                oracle(l, r, &Pred::True)
+            );
+            let resid = Pred::neq_cols(1, 3);
+            assert_eq!(
+                l.equijoin(r, &[(0, 2)], Some(&resid)).unwrap(),
+                oracle(l, r, &resid)
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!   a name-keyed catalog of instances ([`Query::eval_catalog`]), with
 //!   `Input`/`Second` as canonical aliases for the reserved names
 //!   `V`/`W`.
+//! * [`ColumnarInstance`] and [`JoinIndex`] ([`columnar`]) — a
+//!   column-major execution representation with lossless row round-trip
+//!   and vectorized kernels (selection masks, projection, product, hash
+//!   equijoin). The kernels are *chunk-consistent* — evaluating a row
+//!   range in pieces gives the same rows as evaluating it whole — which
+//!   is what lets `ipdb-engine` parallelize them morsel-wise without
+//!   changing any answer.
 //!
 //! The incomplete/probabilistic layers ([`ipdb-tables`], [`ipdb-prob`])
 //! build on these types; nothing in this crate knows about variables or
@@ -35,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod error;
 pub mod fragment;
 pub mod idb;
@@ -48,6 +56,7 @@ pub mod value;
 #[cfg(feature = "strategies")]
 pub mod strategies;
 
+pub use columnar::{ColumnarInstance, JoinIndex};
 pub use error::RelError;
 pub use fragment::{Fragment, OpSet, SelectKind};
 pub use idb::IDatabase;

@@ -332,6 +332,51 @@ impl Pred {
         }
     }
 
+    /// Every column index referenced by this predicate.
+    ///
+    /// The columnar executor uses this to decide whether a predicate
+    /// touches only the *ground* columns of a c-table (see
+    /// `ipdb-tables`), in which case it can be evaluated as a vectorized
+    /// mask instead of being instantiated row by row.
+    pub fn referenced_cols(&self) -> std::collections::BTreeSet<usize> {
+        fn walk(p: &Pred, out: &mut std::collections::BTreeSet<usize>) {
+            match p {
+                Pred::True | Pred::False => {}
+                Pred::Cmp(_, l, r) => {
+                    for o in [l, r] {
+                        if let Operand::Col(c) = o {
+                            out.insert(*c);
+                        }
+                    }
+                }
+                Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|q| walk(q, out)),
+                Pred::Not(p) => walk(p, out),
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rewrites every column reference through `f` (generalizing
+    /// [`Pred::shift_cols`]/[`Pred::unshift_cols`] to an arbitrary
+    /// renumbering, e.g. compacting a predicate onto a gathered subset of
+    /// columns).
+    pub fn map_cols(&self, f: impl Fn(usize) -> usize + Copy) -> Pred {
+        let operand = |o: &Operand| match o {
+            Operand::Col(c) => Operand::Col(f(*c)),
+            Operand::Const(v) => Operand::Const(v.clone()),
+        };
+        match self {
+            Pred::True => Pred::True,
+            Pred::False => Pred::False,
+            Pred::Cmp(op, l, r) => Pred::Cmp(*op, operand(l), operand(r)),
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.map_cols(f)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.map_cols(f)).collect()),
+            Pred::Not(p) => Pred::Not(Box::new(p.map_cols(f))),
+        }
+    }
+
     /// Checks all column references are `< arity`.
     pub fn validate(&self, arity: usize) -> Result<(), RelError> {
         match self.max_col() {
@@ -736,6 +781,34 @@ mod tests {
     #[should_panic(expected = "below delta")]
     fn unshift_cols_rejects_underflow() {
         let _ = Pred::eq_cols(0, 5).unshift_cols(1);
+    }
+
+    #[test]
+    fn referenced_cols_collects_every_column() {
+        let p = Pred::and([
+            Pred::eq_cols(0, 3),
+            Pred::not(Pred::or([Pred::neq_const(2, 7)])),
+        ]);
+        assert_eq!(
+            p.referenced_cols().into_iter().collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        assert!(Pred::True.referenced_cols().is_empty());
+        let consts = Pred::Cmp(CmpOp::Eq, Operand::val(1), Operand::val(2));
+        assert!(consts.referenced_cols().is_empty());
+    }
+
+    #[test]
+    fn map_cols_renumbers_arbitrarily() {
+        let p = Pred::and([Pred::eq_cols(2, 5), Pred::neq_const(5, 9)]);
+        let q = p.map_cols(|c| if c == 2 { 0 } else { 1 });
+        assert_eq!(q, Pred::and([Pred::eq_cols(0, 1), Pred::neq_const(1, 9)]));
+        // shift_cols is the special case map_cols(|c| c + d).
+        assert_eq!(p.map_cols(|c| c + 3), p.shift_cols(3));
+        assert_eq!(
+            Pred::not(Pred::eq_const(1, 4)).map_cols(|c| c * 2),
+            Pred::not(Pred::eq_const(2, 4))
+        );
     }
 
     #[test]

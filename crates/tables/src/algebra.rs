@@ -146,6 +146,81 @@ impl CTable {
         CTable::with_domains(self.arity(), rows, self.domains().clone())
     }
 
+    /// The **ground columns** of this table: columns whose entry is a
+    /// constant in *every* row. This is the ground/symbolic column
+    /// partition of the columnar execution core — the ground prefix of a
+    /// c-table behaves exactly like a conventional relation, so it can be
+    /// handed to `ipdb-rel`'s columnar kernels, while symbolic columns
+    /// (those containing at least one variable) stay on the
+    /// condition-composing term path.
+    pub fn ground_columns(&self) -> Vec<usize> {
+        (0..self.arity())
+            .filter(|&c| {
+                self.rows()
+                    .iter()
+                    .all(|r| matches!(r.tuple[c], Term::Const(_)))
+            })
+            .collect()
+    }
+
+    /// A columnar view of the given (all-ground) columns, one row per
+    /// c-table row in row order; `None` if any requested column holds a
+    /// variable anywhere (or is out of range).
+    pub fn ground_column_view(&self, cols: &[usize]) -> Option<ipdb_rel::ColumnarInstance> {
+        let arity = self.arity();
+        let mut columns: Vec<Vec<ipdb_rel::Value>> = Vec::with_capacity(cols.len());
+        for &c in cols {
+            if c >= arity {
+                return None;
+            }
+            let mut col = Vec::with_capacity(self.len());
+            for r in self.rows() {
+                match &r.tuple[c] {
+                    Term::Const(v) => col.push(v.clone()),
+                    Term::Var(_) => return None,
+                }
+            }
+            columns.push(col);
+        }
+        ipdb_rel::ColumnarInstance::from_columns(columns, self.len()).ok()
+    }
+
+    /// `σ̄_p(T)` with a vectorized fast path: when `p` touches only
+    /// ground columns, `c(t)` is a concrete boolean per row, so the
+    /// predicate is evaluated as one columnar mask over the ground
+    /// column view and rows failing it are dropped outright (their
+    /// conjoined condition would fold to `false`), with the surviving
+    /// rows' conditions left untouched. Otherwise falls back to
+    /// [`CTable::select_bar`].
+    ///
+    /// Equivalent to `select_bar` *up to condition simplification*: the
+    /// fast path skips the `cond ∧ true` wrappers the term path
+    /// produces, so callers that prune intermediates (the engine's
+    /// executor passes every result through
+    /// [`CTable::simplified`] + [`CTable::without_false_rows`]) get
+    /// byte-identical tables from either path.
+    pub fn select_bar_vectorized(&self, pred: &Pred) -> Result<CTable, TableError> {
+        let cols: Vec<usize> = pred.referenced_cols().into_iter().collect();
+        let Some(view) = self.ground_column_view(&cols) else {
+            return self.select_bar(pred);
+        };
+        // Compact the predicate onto the gathered columns. `cols` is
+        // sorted (BTreeSet order), so this is a binary-searchable map.
+        let compact = pred.map_cols(|c| {
+            cols.binary_search(&c)
+                .expect("referenced_cols listed every referenced column")
+        });
+        let mask = view.eval_mask(&compact)?;
+        let rows = self
+            .rows()
+            .iter()
+            .zip(mask)
+            .filter(|(_, keep)| *keep)
+            .map(|(r, _)| r.clone())
+            .collect();
+        CTable::with_domains(self.arity(), rows, self.domains().clone())
+    }
+
     /// `T₁ ×̄ T₂`: pairwise concatenation, conditions conjoined.
     ///
     /// The operands share the variable space (both descend from the same
@@ -477,6 +552,63 @@ mod tests {
                 q.eval(&t.apply_valuation(&v).unwrap()).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn ground_columns_partition() {
+        let t = sample();
+        // Column 0 holds t_var(x) in row 2, column 1 holds variables in
+        // both rows — only fully-constant columns are ground.
+        assert_eq!(t.ground_columns(), Vec::<usize>::new());
+        let g = CTable::builder(2)
+            .row([t_const(1), t_var(Var(0))], Condition::True)
+            .row([t_const(2), t_var(Var(1))], Condition::True)
+            .build()
+            .unwrap();
+        assert_eq!(g.ground_columns(), vec![0]);
+        assert!(g.ground_column_view(&[0]).is_some());
+        assert!(g.ground_column_view(&[1]).is_none());
+        assert!(g.ground_column_view(&[9]).is_none());
+        let view = g.ground_column_view(&[0]).unwrap();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.value(1, 0), &Value::from(2));
+    }
+
+    #[test]
+    fn select_bar_vectorized_agrees_with_term_path_after_pruning() {
+        let (x, y) = (Var(0), Var(1));
+        let t = CTable::builder(2)
+            .row([t_const(1), t_var(x)], Condition::eq_vc(y, 1))
+            .row([t_const(2), t_var(x)], Condition::True)
+            .row([t_const(3), t_var(y)], Condition::neq_vv(x, y))
+            .build()
+            .unwrap();
+        // Ground-only predicate: vectorized path drops row 1 outright.
+        let p = Pred::neq_const(0, 1);
+        let fast = t.select_bar_vectorized(&p).unwrap();
+        let slow = t.select_bar(&p).unwrap();
+        assert_eq!(
+            fast.simplified().without_false_rows(),
+            slow.simplified().without_false_rows()
+        );
+        assert_eq!(fast.len(), 2);
+        // Conditions of surviving rows are untouched (no ∧true wrapper).
+        assert_eq!(fast.rows()[0].cond, Condition::True);
+        // Predicate touching a symbolic column falls back to the term
+        // path — results are identical, conditions composed.
+        let sym = Pred::eq_cols(0, 1);
+        assert_eq!(
+            t.select_bar_vectorized(&sym).unwrap(),
+            t.select_bar(&sym).unwrap()
+        );
+        // Column-free predicates vectorize trivially.
+        assert!(t.select_bar_vectorized(&Pred::False).unwrap().is_empty());
+        assert_eq!(t.select_bar_vectorized(&Pred::True).unwrap().len(), 3);
+        // Out-of-range predicates keep the term path's per-row error
+        // behavior (errors only when rows exist).
+        assert!(t.select_bar_vectorized(&Pred::eq_cols(0, 9)).is_err());
+        let empty = CTable::new(2, Vec::new()).unwrap();
+        assert!(empty.select_bar_vectorized(&Pred::eq_cols(0, 9)).is_ok());
     }
 
     #[test]
