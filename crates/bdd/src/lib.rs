@@ -43,5 +43,5 @@ pub mod weight;
 pub use compile::{compile_condition, var_order};
 pub use encode::FdEncoding;
 pub use error::BddError;
-pub use manager::{BddManager, NodeRef, FALSE, TRUE};
+pub use manager::{BddManager, BddStats, NodeRef, FALSE, TRUE};
 pub use weight::Weight;

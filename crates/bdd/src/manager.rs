@@ -6,6 +6,7 @@
 //! `apply` recursion is memoized. Variable order is simply the numeric
 //! order of the variable indexes `0 < 1 < …`.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::error::BddError;
@@ -61,6 +62,40 @@ pub struct BddManager {
     nodes: Vec<Node>,
     unique: HashMap<(u32, NodeRef, NodeRef), NodeRef>,
     apply_cache: HashMap<(Op, NodeRef, NodeRef), NodeRef>,
+    unique_hits: u64,
+    unique_misses: u64,
+    apply_hits: u64,
+    apply_misses: u64,
+    // `wmc` takes `&self` (it only reads the diagram), so its call
+    // counter is interior-mutable. Managers are not `Sync`-shared.
+    wmc_calls: Cell<u64>,
+}
+
+/// Lifetime counters of one [`BddManager`] — what the hash-consing and
+/// memoization actually did, exposed by [`BddManager::stats`].
+///
+/// The counters are always on: each is a plain integer bump on a path
+/// that already performs a hash-table probe, so there is no flag to
+/// check and nothing to opt into.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Decision nodes allocated (terminals excluded).
+    pub nodes_allocated: u64,
+    /// `mk` calls answered from the unique table (hash-consing shares).
+    pub unique_hits: u64,
+    /// `mk` calls that had to allocate a fresh node.
+    pub unique_misses: u64,
+    /// Binary `apply` calls answered from the memo cache (terminal
+    /// shortcuts resolve before the cache and count as neither).
+    pub apply_cache_hits: u64,
+    /// Binary `apply` calls that recursed.
+    pub apply_cache_misses: u64,
+    /// Peak live node count, terminals included. The arena never frees,
+    /// so this equals [`BddManager::node_count`] — kept as its own
+    /// field so the meaning survives a garbage-collecting manager.
+    pub peak_live_nodes: u64,
+    /// Weighted-model-count invocations ([`BddManager::wmc`]).
+    pub wmc_calls: u64,
 }
 
 impl Default for BddManager {
@@ -87,6 +122,24 @@ impl BddManager {
             ],
             unique: HashMap::new(),
             apply_cache: HashMap::new(),
+            unique_hits: 0,
+            unique_misses: 0,
+            apply_hits: 0,
+            apply_misses: 0,
+            wmc_calls: Cell::new(0),
+        }
+    }
+
+    /// This manager's lifetime counters (see [`BddStats`]).
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes_allocated: (self.nodes.len() - 2) as u64,
+            unique_hits: self.unique_hits,
+            unique_misses: self.unique_misses,
+            apply_cache_hits: self.apply_hits,
+            apply_cache_misses: self.apply_misses,
+            peak_live_nodes: self.nodes.len() as u64,
+            wmc_calls: self.wmc_calls.get(),
         }
     }
 
@@ -136,8 +189,10 @@ impl BddManager {
             "children must be below var in the order"
         );
         if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            self.unique_hits += 1;
             return n;
         }
+        self.unique_misses += 1;
         let n = self.nodes.len() as NodeRef;
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), n);
@@ -244,8 +299,10 @@ impl BddManager {
         // Commutative: normalize operand order for cache hits.
         let key = if f <= g { (op, f, g) } else { (op, g, f) };
         if let Some(&r) = self.apply_cache.get(&key) {
+            self.apply_hits += 1;
             return r;
         }
+        self.apply_misses += 1;
         let (vf, vg) = (self.var_of(f), self.var_of(g));
         let top = vf.min(vg);
         let (f_lo, f_hi) = if vf == top {
@@ -366,6 +423,7 @@ impl BddManager {
     /// representable range report [`BddError::Overflow`] instead of
     /// panicking mid-count.
     pub fn wmc<W: Weight>(&self, f: NodeRef, weights: &[(W, W)]) -> Result<W, BddError> {
+        self.wmc_calls.set(self.wmc_calls.get() + 1);
         let nvars = weights.len() as u32;
         let mut memo: HashMap<NodeRef, W> = HashMap::new();
         let skip = |from: u32, to: u32| -> Result<W, BddError> {
@@ -596,6 +654,49 @@ mod tests {
         // Terminals are in range for any nvars, including zero.
         assert_eq!(m.sat_count(TRUE, 0).unwrap(), 1);
         assert_eq!(m.wmc::<f64>(FALSE, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn stats_track_consing_memoization_and_wmc() {
+        let mut m = BddManager::new();
+        // A fresh manager has zero counters; only the two terminals live.
+        assert_eq!(
+            m.stats(),
+            BddStats {
+                peak_live_nodes: 2,
+                ..BddStats::default()
+            }
+        );
+        let x = m.var(0);
+        let y = m.var(1);
+        // Two fresh nodes so far, no sharing yet.
+        let s = m.stats();
+        assert_eq!(s.nodes_allocated, 2);
+        assert_eq!(s.unique_misses, 2);
+        assert_eq!(s.unique_hits, 0);
+        assert_eq!(s.peak_live_nodes, m.node_count() as u64);
+        // Rebuilding x hits the unique table.
+        let x2 = m.var(0);
+        assert_eq!(x2, x);
+        assert_eq!(m.stats().unique_hits, 1);
+        // First apply recurses (miss); repeating it hits the memo.
+        let f = m.and(x, y);
+        let misses = m.stats().apply_cache_misses;
+        assert!(misses >= 1);
+        let f2 = m.and(x, y);
+        assert_eq!(f2, f);
+        let s = m.stats();
+        assert_eq!(s.apply_cache_hits, 1);
+        assert_eq!(s.apply_cache_misses, misses);
+        // Terminal shortcuts bypass the cache entirely.
+        m.and(FALSE, f);
+        assert_eq!(m.stats().apply_cache_hits, 1);
+        // wmc takes &self and still counts.
+        assert_eq!(m.stats().wmc_calls, 0);
+        let w = [(0.5, 0.5), (0.5, 0.5)];
+        m.wmc(f, &w).unwrap();
+        m.wmc(f, &w).unwrap();
+        assert_eq!(m.stats().wmc_calls, 2);
     }
 
     #[test]

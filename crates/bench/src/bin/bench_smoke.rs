@@ -15,6 +15,11 @@
 //! the BDD probability path must beat valuation enumeration by ≥ 10× on
 //! the 14-variable pc-table workload (where enumeration visits 2¹⁴
 //! valuations).
+//!
+//! Two observability gates ride along: the metrics layer (`ipdb-obs`)
+//! is timed off-vs-on on the 100k-row probe join and must stay within
+//! 5% when off, and an `EXPLAIN ANALYZE` run plus a metrics snapshot
+//! (`BENCH_metrics.json`) are produced and sanity-checked.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -233,7 +238,71 @@ fn main() {
         );
     }
 
+    // Metrics-overhead series: the same 100k-row probe join with the
+    // observability layer fully off vs fully on (global flag plus the
+    // per-config knob), timed by the same interleaved best-of-16
+    // minimum. The `ipdb-obs` contract is near-zero cost when off —
+    // every instrumented call site gates on one relaxed atomic load or
+    // a config bool — so the off path must stay within 5% of itself
+    // re-measured under the on flag's counter traffic. Like the scaling
+    // floors, a preemption burst can poison one side of a pass, so the
+    // measurement re-runs up to three times before asserting.
+    let cfg_off = ExecConfig {
+        metrics: false,
+        ..ExecConfig::with_threads(cores)
+    };
+    let cfg_on = ExecConfig {
+        metrics: true,
+        ..ExecConfig::with_threads(cores)
+    };
+    let (mut met_off, mut met_on) = (f64::INFINITY, f64::INFINITY);
+    for attempt in 1..=3 {
+        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..16 {
+            ipdb_obs::set_enabled(false);
+            off = off.min(once(&mut || {
+                par_stmt.execute_catalog_with(&par_cat, &cfg_off).unwrap();
+            }));
+            ipdb_obs::set_enabled(true);
+            on = on.min(once(&mut || {
+                par_stmt.execute_catalog_with(&par_cat, &cfg_on).unwrap();
+            }));
+            ipdb_obs::set_enabled(false);
+        }
+        (met_off, met_on) = (off, on);
+        if on / off <= 1.05 {
+            break;
+        }
+        eprintln!(
+            "bench_smoke: metrics overhead above floor on pass {attempt} \
+             ({:.3}x), re-measuring",
+            on / off
+        );
+    }
+    let metrics_overhead = met_on / met_off;
+
+    // EXPLAIN ANALYZE must be a pure observer with a self-consistent
+    // report: the identical relation, the exact root cardinality, and
+    // per-operator exclusive times that sum back to the root's
+    // inclusive time, all inside the measured wall-clock total.
+    let (analyzed_out, par_report) = par_stmt
+        .execute_catalog_analyzed_with(&par_cat, &cfg_off)
+        .unwrap();
+    assert_eq!(analyzed_out, row_result, "analyzed run must match plain");
+    assert_eq!(par_report.root.rows_out, (PAR_BUILD - 3) as u64);
+    assert_eq!(
+        par_report.root.total_exclusive_ns(),
+        par_report.root.ns,
+        "per-operator exclusive times must sum to the root's inclusive time"
+    );
+    assert!(
+        par_report.root.ns <= par_report.total_ns,
+        "operator tree time must fit inside the measured total"
+    );
+    println!("{}", par_report.render());
+
     const CHAIN_VARS_PER_REL: u32 = 5;
+    let chain_nvars = 3 * (CHAIN_VARS_PER_REL - 1) + 1;
     let chain_pc = chain_pc_catalog(CHAIN_VARS_PER_REL, 4, 0xBDD2);
     assert_eq!(
         chain_stmt.answer_dist_catalog(&chain_pc).unwrap(),
@@ -246,6 +315,43 @@ fn main() {
     let chain_prob_bdd = time_ns(|| {
         chain_stmt.answer_dist_catalog(&chain_pc).unwrap();
     });
+
+    // The analyzed probabilistic path must match the plain one and its
+    // report must carry live BDD manager counters: on the
+    // {chain_nvars}-variable chain pc-catalog both hash-consing
+    // (unique-table hits) and apply-cache memoization are mandatory for
+    // the measured speedup, so zeros here mean the counters are wired
+    // wrong, not that the workload is small.
+    let (chain_dist, chain_report) = chain_stmt.answer_dist_catalog_analyzed(&chain_pc).unwrap();
+    assert_eq!(
+        chain_dist,
+        chain_stmt.answer_dist_catalog(&chain_pc).unwrap(),
+        "analyzed answer distribution must match plain"
+    );
+    let bdd = chain_report.bdd.expect("pc-table reports carry BDD stats");
+    assert!(
+        bdd.nodes_allocated > 0 && bdd.wmc_calls > 0,
+        "BDD compilation and WMC must both run: {bdd:?}"
+    );
+    assert!(
+        bdd.unique_hits > 0 && bdd.apply_cache_hits > 0,
+        "the {chain_nvars}-variable chain must exercise hash-consing and \
+         the apply cache: {bdd:?}"
+    );
+
+    // Metrics snapshot: one instrumented pass over the parallel join
+    // with the global flag up, exported alongside the timing figures.
+    ipdb_obs::reset();
+    ipdb_obs::set_enabled(true);
+    par_stmt.execute_catalog_with(&par_cat, &cfg_on).unwrap();
+    chain_stmt.answer_dist_catalog_analyzed(&chain_pc).unwrap();
+    ipdb_obs::set_enabled(false);
+    let snapshot = ipdb_obs::snapshot();
+    assert!(
+        snapshot.to_json().contains("exec.morsels"),
+        "instrumented run must record morsel counters"
+    );
+    std::fs::write("BENCH_metrics.json", snapshot.to_json()).expect("write BENCH_metrics.json");
 
     let speedup_inst = inst_naive / inst_join;
     let speedup_ct = ct_naive / ct_join;
@@ -283,7 +389,6 @@ fn main() {
     let _ = writeln!(out, "    \"join\": {chain_join:.0},");
     let _ = writeln!(out, "    \"speedup_naive_over_join\": {speedup_chain:.2}");
     let _ = writeln!(out, "  }},");
-    let chain_nvars = 3 * (CHAIN_VARS_PER_REL - 1) + 1;
     let _ = writeln!(out, "  \"catalog_chain_pctable_{chain_nvars}var\": {{");
     let _ = writeln!(out, "    \"workload\": \"{ENGINE_CHAIN_NAIVE}\",");
     let _ = writeln!(out, "    \"enum\": {chain_prob_enum:.0},");
@@ -309,6 +414,13 @@ fn main() {
         out,
         "    \"speedup_parallel_over_serial\": {speedup_parallel:.2}"
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"metrics_overhead\": {{");
+    let _ = writeln!(out, "    \"workload\": \"{ENGINE_PARALLEL_JOIN}\",");
+    let _ = writeln!(out, "    \"probe_rows\": {PAR_PROBE},");
+    let _ = writeln!(out, "    \"metrics_off\": {met_off:.0},");
+    let _ = writeln!(out, "    \"metrics_on\": {met_on:.0},");
+    let _ = writeln!(out, "    \"ratio_on_over_off\": {metrics_overhead:.3}");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
@@ -360,10 +472,16 @@ fn main() {
              the {PAR_PROBE}-row probe join, measured {speedup_parallel:.2}x"
         );
     }
+    assert!(
+        metrics_overhead <= 1.05,
+        "metrics-on execution must stay within 5% of metrics-off on the \
+         {PAR_PROBE}-row probe join, measured {metrics_overhead:.3}x"
+    );
     println!(
         "bench_smoke: ok (instance {speedup_inst:.1}x, c-table {speedup_ct:.1}x, \
          pc-table prob {speedup_prob:.1}x, chain {speedup_chain:.1}x, \
          chain prob {speedup_chain_prob:.1}x, columnar {speedup_columnar:.1}x, \
-         parallel {speedup_parallel:.1}x @ {cores} threads) -> BENCH_engine.json"
+         parallel {speedup_parallel:.1}x @ {cores} threads, metrics overhead \
+         {metrics_overhead:.3}x) -> BENCH_engine.json + BENCH_metrics.json"
     );
 }

@@ -36,6 +36,7 @@ use ipdb_tables::{CTable, TableError};
 
 use crate::error::EngineError;
 use crate::morsel::ExecConfig;
+use crate::report::{query_label, OpReport};
 
 /// A named collection of relations of one backend type — the execution
 /// input for queries over a multi-relation [`Schema`].
@@ -183,12 +184,103 @@ where
     })
 }
 
+/// [`eval_ctable_pruned`] with per-operator tracing: same operators,
+/// same pruning, same errors, but every node reports cardinalities,
+/// **how many rows pruning removed** (rows whose composed condition
+/// folded to `false` — the observable payoff of the pruning executor),
+/// and inclusive wall-clock time. Pruned-row totals also feed the
+/// global `prune.rows` counter when metrics are enabled.
+fn eval_ctable_traced<'a, F>(lookup: &F, q: &Query) -> Result<(CTable, OpReport), TableError>
+where
+    F: Fn(&str) -> Result<&'a CTable, TableError>,
+{
+    let t0 = std::time::Instant::now();
+    // `prune` additionally counts the rows it removed.
+    let prune = |raw: CTable| -> (CTable, u64) {
+        let before = raw.rows().len();
+        let out = raw.simplified().without_false_rows();
+        let pruned = (before - out.rows().len()) as u64;
+        if pruned > 0 && ipdb_obs::enabled() {
+            ipdb_obs::add("prune.rows", pruned);
+        }
+        (out, pruned)
+    };
+    let ((out, rows_pruned), children) = match q {
+        Query::Input => ((lookup(Schema::INPUT)?.clone(), 0), Vec::new()),
+        Query::Second => ((lookup(Schema::SECOND)?.clone(), 0), Vec::new()),
+        Query::Rel(name) => ((lookup(name)?.clone(), 0), Vec::new()),
+        Query::Lit(i) => ((CTable::from_instance(i), 0), Vec::new()),
+        Query::Project(cols, q) => {
+            let (c, r) = eval_ctable_traced(lookup, q)?;
+            (prune(c.project_bar(cols)?), vec![r])
+        }
+        Query::Select(p, q) => {
+            let (c, r) = eval_ctable_traced(lookup, q)?;
+            (prune(c.select_bar_vectorized(p)?), vec![r])
+        }
+        Query::Product(a, b) => {
+            let (ca, ra) = eval_ctable_traced(lookup, a)?;
+            let (cb, rb) = eval_ctable_traced(lookup, b)?;
+            (prune(ca.product_bar(&cb)?), vec![ra, rb])
+        }
+        Query::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => {
+            let (cl, rl) = eval_ctable_traced(lookup, left)?;
+            let (cr, rr) = eval_ctable_traced(lookup, right)?;
+            (
+                prune(cl.join_bar(&cr, on, residual.as_ref())?),
+                vec![rl, rr],
+            )
+        }
+        Query::Union(a, b) => {
+            let (ca, ra) = eval_ctable_traced(lookup, a)?;
+            let (cb, rb) = eval_ctable_traced(lookup, b)?;
+            (prune(ca.union_bar(&cb)?), vec![ra, rb])
+        }
+        Query::Diff(a, b) => {
+            let (ca, ra) = eval_ctable_traced(lookup, a)?;
+            let (cb, rb) = eval_ctable_traced(lookup, b)?;
+            (prune(ca.diff_bar(&cb)?), vec![ra, rb])
+        }
+        Query::Intersect(a, b) => {
+            let (ca, ra) = eval_ctable_traced(lookup, a)?;
+            let (cb, rb) = eval_ctable_traced(lookup, b)?;
+            (prune(ca.intersect_bar(&cb)?), vec![ra, rb])
+        }
+    };
+    let rows_out = out.rows().len() as u64;
+    let rows_in = if children.is_empty() {
+        rows_out
+    } else {
+        children.iter().map(|c| c.rows_out).sum()
+    };
+    let report = OpReport {
+        label: query_label(q),
+        arity: out.arity(),
+        rows_in,
+        rows_out,
+        rows_pruned,
+        ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        build_left: None,
+        children,
+    };
+    Ok((out, report))
+}
+
 /// An input relation a planned query can execute against.
 pub trait Backend {
     /// The result type (each semantics is closed: instances produce
     /// instances, c-tables produce c-tables, pc-tables produce
     /// pc-tables).
     type Output;
+
+    /// Human-readable backend name, shown in `EXPLAIN ANALYZE` headers
+    /// (`"instance"`, `"c-table"`, `"pc-table"`).
+    const NAME: &'static str;
 
     /// Arity of the input relation (checked against the plan's expected
     /// input arity before execution).
@@ -202,10 +294,24 @@ pub trait Backend {
     fn run_catalog(cat: &Catalog<Self>, q: &Query) -> Result<Self::Output, EngineError>
     where
         Self: Sized;
+
+    /// [`Backend::run`] with per-operator tracing: the identical output
+    /// plus an [`OpReport`] tree recording what each operator did.
+    fn run_analyzed(&self, q: &Query) -> Result<(Self::Output, OpReport), EngineError>;
+
+    /// [`Backend::run_catalog`] with per-operator tracing.
+    fn run_catalog_analyzed(
+        cat: &Catalog<Self>,
+        q: &Query,
+    ) -> Result<(Self::Output, OpReport), EngineError>
+    where
+        Self: Sized;
 }
 
 impl Backend for Instance {
     type Output = Instance;
+
+    const NAME: &'static str = "instance";
 
     fn input_arity(&self) -> usize {
         self.arity()
@@ -220,10 +326,23 @@ impl Backend for Instance {
     fn run_catalog(cat: &Catalog<Instance>, q: &Query) -> Result<Instance, EngineError> {
         crate::morsel::run_instance_map(&cat.rels, q, &ExecConfig::from_env())
     }
+
+    fn run_analyzed(&self, q: &Query) -> Result<(Instance, OpReport), EngineError> {
+        crate::morsel::run_instance_traced(self, q, &ExecConfig::from_env())
+    }
+
+    fn run_catalog_analyzed(
+        cat: &Catalog<Instance>,
+        q: &Query,
+    ) -> Result<(Instance, OpReport), EngineError> {
+        crate::morsel::run_instance_map_traced(&cat.rels, q, &ExecConfig::from_env())
+    }
 }
 
 impl Backend for CTable {
     type Output = CTable;
+
+    const NAME: &'static str = "c-table";
 
     fn input_arity(&self) -> usize {
         self.arity()
@@ -246,10 +365,33 @@ impl Backend for CTable {
         };
         Ok(eval_ctable_pruned(&lookup, q)?)
     }
+
+    fn run_analyzed(&self, q: &Query) -> Result<(CTable, OpReport), EngineError> {
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            if name == Schema::INPUT {
+                Ok(self)
+            } else {
+                Err(missing_rel(name))
+            }
+        };
+        Ok(eval_ctable_traced(&lookup, q)?)
+    }
+
+    fn run_catalog_analyzed(
+        cat: &Catalog<CTable>,
+        q: &Query,
+    ) -> Result<(CTable, OpReport), EngineError> {
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            cat.get(name).ok_or_else(|| missing_rel(name))
+        };
+        Ok(eval_ctable_traced(&lookup, q)?)
+    }
 }
 
 impl<W: Weight> Backend for PcTable<W> {
     type Output = PcTable<W>;
+
+    const NAME: &'static str = "pc-table";
 
     fn input_arity(&self) -> usize {
         self.arity()
@@ -286,6 +428,33 @@ impl<W: Weight> Backend for PcTable<W> {
         let qt = eval_ctable_pruned(&lookup, q)?;
         let dists = PcTable::merged_dists_restricted(cat.rels.values(), &qt.vars())?;
         Ok(PcTable::new(qt, dists)?)
+    }
+
+    fn run_analyzed(&self, q: &Query) -> Result<(PcTable<W>, OpReport), EngineError> {
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            if name == Schema::INPUT {
+                Ok(self.table())
+            } else {
+                Err(missing_rel(name))
+            }
+        };
+        let (qt, report) = eval_ctable_traced(&lookup, q)?;
+        let dists = self.dists_restricted(&qt.vars());
+        Ok((PcTable::new(qt, dists)?, report))
+    }
+
+    fn run_catalog_analyzed(
+        cat: &Catalog<PcTable<W>>,
+        q: &Query,
+    ) -> Result<(PcTable<W>, OpReport), EngineError> {
+        let lookup = |name: &str| -> Result<&CTable, TableError> {
+            cat.get(name)
+                .map(PcTable::table)
+                .ok_or_else(|| missing_rel(name))
+        };
+        let (qt, report) = eval_ctable_traced(&lookup, q)?;
+        let dists = PcTable::merged_dists_restricted(cat.rels.values(), &qt.vars())?;
+        Ok((PcTable::new(qt, dists)?, report))
     }
 }
 
@@ -396,6 +565,65 @@ mod tests {
         }
         let oracle = FiniteSpace::new(worlds).unwrap();
         assert!(out.mod_space().unwrap().space().same_distribution(&oracle));
+    }
+
+    #[test]
+    fn analyzed_run_matches_plain_and_counts_pruned_rows() {
+        assert_eq!(Instance::NAME, "instance");
+        assert_eq!(CTable::NAME, "c-table");
+        assert_eq!(<PcTable<Rat> as Backend>::NAME, "pc-table");
+
+        let i = instance![[1], [2]];
+        let q = query();
+        let (out, report) = i.run_analyzed(&q).unwrap();
+        assert_eq!(out, i.run(&q).unwrap());
+        assert_eq!(report.label, "pi[0]");
+        // pi → sigma → x → (V, V): five operators.
+        assert_eq!(report.node_count(), 5);
+        assert_eq!(report.rows_pruned, 0, "instances have nothing to prune");
+
+        // c-table: V − {[2]} folds row [2]'s composed condition
+        // (¬(2=2)) to false; the traced executor must both drop the row
+        // and report having done so.
+        let t = CTable::from_instance(&instance![[1], [2]]);
+        let qd = Query::diff(Query::Input, Query::Lit(instance![[2]]));
+        let (ct_out, ct_report) = t.run_analyzed(&qd).unwrap();
+        assert_eq!(ct_out, t.run(&qd).unwrap());
+        assert_eq!(ct_report.label, "diff");
+        assert_eq!(ct_report.rows_in, 3);
+        assert_eq!(ct_report.rows_out, 1);
+        assert!(
+            ct_report.rows_pruned >= 1,
+            "the false-condition row must be counted: {ct_report:?}"
+        );
+        assert_eq!(ct_report.total_exclusive_ns(), ct_report.ns);
+
+        // pc-table: same answer table as the untraced Theorem 9 run,
+        // distributions carried identically.
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let ct = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .build()
+            .unwrap();
+        let dist =
+            FiniteSpace::new([(Value::from(1), rat!(1, 2)), (Value::from(2), rat!(1, 2))]).unwrap();
+        let pc = PcTable::new(ct, [(x, dist)]).unwrap();
+        let (pc_out, pc_report) = pc.run_analyzed(&q).unwrap();
+        let plain = pc.run(&q).unwrap();
+        assert_eq!(pc_out.table(), plain.table());
+        assert_eq!(
+            pc_out.dists().keys().collect::<Vec<_>>(),
+            plain.dists().keys().collect::<Vec<_>>()
+        );
+        assert_eq!(pc_report.label, "pi[0]");
+
+        // Catalog variants agree with their untraced twins too.
+        let cat: Catalog<Instance> = [("R", instance![[1, 2], [3, 4]])].into_iter().collect();
+        let qr = Query::select(Query::rel("R"), Pred::eq_cols(0, 0));
+        let (cat_out, cat_report) = Instance::run_catalog_analyzed(&cat, &qr).unwrap();
+        assert_eq!(cat_out, Instance::run_catalog(&cat, &qr).unwrap());
+        assert_eq!(cat_report.children[0].label, "R");
     }
 
     #[test]

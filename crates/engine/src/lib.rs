@@ -40,6 +40,22 @@
 //! explicit [`ExecConfig`] via [`Prepared::execute_with`] /
 //! [`Prepared::execute_catalog_with`] to pin it programmatically.
 //!
+//! ## Observability
+//!
+//! Every execution path has an **`EXPLAIN ANALYZE`** twin:
+//! [`Prepared::execute_analyzed`] (and the `_catalog`/`_with`/
+//! `answer_dist` variants) returns the identical output plus a
+//! [`QueryReport`] — per-operator cardinalities, selectivities,
+//! inclusive/exclusive timings, the hash join's build-side choice, rows
+//! pruned by c-table condition simplification, the optimizer's pass
+//! count, and (for probabilistic answering) the shared `BddManager`'s
+//! counters. [`Prepared::explain_analyze`] renders it as an annotated
+//! plan tree. Engine internals additionally report into the `ipdb-obs`
+//! counter registry (worker-pool gauges, morsel/stage counts) when
+//! metrics are enabled via `IPDB_METRICS=1` or
+//! [`ExecConfig::metrics`]; the plain `execute` path records nothing
+//! when metrics are off.
+//!
 //! ```
 //! use ipdb_engine::{parser, Engine};
 //! use ipdb_rel::instance;
@@ -112,6 +128,7 @@ pub mod optimize;
 pub mod parser;
 pub mod pipeline;
 pub mod plan;
+pub mod report;
 
 pub use backend::{Backend, Catalog};
 pub use error::EngineError;
@@ -120,6 +137,7 @@ pub use optimize::{optimize, optimize_in, optimize_plan, optimize_plan_stats, Op
 pub use parser::{is_relation_name, parse, render};
 pub use pipeline::{Engine, Prepared};
 pub use plan::{Plan, PlanNode};
+pub use report::{OpReport, QueryReport};
 
 // Re-exported so doctests and downstream callers can name the AST types
 // without an explicit `ipdb-rel` dependency.

@@ -39,6 +39,7 @@ use ipdb_rel::{
 };
 
 use crate::error::EngineError;
+use crate::report::{query_label, OpReport};
 
 /// Default morsel size (rows per scheduling unit).
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
@@ -53,6 +54,11 @@ pub struct ExecConfig {
     pub threads: usize,
     /// Rows per morsel (clamped to at least 1).
     pub morsel_rows: usize,
+    /// Record per-stage/per-worker metrics into the [`ipdb_obs`]
+    /// registry. Constructors default this to the global
+    /// [`ipdb_obs::enabled`] flag (`IPDB_METRICS`); flip it per config
+    /// to instrument one run without touching the process flag.
+    pub metrics: bool,
 }
 
 impl ExecConfig {
@@ -61,6 +67,7 @@ impl ExecConfig {
         ExecConfig {
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            metrics: ipdb_obs::enabled(),
         }
     }
 
@@ -69,22 +76,66 @@ impl ExecConfig {
         ExecConfig {
             threads: threads.max(1),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            metrics: ipdb_obs::enabled(),
         }
     }
 
     /// The environment-driven default: `IPDB_THREADS` if set to a
     /// positive integer, otherwise [`std::thread::available_parallelism`].
+    ///
+    /// A set-but-unusable `IPDB_THREADS` (empty, `0`, non-numeric, or
+    /// overflowing `usize`) is **not** silently ignored: it falls back
+    /// to the detected parallelism and prints one `ipdb: warning:` line
+    /// to stderr, once per process. Values above the executor's worker
+    /// clamp (64) are accepted as-is — `run_morsels` clamps them.
     pub fn from_env() -> ExecConfig {
-        let threads = std::env::var("IPDB_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
+        let raw = std::env::var("IPDB_THREADS").ok();
+        let (parsed, warning) = parse_threads_env(raw.as_deref());
+        if let Some(w) = warning {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| eprintln!("ipdb: warning: {w}"));
+        }
+        let threads = parsed.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
         ExecConfig::with_threads(threads)
+    }
+}
+
+/// The `IPDB_THREADS` parser behind [`ExecConfig::from_env`], split out
+/// so the fallback policy is unit-testable without touching the process
+/// environment: `(thread count if usable, warning if the value was set
+/// but unusable)`. An unset variable is not an error — `(None, None)`.
+fn parse_threads_env(raw: Option<&str>) -> (Option<usize>, Option<String>) {
+    let Some(raw) = raw else {
+        return (None, None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return (
+            None,
+            Some("IPDB_THREADS is set but empty; using detected parallelism".to_string()),
+        );
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => (
+            None,
+            Some(
+                "IPDB_THREADS=0 is invalid (need a positive integer); \
+                 using detected parallelism"
+                    .to_string(),
+            ),
+        ),
+        Ok(t) => (Some(t), None),
+        Err(_) => (
+            None,
+            Some(format!(
+                "IPDB_THREADS={trimmed:?} is not a positive integer; \
+                 using detected parallelism"
+            )),
+        ),
     }
 }
 
@@ -143,7 +194,17 @@ impl Pool {
                         loop {
                             match q.pop_front() {
                                 Some(job) => break job,
-                                None => q = shared.wake.wait(q).expect("pool queue mutex"),
+                                None => {
+                                    // Park/wake gauges use the global flag:
+                                    // no ExecConfig reaches the worker loop.
+                                    if ipdb_obs::enabled() {
+                                        ipdb_obs::incr("pool.parks");
+                                    }
+                                    q = shared.wake.wait(q).expect("pool queue mutex");
+                                    if ipdb_obs::enabled() {
+                                        ipdb_obs::incr("pool.wakes");
+                                    }
+                                }
                             }
                         }
                     };
@@ -155,6 +216,9 @@ impl Pool {
     }
 
     fn submit(&self, job: Job) {
+        if ipdb_obs::enabled() {
+            ipdb_obs::incr("pool.jobs");
+        }
         self.shared
             .queue
             .lock()
@@ -223,6 +287,13 @@ where
     // Hard worker clamp: more fan-out than morsels is useless, and the
     // pool should stay a bounded resource however `IPDB_THREADS` is set.
     let threads = cfg.threads.max(1).min(n_morsels.max(1)).min(64);
+    // Metrics are recorded once per stage / per participating thread —
+    // never per morsel, and never at all when `cfg.metrics` is off —
+    // which is what keeps the metrics-off overhead unmeasurable.
+    if cfg.metrics {
+        ipdb_obs::incr("exec.stages");
+        ipdb_obs::add("exec.morsels", n_morsels as u64);
+    }
     if threads <= 1 || n_morsels <= 1 {
         return (0..n_morsels)
             .map(|k| {
@@ -247,6 +318,14 @@ where
             }
             let (lo, hi) = span(k);
             local.push((k, f(lo, hi)));
+        }
+        // One registry touch per participating thread per stage: how
+        // many morsels this worker drained, keyed by its thread name
+        // (the calling thread reports as "caller").
+        if cfg.metrics && !local.is_empty() {
+            let who = std::thread::current();
+            let name = who.name().unwrap_or("caller");
+            ipdb_obs::add(&format!("pool.drained.{name}"), local.len() as u64);
         }
         let mut slots = slots.lock().expect("morsel slots mutex");
         for (k, out) in local {
@@ -324,6 +403,19 @@ fn par_join(
     residual: Option<&Pred>,
     cfg: &ExecConfig,
 ) -> Result<ColumnarInstance, RelError> {
+    par_join_impl(left, right, on, residual, cfg).map(|(out, _)| out)
+}
+
+/// [`par_join`] plus the build-side choice for `EXPLAIN ANALYZE`:
+/// `Some(build_left)` on the hash path, `None` when empty keys degrade
+/// the join to product + filter.
+fn par_join_impl(
+    left: &ColumnarInstance,
+    right: &ColumnarInstance,
+    on: &[(usize, usize)],
+    residual: Option<&Pred>,
+    cfg: &ExecConfig,
+) -> Result<(ColumnarInstance, Option<bool>), RelError> {
     let total = left.arity() + right.arity();
     let (keys, extra) = ipdb_rel::normalize_join_keys(on, left.arity(), total)?;
     if let Some(p) = residual {
@@ -333,9 +425,9 @@ fn par_join(
     if keys.is_empty() {
         let prod = left.product(right);
         return if filter == Pred::True {
-            Ok(prod)
+            Ok((prod, None))
         } else {
-            par_select(&prod, &filter, cfg)
+            par_select(&prod, &filter, cfg).map(|out| (out, None))
         };
     }
     let build_left = left.len() <= right.len();
@@ -365,11 +457,12 @@ fn par_join(
         ColumnarInstance::concat_pairs(left, right, &pairs)
     });
     let joined = ColumnarInstance::vstack(total, batches)?;
-    if filter == Pred::True {
-        Ok(joined)
+    let out = if filter == Pred::True {
+        joined
     } else {
-        par_select(&joined, &filter, cfg)
-    }
+        par_select(&joined, &filter, cfg)?
+    };
+    Ok((out, Some(build_left)))
 }
 
 /// Parallel row→column conversion for leaf relations: the tuple
@@ -461,6 +554,99 @@ where
     }
 }
 
+/// [`eval_columnar`] with per-operator tracing: same evaluation, same
+/// errors, but every node additionally reports cardinalities, the hash
+/// join's build side, and **inclusive** wall-clock time (each node's
+/// clock starts before its children evaluate, so the tree-wide sum of
+/// exclusive times equals the root's inclusive time by construction).
+/// The tracing cost is one `Instant` read pair and one small allocation
+/// per *operator* — never per row — so the traced path is safe to use
+/// on large inputs; the untraced twin exists so plain `execute` pays
+/// nothing at all.
+fn eval_columnar_traced<'a, F>(
+    lookup: &F,
+    q: &Query,
+    cfg: &ExecConfig,
+) -> Result<(ColumnarInstance, OpReport), RelError>
+where
+    F: Fn(&str) -> Result<&'a Instance, RelError>,
+{
+    let t0 = std::time::Instant::now();
+    let mut build_left = None;
+    let (out, children) = match q {
+        Query::Input => (from_rows_par(lookup(Schema::INPUT)?, cfg), Vec::new()),
+        Query::Second => (from_rows_par(lookup(Schema::SECOND)?, cfg), Vec::new()),
+        Query::Rel(name) => (from_rows_par(lookup(name)?, cfg), Vec::new()),
+        Query::Lit(i) => (ColumnarInstance::from_rows(i), Vec::new()),
+        Query::Project(cols, q) => {
+            let (c, r) = eval_columnar_traced(lookup, q, cfg)?;
+            (c.project(cols)?, vec![r])
+        }
+        Query::Select(p, q) => {
+            let (c, r) = eval_columnar_traced(lookup, q, cfg)?;
+            (par_select(&c, p, cfg)?, vec![r])
+        }
+        Query::Product(a, b) => {
+            let (ca, ra) = eval_columnar_traced(lookup, a, cfg)?;
+            let (cb, rb) = eval_columnar_traced(lookup, b, cfg)?;
+            (ca.product(&cb), vec![ra, rb])
+        }
+        Query::Join {
+            on,
+            residual,
+            left,
+            right,
+        } => {
+            let (cl, rl) = eval_columnar_traced(lookup, left, cfg)?;
+            let (cr, rr) = eval_columnar_traced(lookup, right, cfg)?;
+            let (joined, bl) = par_join_impl(&cl, &cr, on, residual.as_ref(), cfg)?;
+            build_left = bl;
+            (joined, vec![rl, rr])
+        }
+        Query::Union(a, b) => {
+            let (ca, ra) = eval_columnar_traced(lookup, a, cfg)?;
+            let (cb, rb) = eval_columnar_traced(lookup, b, cfg)?;
+            let a = to_rows_par(&ca, cfg);
+            let b = to_rows_par(&cb, cfg);
+            (ColumnarInstance::from_rows(&a.union(&b)?), vec![ra, rb])
+        }
+        Query::Diff(a, b) => {
+            let (ca, ra) = eval_columnar_traced(lookup, a, cfg)?;
+            let (cb, rb) = eval_columnar_traced(lookup, b, cfg)?;
+            let a = to_rows_par(&ca, cfg);
+            let b = to_rows_par(&cb, cfg);
+            (
+                ColumnarInstance::from_rows(&a.difference(&b)?),
+                vec![ra, rb],
+            )
+        }
+        Query::Intersect(a, b) => {
+            let (ca, ra) = eval_columnar_traced(lookup, a, cfg)?;
+            let (cb, rb) = eval_columnar_traced(lookup, b, cfg)?;
+            let a = to_rows_par(&ca, cfg);
+            let b = to_rows_par(&cb, cfg);
+            (ColumnarInstance::from_rows(&a.intersect(&b)?), vec![ra, rb])
+        }
+    };
+    let rows_out = out.len() as u64;
+    let rows_in = if children.is_empty() {
+        rows_out
+    } else {
+        children.iter().map(|c| c.rows_out).sum()
+    };
+    let report = OpReport {
+        label: query_label(q),
+        arity: out.arity(),
+        rows_in,
+        rows_out,
+        rows_pruned: 0,
+        ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        build_left,
+        children,
+    };
+    Ok((out, report))
+}
+
 /// Runs `q` against a single input relation (`V`) with an explicit
 /// configuration — the entry point the `Instance` backend uses (with
 /// [`ExecConfig::from_env`]) and the determinism oracles sweep.
@@ -493,6 +679,40 @@ pub fn run_instance_map(
     Ok(to_rows_par(&eval_columnar(&lookup, q, cfg)?, cfg))
 }
 
+/// [`run_instance`] with per-operator tracing — the `EXPLAIN ANALYZE`
+/// entry point for the single-relation case. The returned instance is
+/// identical to `run_instance`'s for every configuration.
+pub fn run_instance_traced(
+    input: &Instance,
+    q: &Query,
+    cfg: &ExecConfig,
+) -> Result<(Instance, OpReport), EngineError> {
+    let lookup = |name: &str| -> Result<&Instance, RelError> {
+        if name == Schema::INPUT {
+            Ok(input)
+        } else {
+            Err(RelError::missing_relation(name))
+        }
+    };
+    let (ci, report) = eval_columnar_traced(&lookup, q, cfg)?;
+    Ok((to_rows_par(&ci, cfg), report))
+}
+
+/// [`run_instance_map`] with per-operator tracing — the
+/// `EXPLAIN ANALYZE` entry point for named catalogs.
+pub fn run_instance_map_traced(
+    rels: &BTreeMap<String, Instance>,
+    q: &Query,
+    cfg: &ExecConfig,
+) -> Result<(Instance, OpReport), EngineError> {
+    let lookup = |name: &str| -> Result<&Instance, RelError> {
+        rels.get(name)
+            .ok_or_else(|| RelError::missing_relation(name))
+    };
+    let (ci, report) = eval_columnar_traced(&lookup, q, cfg)?;
+    Ok((to_rows_par(&ci, cfg), report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,10 +739,127 @@ mod tests {
     }
 
     #[test]
+    fn threads_env_parser_warns_on_unusable_values() {
+        // Unset: no thread count, no warning.
+        assert_eq!(parse_threads_env(None), (None, None));
+        // Usable values parse (whitespace trimmed), no warning.
+        assert_eq!(parse_threads_env(Some("8")), (Some(8), None));
+        assert_eq!(parse_threads_env(Some(" 4 ")), (Some(4), None));
+        assert_eq!(parse_threads_env(Some("1")), (Some(1), None));
+        // Values past the worker clamp are *kept* — run_morsels clamps
+        // fan-out to 64, so a huge-but-parseable count is not an error.
+        assert_eq!(parse_threads_env(Some("1000000")), (Some(1_000_000), None));
+        // Set-but-unusable values all fall back WITH a warning.
+        for bad in [
+            "",
+            "   ",
+            "0",
+            "four",
+            "8x",
+            "-2",
+            "3.5",
+            "99999999999999999999999999",
+        ] {
+            let (threads, warning) = parse_threads_env(Some(bad));
+            assert_eq!(threads, None, "IPDB_THREADS={bad:?} should not parse");
+            let warning = warning.unwrap_or_else(|| {
+                panic!("IPDB_THREADS={bad:?} should warn, not be silently ignored")
+            });
+            assert!(
+                warning.contains("IPDB_THREADS") && warning.contains("detected parallelism"),
+                "warning should name the variable and the fallback: {warning}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_executor_matches_untraced_and_times_nest() {
+        // First column unique → exactly 60 distinct rows survive the set.
+        let i = Instance::from_rows(2, (0..60i64).map(|x| [x, x % 5])).unwrap();
+        let q = Query::union(chain_query(), Query::product(Query::Input, Query::Input));
+        let expected = run_instance(&i, &q, &ExecConfig::serial()).unwrap();
+        for threads in [1usize, 4] {
+            let cfg = ExecConfig {
+                threads,
+                morsel_rows: 16,
+                metrics: false,
+            };
+            let (out, report) = run_instance_traced(&i, &q, &cfg).unwrap();
+            assert_eq!(out, expected, "threads={threads}");
+            // The report mirrors the query tree: union over (join, x).
+            assert_eq!(report.label, "union");
+            assert_eq!(report.children.len(), 2);
+            assert!(report.children[0].label.starts_with("join["));
+            assert_eq!(report.children[0].build_left, Some(true));
+            assert_eq!(report.children[1].label, "x");
+            assert_eq!(report.node_count(), 7);
+            // Cardinalities are real: the union's input is its children's
+            // output, and every node's output count is exact.
+            assert_eq!(report.rows_out, expected.len() as u64);
+            assert_eq!(
+                report.rows_in,
+                report.children[0].rows_out + report.children[1].rows_out
+            );
+            assert_eq!(report.children[1].rows_out, (60 * 60) as u64);
+            // Inclusive timing: parents cover their children, and the
+            // exclusive times sum back to the root's inclusive time.
+            for c in &report.children {
+                assert!(c.ns <= report.ns, "child clock exceeds parent");
+            }
+            assert_eq!(report.total_exclusive_ns(), report.ns);
+        }
+    }
+
+    #[test]
+    fn traced_executor_mirrors_untraced_errors() {
+        let i = instance![[1, 2]];
+        let cfg = ExecConfig::serial();
+        let q = Query::rel("R");
+        assert!(matches!(
+            run_instance_traced(&i, &q, &cfg),
+            Err(EngineError::Rel(RelError::UnknownRelation { .. }))
+        ));
+        let q = Query::select(Query::Input, Pred::eq_cols(0, 9));
+        assert_eq!(
+            run_instance_traced(&i, &q, &cfg).map(|(out, _)| out),
+            Err(EngineError::Rel(RelError::ColumnOutOfRange {
+                col: 9,
+                arity: 2
+            }))
+        );
+    }
+
+    #[test]
+    fn metrics_flow_into_registry_when_config_asks() {
+        // Per-config opt-in, not the global flag: a metrics:true config
+        // records stage/morsel counters even with the flag off.
+        let before = ipdb_obs::counter("exec.stages").get();
+        let before_morsels = ipdb_obs::counter("exec.morsels").get();
+        let cfg = ExecConfig {
+            threads: 1,
+            morsel_rows: 4,
+            metrics: true,
+        };
+        let out = run_morsels(16, &cfg, |lo, hi| hi - lo);
+        assert_eq!(out.iter().sum::<usize>(), 16);
+        assert_eq!(ipdb_obs::counter("exec.stages").get(), before + 1);
+        assert_eq!(ipdb_obs::counter("exec.morsels").get(), before_morsels + 4);
+        // And a metrics:false config records nothing.
+        let cfg_off = ExecConfig {
+            metrics: false,
+            ..cfg
+        };
+        run_morsels(16, &cfg_off, |lo, hi| hi - lo);
+        assert_eq!(ipdb_obs::counter("exec.stages").get(), before + 1);
+        assert_eq!(ipdb_obs::counter("exec.morsels").get(), before_morsels + 4);
+    }
+
+    #[test]
     fn run_morsels_is_order_deterministic() {
         let cfg = ExecConfig {
             threads: 8,
             morsel_rows: 3,
+            ..ExecConfig::serial()
         };
         let out = run_morsels(25, &cfg, |lo, hi| (lo, hi));
         let expected: Vec<(usize, usize)> =
@@ -541,6 +878,7 @@ mod tests {
         let cfg = ExecConfig {
             threads: 4,
             morsel_rows: 1,
+            ..ExecConfig::serial()
         };
         // A panicking morsel payload propagates (whichever thread ran
         // it) without deadlocking the caller...
@@ -566,6 +904,7 @@ mod tests {
                 let cfg = ExecConfig {
                     threads,
                     morsel_rows,
+                    ..ExecConfig::serial()
                 };
                 assert_eq!(
                     run_instance(&i, &q, &cfg).unwrap(),

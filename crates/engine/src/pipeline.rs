@@ -10,15 +10,18 @@
 //! [`Engine::prepare_text_schema`]) and execute against a [`Catalog`]
 //! ([`Prepared::execute_catalog`]).
 
+use std::time::Instant;
+
 use ipdb_prob::{PcTable, Weight};
 use ipdb_rel::{Instance, Query, Schema, Tuple};
 
 use crate::backend::{Backend, Catalog};
 use crate::error::EngineError;
 use crate::morsel::ExecConfig;
-use crate::optimize::optimize_plan;
+use crate::optimize::{optimize_plan_stats, OptimizeStats};
 use crate::parser;
 use crate::plan::Plan;
+use crate::report::{OpReport, QueryReport};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -48,10 +51,26 @@ impl Engine {
     /// Plans and optimizes a query over an arbitrary named [`Schema`].
     pub fn prepare_schema(&self, q: &Query, schema: &Schema) -> Result<Prepared, EngineError> {
         let naive = Plan::from_query_schema(q, schema)?;
-        let optimized = if self.optimize {
-            optimize_plan(&naive)
+        let (optimized, optimize_stats) = if self.optimize {
+            let (optimized, stats) = optimize_plan_stats(&naive);
+            // Same invariant `optimize_plan` pins: the pass bound must
+            // have sufficed (see `crate::optimize`).
+            debug_assert!(
+                stats.converged,
+                "optimizer exhausted its fixpoint bound without converging \
+                 ({} passes on a depth-{} plan)",
+                stats.passes,
+                naive.depth()
+            );
+            (optimized, stats)
         } else {
-            naive.clone()
+            (
+                naive.clone(),
+                OptimizeStats {
+                    passes: 0,
+                    converged: true,
+                },
+            )
         };
         // Lower both plans once here so repeated `execute` calls don't
         // pay a per-call plan-to-AST conversion.
@@ -63,6 +82,7 @@ impl Engine {
             optimized,
             naive_query,
             optimized_query,
+            optimize_stats,
         })
     }
 
@@ -88,6 +108,7 @@ pub struct Prepared {
     optimized: Plan,
     naive_query: Query,
     optimized_query: Query,
+    optimize_stats: OptimizeStats,
 }
 
 impl Prepared {
@@ -252,6 +273,131 @@ impl Prepared {
         Ok(PcTable::run_catalog(cat, &self.naive_query)?
             .mod_space()?
             .marginals())
+    }
+
+    /// What the optimizer's fixpoint loop did when this statement was
+    /// prepared (pass count, convergence). `passes == 0` means the
+    /// optimizer was disabled.
+    pub fn optimize_stats(&self) -> OptimizeStats {
+        self.optimize_stats
+    }
+
+    /// Wraps an executed operator tree into a [`QueryReport`] with this
+    /// statement's context.
+    fn report<B: Backend>(&self, root: OpReport, started: Instant) -> QueryReport {
+        QueryReport {
+            backend: B::NAME,
+            root,
+            total_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            optimize: self.optimize_stats,
+            bdd: None,
+        }
+    }
+
+    /// [`Prepared::execute`] with **`EXPLAIN ANALYZE` instrumentation**:
+    /// the identical output, plus a [`QueryReport`] recording what every
+    /// operator of the optimized plan did — cardinalities, selectivity,
+    /// inclusive/exclusive timings, the hash join's build side, and (on
+    /// the c-/pc-table backends) rows pruned by condition
+    /// simplification.
+    pub fn execute_analyzed<B: Backend>(
+        &self,
+        input: &B,
+    ) -> Result<(B::Output, QueryReport), EngineError> {
+        self.check_arity(input)?;
+        let t0 = Instant::now();
+        let (out, root) = input.run_analyzed(&self.optimized_query)?;
+        Ok((out, self.report::<B>(root, t0)))
+    }
+
+    /// [`Prepared::execute_analyzed`] on the [`Instance`] backend with
+    /// an explicit [`ExecConfig`] (see [`Prepared::execute_with`]).
+    pub fn execute_analyzed_with(
+        &self,
+        input: &Instance,
+        cfg: &ExecConfig,
+    ) -> Result<(Instance, QueryReport), EngineError> {
+        self.check_arity(input)?;
+        let t0 = Instant::now();
+        let (out, root) = crate::morsel::run_instance_traced(input, &self.optimized_query, cfg)?;
+        Ok((out, self.report::<Instance>(root, t0)))
+    }
+
+    /// [`Prepared::execute_catalog`] with `EXPLAIN ANALYZE`
+    /// instrumentation (see [`Prepared::execute_analyzed`]).
+    pub fn execute_catalog_analyzed<B: Backend>(
+        &self,
+        cat: &Catalog<B>,
+    ) -> Result<(B::Output, QueryReport), EngineError> {
+        self.check_catalog(cat)?;
+        let t0 = Instant::now();
+        let (out, root) = B::run_catalog_analyzed(cat, &self.optimized_query)?;
+        Ok((out, self.report::<B>(root, t0)))
+    }
+
+    /// [`Prepared::execute_catalog_analyzed`] on the [`Instance`]
+    /// backend with an explicit [`ExecConfig`].
+    pub fn execute_catalog_analyzed_with(
+        &self,
+        cat: &Catalog<Instance>,
+        cfg: &ExecConfig,
+    ) -> Result<(Instance, QueryReport), EngineError> {
+        self.check_catalog(cat)?;
+        let t0 = Instant::now();
+        let (out, root) =
+            crate::morsel::run_instance_map_traced(cat.rels(), &self.optimized_query, cfg)?;
+        Ok((out, self.report::<Instance>(root, t0)))
+    }
+
+    /// [`Prepared::answer_dist`] with `EXPLAIN ANALYZE` instrumentation:
+    /// the identical distribution, plus a [`QueryReport`] whose operator
+    /// tree covers the pruning c-table execution and whose
+    /// [`QueryReport::bdd`] reports the shared `BddManager`'s counters
+    /// from the WMC phase (node allocations, unique-table and
+    /// apply-cache hit rates, WMC call count).
+    pub fn answer_dist_analyzed<W: Weight>(
+        &self,
+        pc: &PcTable<W>,
+    ) -> Result<(Vec<(Tuple, W)>, QueryReport), EngineError> {
+        self.check_arity(pc)?;
+        let t0 = Instant::now();
+        let (answer, root) = pc.run_analyzed(&self.optimized_query)?;
+        let (dist, bdd) = answer.marginals_bdd_traced()?;
+        let mut report = self.report::<PcTable<W>>(root, t0);
+        report.bdd = Some(bdd);
+        Ok((dist, report))
+    }
+
+    /// [`Prepared::answer_dist_catalog`] with `EXPLAIN ANALYZE`
+    /// instrumentation (see [`Prepared::answer_dist_analyzed`]).
+    pub fn answer_dist_catalog_analyzed<W: Weight>(
+        &self,
+        cat: &Catalog<PcTable<W>>,
+    ) -> Result<(Vec<(Tuple, W)>, QueryReport), EngineError> {
+        self.check_catalog(cat)?;
+        let t0 = Instant::now();
+        let (answer, root) = PcTable::run_catalog_analyzed(cat, &self.optimized_query)?;
+        let (dist, bdd) = answer.marginals_bdd_traced()?;
+        let mut report = self.report::<PcTable<W>>(root, t0);
+        report.bdd = Some(bdd);
+        Ok((dist, report))
+    }
+
+    /// Executes against `input` and renders the annotated operator tree
+    /// — `EXPLAIN ANALYZE` for humans (the output itself is discarded;
+    /// use [`Prepared::execute_analyzed`] to keep both).
+    pub fn explain_analyze<B: Backend>(&self, input: &B) -> Result<String, EngineError> {
+        let (_, report) = self.execute_analyzed(input)?;
+        Ok(report.render())
+    }
+
+    /// [`Prepared::explain_analyze`] against a named catalog.
+    pub fn explain_analyze_catalog<B: Backend>(
+        &self,
+        cat: &Catalog<B>,
+    ) -> Result<String, EngineError> {
+        let (_, report) = self.execute_catalog_analyzed(cat)?;
+        Ok(report.render())
     }
 
     fn check_arity<B: Backend>(&self, input: &B) -> Result<(), EngineError> {
@@ -539,6 +685,104 @@ mod tests {
         assert_eq!(bdd, stmt.answer_dist_catalog_enum(&cat).unwrap());
         // R ∩ S holds t iff x = t ∧ y = t ∧ x ≠ y: impossible.
         assert!(bdd.is_empty());
+    }
+
+    #[test]
+    fn execute_analyzed_matches_execute_and_reports_consistently() {
+        let stmt = Engine::new()
+            .prepare_text("pi[1](sigma[and(#0=1,#1=#3)](V x V))", 2)
+            .unwrap();
+        let i = instance![[1, 10], [2, 10], [2, 20]];
+        let (out, report) = stmt.execute_analyzed(&i).unwrap();
+        assert_eq!(out, stmt.execute(&i).unwrap());
+        assert_eq!(report.backend, "instance");
+        // The caller's clock wraps the operator tree's.
+        assert!(report.root.ns <= report.total_ns);
+        assert_eq!(report.root.total_exclusive_ns(), report.root.ns);
+        assert_eq!(report.root.rows_out, out.len() as u64);
+        // Optimizer context rides along.
+        assert_eq!(report.optimize, stmt.optimize_stats());
+        assert!(report.optimize.converged);
+        assert!(report.optimize.passes >= 1);
+        // And the rendered form carries the header + annotated tree.
+        let text = stmt.explain_analyze(&i).unwrap();
+        assert!(
+            text.contains("EXPLAIN ANALYZE (backend: instance"),
+            "{text}"
+        );
+        assert!(text.contains("rows:"), "{text}");
+
+        // A disabled optimizer reports 0 passes.
+        let stmt_off = Engine { optimize: false }.prepare_text("V", 2).unwrap();
+        assert_eq!(stmt_off.optimize_stats().passes, 0);
+        assert!(stmt_off.optimize_stats().converged);
+
+        // Arity mismatches reject before any execution, as in execute.
+        let narrow = Instance::empty(1);
+        assert!(matches!(
+            stmt.execute_analyzed(&narrow),
+            Err(EngineError::InputArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn analyzed_catalog_and_config_variants_agree() {
+        let schema = Schema::new([("R", 2), ("S", 2)]).unwrap();
+        let stmt = Engine::new()
+            .prepare_text_schema("join[#0=#2](R, S)", &schema)
+            .unwrap();
+        let cat: Catalog<Instance> = [
+            ("R", instance![[1, 2], [5, 6]]),
+            ("S", instance![[1, 9], [6, 0]]),
+        ]
+        .into_iter()
+        .collect();
+        let expected = stmt.execute_catalog(&cat).unwrap();
+        let (out, report) = stmt.execute_catalog_analyzed(&cat).unwrap();
+        assert_eq!(out, expected);
+        assert!(report.root.label.starts_with("join["));
+        assert_eq!(report.root.build_left, Some(true));
+        let cfg = ExecConfig {
+            threads: 2,
+            morsel_rows: 1,
+            metrics: false,
+        };
+        let (out2, report2) = stmt.execute_catalog_analyzed_with(&cat, &cfg).unwrap();
+        assert_eq!(out2, expected);
+        assert_eq!(report2.root.rows_out, report.root.rows_out);
+        assert!(stmt
+            .explain_analyze_catalog(&cat)
+            .unwrap()
+            .contains("EXPLAIN ANALYZE"));
+    }
+
+    #[test]
+    fn answer_dist_analyzed_matches_and_reports_bdd_stats() {
+        use ipdb_logic::{Condition, VarGen};
+        use ipdb_prob::{rat, FiniteSpace, PcTable};
+        use ipdb_rel::Value;
+        use ipdb_tables::{t_const, t_var, CTable};
+
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::builder(1)
+            .row([t_var(x)], Condition::True)
+            .row([t_const(9)], Condition::eq_vv(x, y))
+            .build()
+            .unwrap();
+        let uniform =
+            |n: i64| FiniteSpace::new((0..n).map(|i| (Value::from(i), rat!(1, n)))).unwrap();
+        let pc = PcTable::new(t, [(x, uniform(3)), (y, uniform(3))]).unwrap();
+        let stmt = Engine::new()
+            .prepare_text("sigma[#0!=1](V union {(9)})", 1)
+            .unwrap();
+        let (dist, report) = stmt.answer_dist_analyzed(&pc).unwrap();
+        assert_eq!(dist, stmt.answer_dist(&pc).unwrap());
+        assert_eq!(report.backend, "pc-table");
+        let bdd = report.bdd.expect("probabilistic reports carry BDD stats");
+        assert!(bdd.nodes_allocated > 0);
+        assert!(bdd.wmc_calls > 0);
+        assert!(report.render().contains("bdd:"), "{}", report.render());
     }
 
     #[test]

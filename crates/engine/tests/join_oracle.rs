@@ -329,7 +329,7 @@ proptest! {
         let opt = Engine::new().prepare(&q, 2).unwrap();
         let naive = Engine { optimize: false }.prepare(&q, 2).unwrap();
         for (threads, morsel_rows) in EXEC_SWEEP {
-            let cfg = ExecConfig { threads, morsel_rows };
+            let cfg = ExecConfig { threads, morsel_rows, metrics: false };
             prop_assert_eq!(
                 naive.execute_with(&i, &cfg).unwrap(),
                 expected.clone(),
@@ -354,7 +354,7 @@ proptest! {
         let expected = naive.eval(&i).unwrap();
         let stmt = Engine { optimize: false }.prepare(&join, 2).unwrap();
         for (threads, morsel_rows) in EXEC_SWEEP {
-            let cfg = ExecConfig { threads, morsel_rows };
+            let cfg = ExecConfig { threads, morsel_rows, metrics: false };
             prop_assert_eq!(
                 stmt.execute_with(&i, &cfg).unwrap(),
                 expected.clone(),
@@ -383,7 +383,7 @@ proptest! {
             .collect();
         let expected = q.eval_catalog(&map).unwrap();
         for (threads, morsel_rows) in EXEC_SWEEP {
-            let cfg = ExecConfig { threads, morsel_rows };
+            let cfg = ExecConfig { threads, morsel_rows, metrics: false };
             prop_assert_eq!(
                 stmt.execute_catalog_with(&cat, &cfg).unwrap(),
                 expected.clone(),

@@ -45,7 +45,7 @@ pub mod space;
 pub use chain::{ChainPcTable, CondDist};
 pub use complete::theorem8_table;
 pub use error::ProbError;
-pub use ipdb_bdd::Weight;
+pub use ipdb_bdd::{BddStats, Weight};
 pub use pctable::{BooleanPcTable, PcTable, VarDists};
 pub use pdb::PDatabase;
 pub use porset::{PCell, POrSetTable};

@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use ipdb_bdd::{BddManager, FdEncoding, Weight};
+use ipdb_bdd::{BddManager, BddStats, FdEncoding, Weight};
 use ipdb_logic::{Condition, Valuation, Var};
 use ipdb_rel::{Domain, Query, Tuple, Value};
 use ipdb_tables::{BooleanCTable, CTable};
@@ -280,6 +280,15 @@ impl<W: Weight> PcTable<W> {
     /// the apply cache make later tuples' compilations reuse earlier
     /// ones).
     pub fn marginals_bdd(&self) -> Result<Vec<(Tuple, W)>, ProbError> {
+        self.marginals_bdd_traced().map(|(out, _)| out)
+    }
+
+    /// [`PcTable::marginals_bdd`] with the shared manager's lifetime
+    /// counters ([`BddStats`]) returned alongside the distribution —
+    /// how the engine's `answer_dist_analyzed` reports unique-table and
+    /// apply-cache behavior. The distribution is computed identically
+    /// (same manager, same compilation order).
+    pub fn marginals_bdd_traced(&self) -> Result<(Vec<(Tuple, W)>, BddStats), ProbError> {
         let (mut mgr, enc, bw) = self.bdd_ctx()?;
         let mut out = Vec::new();
         for t in crate::answering::candidate_tuples(self)? {
@@ -290,7 +299,7 @@ impl<W: Weight> PcTable<W> {
                 out.push((t, p));
             }
         }
-        Ok(out)
+        Ok((out, mgr.stats()))
     }
 
     /// The full answer distribution of `q` — every possible answer tuple

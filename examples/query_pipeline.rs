@@ -142,4 +142,30 @@ fn main() {
     println!("Takes ⋈ Passed = {passed_what_they_take}");
     assert_eq!(passed_what_they_take, instance![["Alice", "math"]]);
     println!("named-relation catalog execution ✓");
+
+    // ------------------------------------------------------------------
+    // Observability: every execution path has an `_analyzed` twin that
+    // additionally returns a `QueryReport` — the executed operator tree
+    // annotated with exact row counts, selectivities, and wall-clock
+    // timings, plus BDD-manager counters on the probabilistic path.
+    // (`IPDB_METRICS=1` further streams engine-wide counters into the
+    // global `ipdb::obs` registry; the reports below need no flag.)
+    // ------------------------------------------------------------------
+    let (analyzed, report) = joined
+        .execute_catalog_analyzed(&cat)
+        .expect("schema matches catalog");
+    assert_eq!(analyzed, passed_what_they_take);
+    println!("\n{}", report.render());
+    let (dist, prob_report) = stmt2
+        .answer_dist_analyzed(&pc)
+        .expect("finite distributions");
+    assert!(dist
+        .iter()
+        .any(|(t, p)| t == &tuple!["Bob"] && *p == rat!(7, 10)));
+    println!("{}", prob_report.render());
+    assert!(
+        prob_report.bdd.is_some(),
+        "pc-table reports carry BDD stats"
+    );
+    println!("EXPLAIN ANALYZE ✓");
 }

@@ -16,6 +16,7 @@
 //! | [`provenance`] | `ipdb-provenance` | semiring provenance; the §9 lineage connection |
 //! | [`theory`] | `ipdb-core` | RA-completeness, finite completeness, algebraic completion, non-closure, probabilistic completeness/closure |
 //! | [`engine`] | `ipdb-engine` | query pipeline: RA surface parser, logical plans, rule-based optimizer, unified executor over all three backends |
+//! | [`obs`] | `ipdb-obs` | observability: global metric counters/timers behind a zero-cost-when-off flag (`IPDB_METRICS`) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use ipdb_bdd as bdd;
 pub use ipdb_core as theory;
 pub use ipdb_engine as engine;
 pub use ipdb_logic as logic;
+pub use ipdb_obs as obs;
 pub use ipdb_prob as prob;
 pub use ipdb_provenance as provenance;
 pub use ipdb_rel as rel;
@@ -65,7 +67,9 @@ pub mod prelude {
 
     pub use ipdb_prob::{BooleanPcTable, PDatabase, POrSetTable, PTable, PcTable, Rat, Weight};
 
-    pub use ipdb_engine::{Backend, Catalog, Engine, EngineError, Prepared};
+    pub use ipdb_engine::{
+        Backend, Catalog, Engine, EngineError, ExecConfig, OpReport, Prepared, QueryReport,
+    };
 
     pub use ipdb_core as theory;
 }
