@@ -25,12 +25,16 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ipdb_bench::{
-    chain_pc_catalog, chain_schema, parallel_build_side, parallel_probe_side, parallel_schema,
-    prob_smoke_pctable, random_chain_catalog, random_ctable, skewed_instance, ENGINE_CHAIN_NAIVE,
+    chain_pc_catalog, chain_schema, leaf_reuse_ctable, parallel_build_side, parallel_probe_side,
+    parallel_schema, prob_smoke_pctable, random_chain_catalog, random_ctable, serve_catalog,
+    serve_query_pool, serve_relation, serve_trace, skewed_instance, ServeOp, ENGINE_CHAIN_NAIVE,
     ENGINE_PARALLEL_JOIN, ENGINE_PRODUCT_HEAVY as PRODUCT_HEAVY,
     ENGINE_PRODUCT_HEAVY_PUSHED as PRODUCT_HEAVY_PUSHED, PROB_SMOKE_QUERY,
 };
-use ipdb_engine::{Backend, Catalog, Engine, ExecConfig};
+use ipdb_engine::{
+    Backend, Catalog, Engine, ExecConfig, PlanCache, Request, Server, ServerConfig, SnapshotCatalog,
+};
+use ipdb_rel::Instance;
 
 /// Median-of-runs wall-clock timer with quick-mode caps: 2 warmup runs,
 /// then up to `max_iters` timed runs or ~250 ms, whichever first.
@@ -339,18 +343,219 @@ fn main() {
          the apply cache: {bdd:?}"
     );
 
+    // Serving-layer traffic series: a Zipf-skewed ~90/10 read/write
+    // trace over 8 small relations, answered four ways. The
+    // single-threaded pair isolates the plan cache — "cold" prepares
+    // every read from scratch (serving without a cache), "warm" serves
+    // the same trace from a primed `PlanCache` — and carries the
+    // tentpole's floor: warm qps >= 2x cold. The server pair runs the
+    // full queue + worker machinery at 1 vs all-cores workers; with
+    // >= 2 cores the multi-threaded server must at least break even.
+    const SERVE_ROWS: usize = 16;
+    const SERVE_POOL: usize = 48;
+    const SERVE_TRACE_LEN: usize = 384;
+    let serve_sch = ipdb_bench::serve_schema();
+    let pool = serve_query_pool(SERVE_POOL, 0x21F);
+    let trace = serve_trace(SERVE_POOL, SERVE_TRACE_LEN, 0x7AFF);
+    let serve_engine = Engine::new();
+    // Requests execute the way the server runs them: serially per
+    // request, parallelism coming from concurrent workers.
+    let serve_exec = ExecConfig::serial();
+
+    // Cached and fresh prepares must answer identically on every
+    // template before anything is timed.
+    {
+        let cache = PlanCache::new(SERVE_POOL);
+        let cat = serve_catalog(SERVE_ROWS);
+        for text in &pool {
+            let fresh = serve_engine.prepare_text_schema(text, &serve_sch).unwrap();
+            let cached = cache.prepare_text(&serve_engine, text, &serve_sch).unwrap();
+            assert_eq!(
+                fresh.execute_catalog(&cat).unwrap(),
+                cached.execute_catalog(&cat).unwrap(),
+                "cached plan diverged on {text}"
+            );
+        }
+    }
+
+    let apply_write = |snaps: &SnapshotCatalog<Instance>, rel: usize, shift: i64| {
+        snaps.update(|c| {
+            c.insert(format!("Z{rel}"), serve_relation(SERVE_ROWS, shift));
+        });
+    };
+    let run_cold = |snaps: &SnapshotCatalog<Instance>| {
+        for op in &trace {
+            match op {
+                ServeOp::Read(i) => {
+                    let snap = snaps.snapshot();
+                    serve_engine
+                        .prepare_text_schema(&pool[*i], snap.schema())
+                        .unwrap()
+                        .execute_catalog_cfg(snap.catalog(), &serve_exec)
+                        .unwrap();
+                }
+                ServeOp::Write { rel, shift } => apply_write(snaps, *rel, *shift),
+            }
+        }
+    };
+    let warm_cache = PlanCache::new(SERVE_POOL * 2);
+    let run_warm = |snaps: &SnapshotCatalog<Instance>| {
+        for op in &trace {
+            match op {
+                ServeOp::Read(i) => {
+                    let snap = snaps.snapshot();
+                    warm_cache
+                        .prepare_text(&serve_engine, &pool[*i], snap.schema())
+                        .unwrap()
+                        .execute_catalog_cfg(snap.catalog(), &serve_exec)
+                        .unwrap();
+                }
+                ServeOp::Write { rel, shift } => apply_write(snaps, *rel, *shift),
+            }
+        }
+    };
+    // Prime the warm cache (one untimed pass fills every template).
+    run_warm(&SnapshotCatalog::new(serve_catalog(SERVE_ROWS)));
+
+    let server_1 =
+        Server::<Instance>::start(serve_catalog(SERVE_ROWS), ServerConfig::with_threads(1));
+    let server_n =
+        Server::<Instance>::start(serve_catalog(SERVE_ROWS), ServerConfig::with_threads(cores));
+    let run_server = |server: &Server<Instance>| {
+        let mut tickets = Vec::with_capacity(trace.len());
+        for op in &trace {
+            let req = match op {
+                ServeOp::Read(i) => Request::Query(pool[*i].clone()),
+                ServeOp::Write { rel, shift } => Request::Install {
+                    name: format!("Z{rel}"),
+                    rel: serve_relation(SERVE_ROWS, *shift),
+                },
+            };
+            tickets.push(server.submit(req));
+        }
+        for t in tickets {
+            t.wait().expect("trace request failed");
+        }
+    };
+    // Prime both servers' plan caches.
+    run_server(&server_1);
+    run_server(&server_n);
+
+    let serve_floors_ok = |warm_speedup: f64, multi_speedup: f64| {
+        warm_speedup >= 2.0 && (cores < 2 || multi_speedup >= 0.95)
+    };
+    let (mut serve_cold, mut serve_warm, mut serve_srv1, mut serve_srvn) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for attempt in 1..=3 {
+        let (mut cold, mut warm, mut s1, mut sn) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..8 {
+            cold = cold.min(once(&mut || {
+                run_cold(&SnapshotCatalog::new(serve_catalog(SERVE_ROWS)));
+            }));
+            warm = warm.min(once(&mut || {
+                run_warm(&SnapshotCatalog::new(serve_catalog(SERVE_ROWS)));
+            }));
+            s1 = s1.min(once(&mut || run_server(&server_1)));
+            sn = sn.min(once(&mut || run_server(&server_n)));
+        }
+        (serve_cold, serve_warm, serve_srv1, serve_srvn) = (cold, warm, s1, sn);
+        if serve_floors_ok(cold / warm, s1 / sn) {
+            break;
+        }
+        eprintln!(
+            "bench_smoke: serving series below floor on pass {attempt} \
+             (warm {:.2}x, multi {:.2}x), re-measuring",
+            cold / warm,
+            s1 / sn
+        );
+    }
+    let qps_of = |ns: f64| SERVE_TRACE_LEN as f64 / (ns * 1e-9);
+    let (qps_cold, qps_warm, qps_srv1, qps_srvn) = (
+        qps_of(serve_cold),
+        qps_of(serve_warm),
+        qps_of(serve_srv1),
+        qps_of(serve_srvn),
+    );
+    let speedup_warm_cache = serve_cold / serve_warm;
+    let speedup_server_multi = serve_srv1 / serve_srvn;
+    server_1.shutdown();
+    server_n.shutdown();
+
+    // Catalog-leaf-reuse series: before Arc-shared catalog leaves, the
+    // c-/pc-table `run_catalog` paths deep-cloned every referenced
+    // relation per query. "before_emulated" re-adds exactly that clone
+    // to today's execution; "after" is the shipping path, which borrows
+    // the leaf out of the snapshot. The floor pins the bugfix: the
+    // clone-free path must stay comfortably ahead.
+    const LEAF_ROWS: usize = 8192;
+    let leaf_sch = ipdb_engine::Schema::new([("C", 2)]).expect("one name");
+    let leaf_stmt = Engine::new()
+        .prepare_text_schema("pi[0](sigma[#0=3](C))", &leaf_sch)
+        .expect("well-typed");
+    let mut leaf_cat = Catalog::new();
+    leaf_cat.insert("C", leaf_reuse_ctable(LEAF_ROWS));
+    let (mut leaf_before, mut leaf_after) = (f64::INFINITY, f64::INFINITY);
+    for attempt in 1..=3 {
+        let (mut before, mut after) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..8 {
+            before = before.min(once(&mut || {
+                // The per-query deep clone the old leaf execution paid.
+                std::hint::black_box(leaf_cat.get("C").unwrap().clone());
+                leaf_stmt.execute_catalog(&leaf_cat).unwrap();
+            }));
+            after = after.min(once(&mut || {
+                leaf_stmt.execute_catalog(&leaf_cat).unwrap();
+            }));
+        }
+        (leaf_before, leaf_after) = (before, after);
+        if before / after >= 1.15 {
+            break;
+        }
+        eprintln!(
+            "bench_smoke: leaf-reuse series below floor on pass {attempt} \
+             ({:.2}x), re-measuring",
+            before / after
+        );
+    }
+    let speedup_leaf = leaf_before / leaf_after;
+
     // Metrics snapshot: one instrumented pass over the parallel join
-    // with the global flag up, exported alongside the timing figures.
+    // plus a short serving burst with the global flag up, exported
+    // alongside the timing figures.
     ipdb_obs::reset();
     ipdb_obs::set_enabled(true);
     par_stmt.execute_catalog_with(&par_cat, &cfg_on).unwrap();
     chain_stmt.answer_dist_catalog_analyzed(&chain_pc).unwrap();
+    {
+        let server =
+            Server::<Instance>::start(serve_catalog(SERVE_ROWS), ServerConfig::with_threads(2));
+        for text in pool.iter().take(4) {
+            server.query(text).expect("burst query");
+            server.query(text).expect("burst query");
+        }
+        server
+            .install("Z0", serve_relation(SERVE_ROWS, 9))
+            .expect("burst install");
+        server.shutdown();
+    }
     ipdb_obs::set_enabled(false);
     let snapshot = ipdb_obs::snapshot();
     assert!(
         snapshot.to_json().contains("exec.morsels"),
         "instrumented run must record morsel counters"
     );
+    for key in [
+        "serve.requests",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.snapshot.installs",
+    ] {
+        assert!(
+            snapshot.to_json().contains(key),
+            "instrumented serving burst must record {key}"
+        );
+    }
     std::fs::write("BENCH_metrics.json", snapshot.to_json()).expect("write BENCH_metrics.json");
 
     let speedup_inst = inst_naive / inst_join;
@@ -415,6 +620,32 @@ fn main() {
         "    \"speedup_parallel_over_serial\": {speedup_parallel:.2}"
     );
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"serve_traffic\": {{");
+    let _ = writeln!(out, "    \"unit\": \"qps\",");
+    let _ = writeln!(out, "    \"relations\": {},", ipdb_bench::SERVE_RELS);
+    let _ = writeln!(out, "    \"rows_per_relation\": {SERVE_ROWS},");
+    let _ = writeln!(out, "    \"query_pool\": {SERVE_POOL},");
+    let _ = writeln!(out, "    \"trace_len\": {SERVE_TRACE_LEN},");
+    let _ = writeln!(out, "    \"threads\": {cores},");
+    let _ = writeln!(out, "    \"qps_cold_1thread\": {qps_cold:.0},");
+    let _ = writeln!(out, "    \"qps_warm_1thread\": {qps_warm:.0},");
+    let _ = writeln!(out, "    \"qps_server_1thread\": {qps_srv1:.0},");
+    let _ = writeln!(out, "    \"qps_server_multithread\": {qps_srvn:.0},");
+    let _ = writeln!(
+        out,
+        "    \"speedup_warm_over_cold\": {speedup_warm_cache:.2},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"speedup_multi_over_single\": {speedup_server_multi:.2}"
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"catalog_leaf_reuse_{LEAF_ROWS}\": {{");
+    let _ = writeln!(out, "    \"workload\": \"pi[0](sigma[#0=3](C))\",");
+    let _ = writeln!(out, "    \"before_emulated\": {leaf_before:.0},");
+    let _ = writeln!(out, "    \"after\": {leaf_after:.0},");
+    let _ = writeln!(out, "    \"speedup_after_over_before\": {speedup_leaf:.2}");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"metrics_overhead\": {{");
     let _ = writeln!(out, "    \"workload\": \"{ENGINE_PARALLEL_JOIN}\",");
     let _ = writeln!(out, "    \"probe_rows\": {PAR_PROBE},");
@@ -477,11 +708,31 @@ fn main() {
         "metrics-on execution must stay within 5% of metrics-off on the \
          {PAR_PROBE}-row probe join, measured {metrics_overhead:.3}x"
     );
+    assert!(
+        speedup_warm_cache >= 2.0,
+        "a warm plan cache must serve the Zipf trace at >= 2x cold qps, \
+         measured {speedup_warm_cache:.2}x ({qps_cold:.0} -> {qps_warm:.0} qps)"
+    );
+    if cores >= 2 {
+        assert!(
+            speedup_server_multi >= 0.95,
+            "the {cores}-worker server must at least break even with the \
+             1-worker server on the Zipf trace, measured \
+             {speedup_server_multi:.2}x ({qps_srv1:.0} -> {qps_srvn:.0} qps)"
+        );
+    }
+    assert!(
+        speedup_leaf >= 1.15,
+        "Arc-shared catalog leaves must beat the emulated per-query deep \
+         clone on the {LEAF_ROWS}-row c-table, measured {speedup_leaf:.2}x"
+    );
     println!(
         "bench_smoke: ok (instance {speedup_inst:.1}x, c-table {speedup_ct:.1}x, \
          pc-table prob {speedup_prob:.1}x, chain {speedup_chain:.1}x, \
          chain prob {speedup_chain_prob:.1}x, columnar {speedup_columnar:.1}x, \
          parallel {speedup_parallel:.1}x @ {cores} threads, metrics overhead \
-         {metrics_overhead:.3}x) -> BENCH_engine.json + BENCH_metrics.json"
+         {metrics_overhead:.3}x, warm cache {speedup_warm_cache:.1}x, \
+         server multi {speedup_server_multi:.2}x, leaf reuse {speedup_leaf:.1}x) \
+         -> BENCH_engine.json + BENCH_metrics.json"
     );
 }

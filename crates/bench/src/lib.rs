@@ -5,7 +5,7 @@
 //! and experiment rows are reproducible run to run.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use ipdb_engine::{Catalog, Schema};
 use ipdb_logic::{Condition, Term, Var, VarGen};
@@ -352,6 +352,146 @@ pub fn random_chain_catalog(rows: usize, keys: i64, seed: u64) -> Catalog<Instan
         cat.insert(name, inst);
     }
     cat
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer traffic workload: a small star of relations, a pool of
+// distinct read templates with Zipf-skewed popularity, and a ~90/10
+// read/write trace — the shape a plan cache and snapshot catalogs are
+// built for.
+// ---------------------------------------------------------------------
+
+/// Number of relations in the serving-traffic workload (`Z0`..`Z7`).
+pub const SERVE_RELS: usize = 8;
+
+/// The serving-traffic schema: [`SERVE_RELS`] binary relations.
+pub fn serve_schema() -> Schema {
+    Schema::new((0..SERVE_RELS).map(|r| (format!("Z{r}"), 2))).expect("distinct names")
+}
+
+/// One serving relation: `rows` tuples `(i, (i + shift) mod rows)` — a
+/// shifted permutation in the second column, so the chain joins of
+/// [`serve_query_pool`] match exactly one row per probe and answers stay
+/// `O(rows)` regardless of which relations a template picks.
+pub fn serve_relation(rows: usize, shift: i64) -> Instance {
+    let n = rows as i64;
+    Instance::from_tuples(
+        2,
+        (0..n).map(|i| Tuple::new([Value::from(i), Value::from((i + shift).rem_euclid(n))])),
+    )
+    .expect("fixed arity")
+}
+
+/// The serving-traffic base catalog: `Z{r}` is [`serve_relation`] with
+/// shift `r + 1`.
+pub fn serve_catalog(rows: usize) -> Catalog<Instance> {
+    (0..SERVE_RELS)
+        .map(|r| (format!("Z{r}"), serve_relation(rows, r as i64 + 1)))
+        .collect()
+}
+
+/// `n` distinct read templates over the serving schema, written the way
+/// machines write queries: a 4-relation chain join in its verbose σ(×)
+/// spelling, wrapped in redundant projection/selection layers whose
+/// wide always-true guards (8 conjuncts each) the optimizer has to
+/// fuse, push down, and prune on every prepare. The optimizer collapses
+/// each template to a small 3-join plan, so execution is cheap while
+/// preparation is the dominant per-request cost — exactly the workload
+/// a plan cache amortizes. The guard constants embed the template index
+/// `i`, so every template has a distinct canonical text: a cold cache
+/// misses once per template, never by accident twice.
+pub fn serve_query_pool(n: usize, seed: u64) -> Vec<String> {
+    use std::fmt::Write as _;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let a = zipf_index(&mut rng, SERVE_RELS);
+            let b = zipf_index(&mut rng, SERVE_RELS);
+            let c = zipf_index(&mut rng, SERVE_RELS);
+            let d = zipf_index(&mut rng, SERVE_RELS);
+            // Always-true guards: relation values stay far below 9e6,
+            // and `i` keeps the texts template-unique.
+            let guard = |col: usize, base: i64| {
+                let mut g = String::new();
+                for k in 0..8 {
+                    if k > 0 {
+                        g.push_str(", ");
+                    }
+                    let _ = write!(g, "#{col}!={}", base + 10 * i as i64 + k);
+                }
+                g
+            };
+            let (g0, g1) = (guard(0, 9_000_001), guard(1, 9_100_001));
+            format!(
+                "pi[0](sigma[and({g0})](pi[0](sigma[and({g1})](pi[0,1](\
+                 sigma[and(#1=#2, #3=#4, #5=#6)](((pi[0,1](sigma[and({g0})](Z{a})) x \
+                 pi[0,1](sigma[and({g1})](Z{b}))) x Z{c}) x pi[0,1](Z{d})))))))"
+            )
+        })
+        .collect()
+}
+
+/// One operation of the serving-traffic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Execute read template `i` of the pool.
+    Read(usize),
+    /// Reinstall relation `Z{rel}` as [`serve_relation`] with this shift.
+    Write {
+        /// Relation index in `0..SERVE_RELS`.
+        rel: usize,
+        /// The new relation's link shift.
+        shift: i64,
+    },
+}
+
+/// A `len`-operation trace over a `pool`-template read set: ~90% reads
+/// with Zipf-skewed template popularity (the workload a warm plan cache
+/// serves out of its hottest entries), ~10% single-relation reinstalls.
+pub fn serve_trace(pool: usize, len: usize, seed: u64) -> Vec<ServeOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|k| {
+            if rng.gen_bool(0.1) {
+                ServeOp::Write {
+                    rel: rng.gen_range(0..SERVE_RELS),
+                    shift: k as i64 % 31 + 1,
+                }
+            } else {
+                ServeOp::Read(zipf_index(&mut rng, pool))
+            }
+        })
+        .collect()
+}
+
+/// A Zipf(s = 1.1) rank in `0..n` (rank 0 the most popular), sampled by
+/// inverse CDF over the finite harmonic weights `1/(k+1)^1.1`.
+fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    let weight = |k: usize| 1.0 / ((k + 1) as f64).powf(1.1);
+    let total: f64 = (0..n).map(weight).sum();
+    // A uniform in [0, 1) from 53 mantissa bits (the vendored rand has
+    // no float sampling).
+    let uniform = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let mut u = uniform * total;
+    for k in 0..n {
+        u -= weight(k);
+        if u <= 0.0 {
+            return k;
+        }
+    }
+    n - 1
+}
+
+/// The catalog-leaf-reuse series workload: one ground `rows`-row binary
+/// c-table. Ground rows keep the c-table evaluator's own work small, so
+/// the series isolates what `Arc`-shared catalog leaves removed — the
+/// per-query deep clone of every referenced relation.
+pub fn leaf_reuse_ctable(rows: usize) -> CTable {
+    let mut b = CTable::builder(2);
+    for i in 0..rows as i64 {
+        b = b.ground_row([i % 97, i % 13], Condition::True);
+    }
+    b.build().expect("arity fixed")
 }
 
 /// A seeded pc-table catalog for [`ENGINE_CHAIN_NAIVE`]: three binary

@@ -28,7 +28,9 @@
 //!
 //! [`ProbError::ConflictingDistribution`]: ipdb_prob::ProbError::ConflictingDistribution
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ipdb_prob::{PcTable, Weight};
 use ipdb_rel::{Instance, Query, RelError, Schema};
@@ -44,9 +46,15 @@ use crate::report::{query_label, OpReport};
 /// Names are arbitrary here; the planner is what enforces surface-
 /// syntax validity on the names a *query* mentions. Inserting a name
 /// twice replaces the previous relation (like a map).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Relations are `Arc`-shared: cloning a catalog copies the name map
+/// but none of the relation data, which is what makes copy-on-write
+/// snapshots ([`crate::serve::SnapshotCatalog`]) affordable, and
+/// executors borrow leaves out of the `Arc`s instead of deep-cloning a
+/// relation per query.
+#[derive(Debug, PartialEq)]
 pub struct Catalog<B> {
-    rels: BTreeMap<String, B>,
+    rels: BTreeMap<String, Arc<B>>,
 }
 
 impl<B> Catalog<B> {
@@ -58,12 +66,29 @@ impl<B> Catalog<B> {
     }
 
     /// Adds (or replaces) a relation; returns the displaced one, if any.
-    pub fn insert(&mut self, name: impl Into<String>, rel: B) -> Option<B> {
+    pub fn insert(&mut self, name: impl Into<String>, rel: B) -> Option<Arc<B>> {
+        self.rels.insert(name.into(), Arc::new(rel))
+    }
+
+    /// [`Catalog::insert`] for a relation that is already shared —
+    /// no data is copied, the catalog just retains the `Arc`.
+    pub fn insert_shared(&mut self, name: impl Into<String>, rel: Arc<B>) -> Option<Arc<B>> {
         self.rels.insert(name.into(), rel)
+    }
+
+    /// Removes a relation by name; returns it if it was present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<B>> {
+        self.rels.remove(name)
     }
 
     /// Looks up a relation by name.
     pub fn get(&self, name: &str) -> Option<&B> {
+        self.rels.get(name).map(Arc::as_ref)
+    }
+
+    /// Looks up a relation's shared handle by name (clone it to keep
+    /// the relation alive past the catalog).
+    pub fn get_shared(&self, name: &str) -> Option<&Arc<B>> {
         self.rels.get(name)
     }
 
@@ -79,7 +104,7 @@ impl<B> Catalog<B> {
 
     /// Iterates over `(name, relation)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &B)> {
-        self.rels.iter().map(|(n, b)| (n.as_str(), b))
+        self.rels.iter().map(|(n, b)| (n.as_str(), b.as_ref()))
     }
 
     /// The relation names, in order.
@@ -89,8 +114,18 @@ impl<B> Catalog<B> {
 
     /// The underlying name → relation map (crate-internal: executors
     /// borrow it wholesale instead of going through `get` per name).
-    pub(crate) fn rels(&self) -> &BTreeMap<String, B> {
+    pub(crate) fn rels(&self) -> &BTreeMap<String, Arc<B>> {
         &self.rels
+    }
+}
+
+/// Cloning shares every relation (an `Arc` bump per entry, no relation
+/// data copied) — which is why no `B: Clone` bound is needed.
+impl<B> Clone for Catalog<B> {
+    fn clone(&self) -> Self {
+        Catalog {
+            rels: self.rels.clone(),
+        }
     }
 }
 
@@ -103,7 +138,10 @@ impl<B> Default for Catalog<B> {
 impl<N: Into<String>, B> FromIterator<(N, B)> for Catalog<B> {
     fn from_iter<I: IntoIterator<Item = (N, B)>>(iter: I) -> Self {
         Catalog {
-            rels: iter.into_iter().map(|(n, b)| (n.into(), b)).collect(),
+            rels: iter
+                .into_iter()
+                .map(|(n, b)| (n.into(), Arc::new(b)))
+                .collect(),
         }
     }
 }
@@ -136,29 +174,35 @@ fn missing_rel(name: &str) -> TableError {
 /// product: ground rows that fail a pushed-down selection drop out of
 /// the factor instead of entering the cross product carrying a `false`
 /// condition.
-fn eval_ctable_pruned<'a, F>(lookup: &F, q: &Query) -> Result<CTable, TableError>
+///
+/// Leaves come back **borrowed** (`Cow::Borrowed` straight out of the
+/// lookup context) — a query touching a 100k-row relation no longer
+/// deep-clones it per request; only operator outputs are owned. The
+/// sole remaining copy is the top-level `into_owned` a caller pays when
+/// the *whole* query is a bare leaf.
+fn eval_ctable_pruned<'a, F>(lookup: &F, q: &Query) -> Result<Cow<'a, CTable>, TableError>
 where
     F: Fn(&str) -> Result<&'a CTable, TableError>,
 {
-    let prune = |x: CTable| x.simplified().without_false_rows();
+    let prune = |x: CTable| Cow::Owned(x.simplified().without_false_rows());
     Ok(match q {
         // Leaves carry no freshly-composed conditions, so pruning them
         // would only re-simplify the (possibly shared) input once per
         // occurrence; operators below prune their own outputs.
-        Query::Input => lookup(Schema::INPUT)?.clone(),
-        Query::Second => lookup(Schema::SECOND)?.clone(),
-        Query::Rel(name) => lookup(name)?.clone(),
+        Query::Input => Cow::Borrowed(lookup(Schema::INPUT)?),
+        Query::Second => Cow::Borrowed(lookup(Schema::SECOND)?),
+        Query::Rel(name) => Cow::Borrowed(lookup(name)?),
         // A literal is a ground subtable; it carries no variables, so
         // domain declarations merge in from the other operands.
-        Query::Lit(i) => CTable::from_instance(i),
+        Query::Lit(i) => Cow::Owned(CTable::from_instance(i)),
         Query::Project(cols, q) => prune(eval_ctable_pruned(lookup, q)?.project_bar(cols)?),
         // Vectorized when every referenced column is ground (falls back
         // to the term-at-a-time path otherwise); `prune` makes the two
         // paths byte-identical (see `select_bar_vectorized`).
         Query::Select(p, q) => prune(eval_ctable_pruned(lookup, q)?.select_bar_vectorized(p)?),
-        Query::Product(a, b) => {
-            prune(eval_ctable_pruned(lookup, a)?.product_bar(&eval_ctable_pruned(lookup, b)?)?)
-        }
+        Query::Product(a, b) => prune(
+            eval_ctable_pruned(lookup, a)?.product_bar(eval_ctable_pruned(lookup, b)?.as_ref())?,
+        ),
         // The hash path of `join_bar` already skips ground-key pairs
         // whose conditions would fold to `false`; pruning still re-folds
         // the fallback pairs' composed conditions.
@@ -168,19 +212,20 @@ where
             left,
             right,
         } => prune(eval_ctable_pruned(lookup, left)?.join_bar(
-            &eval_ctable_pruned(lookup, right)?,
+            eval_ctable_pruned(lookup, right)?.as_ref(),
             on,
             residual.as_ref(),
         )?),
-        Query::Union(a, b) => {
-            prune(eval_ctable_pruned(lookup, a)?.union_bar(&eval_ctable_pruned(lookup, b)?)?)
-        }
+        Query::Union(a, b) => prune(
+            eval_ctable_pruned(lookup, a)?.union_bar(eval_ctable_pruned(lookup, b)?.as_ref())?,
+        ),
         Query::Diff(a, b) => {
-            prune(eval_ctable_pruned(lookup, a)?.diff_bar(&eval_ctable_pruned(lookup, b)?)?)
+            prune(eval_ctable_pruned(lookup, a)?.diff_bar(eval_ctable_pruned(lookup, b)?.as_ref())?)
         }
-        Query::Intersect(a, b) => {
-            prune(eval_ctable_pruned(lookup, a)?.intersect_bar(&eval_ctable_pruned(lookup, b)?)?)
-        }
+        Query::Intersect(a, b) => prune(
+            eval_ctable_pruned(lookup, a)?
+                .intersect_bar(eval_ctable_pruned(lookup, b)?.as_ref())?,
+        ),
     })
 }
 
@@ -190,26 +235,30 @@ where
 /// folded to `false` — the observable payoff of the pruning executor),
 /// and inclusive wall-clock time. Pruned-row totals also feed the
 /// global `prune.rows` counter when metrics are enabled.
-fn eval_ctable_traced<'a, F>(lookup: &F, q: &Query) -> Result<(CTable, OpReport), TableError>
+fn eval_ctable_traced<'a, F>(
+    lookup: &F,
+    q: &Query,
+) -> Result<(Cow<'a, CTable>, OpReport), TableError>
 where
     F: Fn(&str) -> Result<&'a CTable, TableError>,
 {
     let t0 = std::time::Instant::now();
     // `prune` additionally counts the rows it removed.
-    let prune = |raw: CTable| -> (CTable, u64) {
+    let prune = |raw: CTable| -> (Cow<'a, CTable>, u64) {
         let before = raw.rows().len();
         let out = raw.simplified().without_false_rows();
         let pruned = (before - out.rows().len()) as u64;
         if pruned > 0 && ipdb_obs::enabled() {
             ipdb_obs::add("prune.rows", pruned);
         }
-        (out, pruned)
+        (Cow::Owned(out), pruned)
     };
     let ((out, rows_pruned), children) = match q {
-        Query::Input => ((lookup(Schema::INPUT)?.clone(), 0), Vec::new()),
-        Query::Second => ((lookup(Schema::SECOND)?.clone(), 0), Vec::new()),
-        Query::Rel(name) => ((lookup(name)?.clone(), 0), Vec::new()),
-        Query::Lit(i) => ((CTable::from_instance(i), 0), Vec::new()),
+        // Leaves borrow, exactly as in `eval_ctable_pruned`.
+        Query::Input => ((Cow::Borrowed(lookup(Schema::INPUT)?), 0), Vec::new()),
+        Query::Second => ((Cow::Borrowed(lookup(Schema::SECOND)?), 0), Vec::new()),
+        Query::Rel(name) => ((Cow::Borrowed(lookup(name)?), 0), Vec::new()),
+        Query::Lit(i) => ((Cow::Owned(CTable::from_instance(i)), 0), Vec::new()),
         Query::Project(cols, q) => {
             let (c, r) = eval_ctable_traced(lookup, q)?;
             (prune(c.project_bar(cols)?), vec![r])
@@ -221,7 +270,7 @@ where
         Query::Product(a, b) => {
             let (ca, ra) = eval_ctable_traced(lookup, a)?;
             let (cb, rb) = eval_ctable_traced(lookup, b)?;
-            (prune(ca.product_bar(&cb)?), vec![ra, rb])
+            (prune(ca.product_bar(cb.as_ref())?), vec![ra, rb])
         }
         Query::Join {
             on,
@@ -232,24 +281,24 @@ where
             let (cl, rl) = eval_ctable_traced(lookup, left)?;
             let (cr, rr) = eval_ctable_traced(lookup, right)?;
             (
-                prune(cl.join_bar(&cr, on, residual.as_ref())?),
+                prune(cl.join_bar(cr.as_ref(), on, residual.as_ref())?),
                 vec![rl, rr],
             )
         }
         Query::Union(a, b) => {
             let (ca, ra) = eval_ctable_traced(lookup, a)?;
             let (cb, rb) = eval_ctable_traced(lookup, b)?;
-            (prune(ca.union_bar(&cb)?), vec![ra, rb])
+            (prune(ca.union_bar(cb.as_ref())?), vec![ra, rb])
         }
         Query::Diff(a, b) => {
             let (ca, ra) = eval_ctable_traced(lookup, a)?;
             let (cb, rb) = eval_ctable_traced(lookup, b)?;
-            (prune(ca.diff_bar(&cb)?), vec![ra, rb])
+            (prune(ca.diff_bar(cb.as_ref())?), vec![ra, rb])
         }
         Query::Intersect(a, b) => {
             let (ca, ra) = eval_ctable_traced(lookup, a)?;
             let (cb, rb) = eval_ctable_traced(lookup, b)?;
-            (prune(ca.intersect_bar(&cb)?), vec![ra, rb])
+            (prune(ca.intersect_bar(cb.as_ref())?), vec![ra, rb])
         }
     };
     let rows_out = out.rows().len() as u64;
@@ -295,6 +344,24 @@ pub trait Backend {
     where
         Self: Sized;
 
+    /// [`Backend::run_catalog`] with an explicit [`ExecConfig`].
+    /// Backends without a parallel executor ignore the config (their
+    /// catalog path is single-threaded already); the [`Instance`]
+    /// backend routes it into the morsel executor instead of spawning
+    /// a fresh default-sized pool per query — what a serving layer
+    /// wants, where parallelism comes from concurrent requests.
+    fn run_catalog_with(
+        cat: &Catalog<Self>,
+        q: &Query,
+        cfg: &ExecConfig,
+    ) -> Result<Self::Output, EngineError>
+    where
+        Self: Sized,
+    {
+        let _ = cfg;
+        Self::run_catalog(cat, q)
+    }
+
     /// [`Backend::run`] with per-operator tracing: the identical output
     /// plus an [`OpReport`] tree recording what each operator did.
     fn run_analyzed(&self, q: &Query) -> Result<(Self::Output, OpReport), EngineError>;
@@ -327,6 +394,14 @@ impl Backend for Instance {
         crate::morsel::run_instance_map(&cat.rels, q, &ExecConfig::from_env())
     }
 
+    fn run_catalog_with(
+        cat: &Catalog<Instance>,
+        q: &Query,
+        cfg: &ExecConfig,
+    ) -> Result<Instance, EngineError> {
+        crate::morsel::run_instance_map(&cat.rels, q, cfg)
+    }
+
     fn run_analyzed(&self, q: &Query) -> Result<(Instance, OpReport), EngineError> {
         crate::morsel::run_instance_traced(self, q, &ExecConfig::from_env())
     }
@@ -356,14 +431,14 @@ impl Backend for CTable {
                 Err(missing_rel(name))
             }
         };
-        Ok(eval_ctable_pruned(&lookup, q)?)
+        Ok(eval_ctable_pruned(&lookup, q)?.into_owned())
     }
 
     fn run_catalog(cat: &Catalog<CTable>, q: &Query) -> Result<CTable, EngineError> {
         let lookup = |name: &str| -> Result<&CTable, TableError> {
             cat.get(name).ok_or_else(|| missing_rel(name))
         };
-        Ok(eval_ctable_pruned(&lookup, q)?)
+        Ok(eval_ctable_pruned(&lookup, q)?.into_owned())
     }
 
     fn run_analyzed(&self, q: &Query) -> Result<(CTable, OpReport), EngineError> {
@@ -374,7 +449,8 @@ impl Backend for CTable {
                 Err(missing_rel(name))
             }
         };
-        Ok(eval_ctable_traced(&lookup, q)?)
+        let (out, report) = eval_ctable_traced(&lookup, q)?;
+        Ok((out.into_owned(), report))
     }
 
     fn run_catalog_analyzed(
@@ -384,7 +460,8 @@ impl Backend for CTable {
         let lookup = |name: &str| -> Result<&CTable, TableError> {
             cat.get(name).ok_or_else(|| missing_rel(name))
         };
-        Ok(eval_ctable_traced(&lookup, q)?)
+        let (out, report) = eval_ctable_traced(&lookup, q)?;
+        Ok((out.into_owned(), report))
     }
 }
 
@@ -410,7 +487,7 @@ impl<W: Weight> Backend for PcTable<W> {
         };
         let qt = eval_ctable_pruned(&lookup, q)?;
         let dists = self.dists_restricted(&qt.vars());
-        Ok(PcTable::new(qt, dists)?)
+        Ok(PcTable::new(qt.into_owned(), dists)?)
     }
 
     fn run_catalog(cat: &Catalog<PcTable<W>>, q: &Query) -> Result<PcTable<W>, EngineError> {
@@ -426,8 +503,9 @@ impl<W: Weight> Backend for PcTable<W> {
                 .ok_or_else(|| missing_rel(name))
         };
         let qt = eval_ctable_pruned(&lookup, q)?;
-        let dists = PcTable::merged_dists_restricted(cat.rels.values(), &qt.vars())?;
-        Ok(PcTable::new(qt, dists)?)
+        let dists =
+            PcTable::merged_dists_restricted(cat.rels.values().map(Arc::as_ref), &qt.vars())?;
+        Ok(PcTable::new(qt.into_owned(), dists)?)
     }
 
     fn run_analyzed(&self, q: &Query) -> Result<(PcTable<W>, OpReport), EngineError> {
@@ -440,7 +518,7 @@ impl<W: Weight> Backend for PcTable<W> {
         };
         let (qt, report) = eval_ctable_traced(&lookup, q)?;
         let dists = self.dists_restricted(&qt.vars());
-        Ok((PcTable::new(qt, dists)?, report))
+        Ok((PcTable::new(qt.into_owned(), dists)?, report))
     }
 
     fn run_catalog_analyzed(
@@ -453,8 +531,9 @@ impl<W: Weight> Backend for PcTable<W> {
                 .ok_or_else(|| missing_rel(name))
         };
         let (qt, report) = eval_ctable_traced(&lookup, q)?;
-        let dists = PcTable::merged_dists_restricted(cat.rels.values(), &qt.vars())?;
-        Ok((PcTable::new(qt, dists)?, report))
+        let dists =
+            PcTable::merged_dists_restricted(cat.rels.values().map(Arc::as_ref), &qt.vars())?;
+        Ok((PcTable::new(qt.into_owned(), dists)?, report))
     }
 }
 

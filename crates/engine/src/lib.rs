@@ -99,6 +99,17 @@
 //! relations — and [`Prepared::answer_dist_catalog`] compiles the whole
 //! answer's conditions with one shared `BddManager`.
 //!
+//! ## Serving
+//!
+//! The [`serve`] module stacks a serving layer on top of catalogs: a
+//! [`PlanCache`] (LRU of `Arc<`[`Prepared`]`>` keyed by canonical query
+//! text **and** schema — see [`cache`]), [`SnapshotCatalog`]
+//! (copy-on-write catalog versions; readers take `Arc` snapshots and
+//! never block on writers), and a multithreaded [`Server`] request
+//! loop with per-request panic isolation. Catalog relations are
+//! `Arc`-shared and executor leaves borrow them, so a hot 100k-row
+//! relation is *not* copied per request.
+//!
 //! ```
 //! use ipdb_engine::{Catalog, Engine, Schema};
 //! use ipdb_rel::{instance, Instance};
@@ -122,6 +133,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod error;
 pub mod morsel;
 pub mod optimize;
@@ -129,8 +141,10 @@ pub mod parser;
 pub mod pipeline;
 pub mod plan;
 pub mod report;
+pub mod serve;
 
 pub use backend::{Backend, Catalog};
+pub use cache::PlanCache;
 pub use error::EngineError;
 pub use morsel::ExecConfig;
 pub use optimize::{optimize, optimize_in, optimize_plan, optimize_plan_stats, OptimizeStats};
@@ -138,6 +152,9 @@ pub use parser::{is_relation_name, parse, render};
 pub use pipeline::{Engine, Prepared};
 pub use plan::{Plan, PlanNode};
 pub use report::{OpReport, QueryReport};
+pub use serve::{
+    Reply, Request, ServeError, Server, ServerConfig, Snapshot, SnapshotCatalog, Ticket,
+};
 
 // Re-exported so doctests and downstream callers can name the AST types
 // without an explicit `ipdb-rel` dependency.

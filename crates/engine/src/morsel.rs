@@ -667,13 +667,17 @@ pub fn run_instance(
 
 /// Runs `q` against a named map of relations (`Input`/`Second` resolve
 /// as the reserved names `V`/`W`, exactly like `Query::eval_catalog`).
-pub fn run_instance_map(
-    rels: &BTreeMap<String, Instance>,
+/// Generic over the map's value so both plain `Instance` maps and the
+/// `Arc<Instance>` maps inside a [`crate::Catalog`] execute without
+/// copying a relation.
+pub fn run_instance_map<R: std::borrow::Borrow<Instance>>(
+    rels: &BTreeMap<String, R>,
     q: &Query,
     cfg: &ExecConfig,
 ) -> Result<Instance, EngineError> {
     let lookup = |name: &str| -> Result<&Instance, RelError> {
         rels.get(name)
+            .map(std::borrow::Borrow::borrow)
             .ok_or_else(|| RelError::missing_relation(name))
     };
     Ok(to_rows_par(&eval_columnar(&lookup, q, cfg)?, cfg))
@@ -700,13 +704,14 @@ pub fn run_instance_traced(
 
 /// [`run_instance_map`] with per-operator tracing — the
 /// `EXPLAIN ANALYZE` entry point for named catalogs.
-pub fn run_instance_map_traced(
-    rels: &BTreeMap<String, Instance>,
+pub fn run_instance_map_traced<R: std::borrow::Borrow<Instance>>(
+    rels: &BTreeMap<String, R>,
     q: &Query,
     cfg: &ExecConfig,
 ) -> Result<(Instance, OpReport), EngineError> {
     let lookup = |name: &str| -> Result<&Instance, RelError> {
         rels.get(name)
+            .map(std::borrow::Borrow::borrow)
             .ok_or_else(|| RelError::missing_relation(name))
     };
     let (ci, report) = eval_columnar_traced(&lookup, q, cfg)?;

@@ -118,11 +118,20 @@ impl Prepared {
     }
 
     /// The arity of the reserved input relation `V` in the prepared
-    /// schema — the classic single-input convention. `0` when the
-    /// schema declares no `V` (purely named schemas); prefer
-    /// [`Prepared::schema`] there.
-    pub fn input_arity(&self) -> usize {
-        self.schema.arity_of(Schema::INPUT).unwrap_or(0)
+    /// schema — the classic single-input convention. `None` when the
+    /// schema declares no `V` at all (purely named schemas), which is
+    /// distinct from `Some(0)`, a declared nullary input: conflating
+    /// the two is what let schema-validation paths misclassify named
+    /// statements as nullary single-input ones.
+    pub fn input_arity(&self) -> Option<usize> {
+        self.schema.arity_of(Schema::INPUT)
+    }
+
+    /// Whether the prepared schema declares the reserved input `V` —
+    /// i.e. whether [`Prepared::execute`]-style single-input calls can
+    /// apply at all.
+    pub fn has_input(&self) -> bool {
+        self.schema.arity_of(Schema::INPUT).is_some()
     }
 
     /// The plan as written (arity-annotated, unoptimized).
@@ -209,6 +218,22 @@ impl Prepared {
     ) -> Result<Instance, EngineError> {
         self.check_catalog(cat)?;
         crate::morsel::run_instance_map(cat.rels(), &self.optimized_query, cfg)
+    }
+
+    /// [`Prepared::execute_catalog`] with an explicit [`ExecConfig`] on
+    /// *any* backend. Backends without a parallel executor ignore the
+    /// config; the [`Instance`] backend routes it into the morsel
+    /// executor (see [`Backend::run_catalog_with`]). This is the
+    /// serving layer's execution path: a server worker runs each
+    /// request with its configured parallelism instead of spawning a
+    /// default-sized pool per query.
+    pub fn execute_catalog_cfg<B: Backend>(
+        &self,
+        cat: &Catalog<B>,
+        cfg: &ExecConfig,
+    ) -> Result<B::Output, EngineError> {
+        self.check_catalog(cat)?;
+        B::run_catalog_with(cat, &self.optimized_query, cfg)
     }
 
     /// Executes the *unoptimized* plan against a named catalog (the
@@ -451,7 +476,8 @@ mod tests {
         let stmt = engine
             .prepare_text("pi[1](sigma[and(#0=1,#1=#3)](V x V))", 2)
             .unwrap();
-        assert_eq!(stmt.input_arity(), 2);
+        assert_eq!(stmt.input_arity(), Some(2));
+        assert!(stmt.has_input());
         assert_eq!(stmt.output_arity(), 1);
         let i = instance![[1, 10], [2, 10], [2, 20]];
         let out = stmt.execute(&i).unwrap();
@@ -530,9 +556,17 @@ mod tests {
             .unwrap();
         assert_eq!(stmt.schema(), &schema);
         assert_eq!(stmt.output_arity(), 4);
-        // No V in this schema: the classic accessor degrades to 0 and
-        // single-input execution errors gracefully.
-        assert_eq!(stmt.input_arity(), 0);
+        // No V in this schema: the classic accessor says so (`None`,
+        // not a fake arity 0) and single-input execution errors
+        // gracefully.
+        assert_eq!(stmt.input_arity(), None);
+        assert!(!stmt.has_input());
+        // ... whereas a genuinely declared nullary `V` is `Some(0)`.
+        let nullary = Engine::new()
+            .prepare_schema(&Query::Input, &Schema::single(0))
+            .unwrap();
+        assert_eq!(nullary.input_arity(), Some(0));
+        assert!(nullary.has_input());
         assert!(matches!(
             stmt.execute(&instance![[1, 2]]),
             Err(EngineError::Rel(ipdb_rel::RelError::UnknownRelation { .. }))

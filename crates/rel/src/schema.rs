@@ -26,7 +26,10 @@ use crate::error::RelError;
 /// let q = Query::product(Query::rel("R"), Query::rel("S"));
 /// assert_eq!(q.arity_in(&schema).unwrap(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Ordered and hashable so schemas can key caches (the engine's plan
+/// cache keys on `(canonical query text, Schema)` — the schema part is
+/// what keeps the same text prepared against different schemas apart).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Schema {
     rels: BTreeMap<String, usize>,
 }

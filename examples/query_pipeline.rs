@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example query_pipeline`.
 
-use ipdb::engine::{parser, Engine};
+use ipdb::engine::{parser, Engine, Server, ServerConfig};
 use ipdb::prelude::*;
 use ipdb::prob::{rat, FiniteSpace};
 
@@ -168,4 +168,52 @@ fn main() {
         "pc-table reports carry BDD stats"
     );
     println!("EXPLAIN ANALYZE ✓");
+
+    // ------------------------------------------------------------------
+    // Serving: a long-lived `Server` answers many queries over the same
+    // catalog through a shared LRU `PlanCache` — each distinct query
+    // text is parsed/planned/optimized once, then every repeat is an
+    // `Arc<Prepared>` clone. With metrics on, the per-request counters
+    // land in the global `ipdb::obs` registry.
+    // ------------------------------------------------------------------
+    ipdb::obs::set_enabled(true);
+    let server = Server::<Instance>::start(cat.clone(), ServerConfig::with_threads(2));
+    let hot = [
+        "pi[0,1](sigma[and(#0=#2, #1=#3)](Takes x Passed))",
+        "pi[0](Takes)",
+        "pi[0](sigma[#1='math'](Takes))",
+    ];
+    for round in 0..4 {
+        for text in hot {
+            let answer = server.query(text).expect("served answer");
+            if round == 0 {
+                println!("serve: {text} -> {answer}");
+            }
+        }
+    }
+    // A catalog install is just another request: readers swap to the new
+    // snapshot atomically and the plan cache keeps serving.
+    let version = server
+        .install("Passed", instance![["Theo", "math"]])
+        .expect("install");
+    let after = server.query(hot[0]).expect("served answer");
+    println!(
+        "serve: after install (snapshot v{version}): {} -> {after}",
+        hot[0]
+    );
+
+    let (hits, misses) = (server.cache().hits(), server.cache().misses());
+    let snap = ipdb::obs::snapshot();
+    println!(
+        "plan cache: {hits} hits / {misses} misses ({:.0}% hit rate); \
+         obs: serve.requests={} serve.cache.hits={} serve.snapshot.installs={}",
+        100.0 * hits as f64 / (hits + misses) as f64,
+        snap.get("serve.requests").unwrap_or(0),
+        snap.get("serve.cache.hits").unwrap_or(0),
+        snap.get("serve.snapshot.installs").unwrap_or(0),
+    );
+    assert_eq!(misses, 3, "one miss per distinct query text");
+    assert!(hits >= 10, "every repeat is a cache hit");
+    server.shutdown();
+    println!("serving loop ✓");
 }

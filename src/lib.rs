@@ -68,7 +68,9 @@ pub mod prelude {
     pub use ipdb_prob::{BooleanPcTable, PDatabase, POrSetTable, PTable, PcTable, Rat, Weight};
 
     pub use ipdb_engine::{
-        Backend, Catalog, Engine, EngineError, ExecConfig, OpReport, Prepared, QueryReport,
+        Backend, Catalog, Engine, EngineError, ExecConfig, OpReport, PlanCache, Prepared,
+        QueryReport, Reply, Request, ServeError, Server, ServerConfig, Snapshot, SnapshotCatalog,
+        Ticket,
     };
 
     pub use ipdb_core as theory;
