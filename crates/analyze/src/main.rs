@@ -1,0 +1,85 @@
+//! CLI for the `ipdb-analyze` lint driver.
+//!
+//! ```text
+//! ipdb-analyze              # analyze the enclosing workspace (CI gate)
+//! ipdb-analyze PATH...      # analyze explicit files/directories
+//! ```
+//!
+//! With no arguments the workspace root is located by walking up from
+//! the current directory to the outermost `Cargo.toml`; all four lints
+//! run, including the workspace-level `forbid-unsafe-drift` check.
+//! Explicit paths run the per-file lints only (fixture mode). Exit
+//! codes: `0` clean, `1` findings reported, `2` usage/IO error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ipdb_analyze::{analyze_path, analyze_workspace, Config, Finding};
+
+/// The outermost ancestor of `start` containing a `Cargo.toml` — the
+/// workspace root when run from anywhere inside the repo.
+fn workspace_root(start: &Path) -> Option<PathBuf> {
+    start
+        .ancestors()
+        .filter(|a| a.join("Cargo.toml").is_file())
+        .last()
+        .map(Path::to_path_buf)
+}
+
+fn report(findings: &[Finding]) -> ExitCode {
+    for f in findings {
+        eprintln!("{f}");
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ipdb-analyze: {} finding{} (suppress individual sites with \
+             `// ipdb-lint: allow(<lint>) reason=\"...\"`)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = Config::default();
+    if args.is_empty() {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("ipdb-analyze: cannot determine current directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = workspace_root(&cwd) else {
+            eprintln!("ipdb-analyze: no Cargo.toml found above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match analyze_workspace(&root, &cfg) {
+            Ok(findings) => report(&findings),
+            Err(e) => {
+                eprintln!("ipdb-analyze: {e}");
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        for arg in &args {
+            match analyze_path(Path::new(arg), &cfg) {
+                Ok(f) => findings.extend(f),
+                Err(e) => {
+                    eprintln!("ipdb-analyze: {arg}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        findings.sort();
+        report(&findings)
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: relaxed-needs-justification fires at lines 7 and 13 only —
+// the ORDERING comment at line 8 covers its 3-line adjacency window.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn main() {
+    let n = AtomicUsize::new(0);
+    n.store(1, Ordering::Relaxed);
+    // ORDERING: fixture justification — covers the two lines below.
+    n.store(2, Ordering::Release);
+    let a = n.load(Ordering::Acquire);
+    let x = a + 1;
+    let _ = x;
+    let b = n.load(Ordering::SeqCst);
+    assert_eq!(a + b, 4);
+}

@@ -1,0 +1,7 @@
+// Fixture: a reasonless suppression is itself a finding (line 4) and
+// silences nothing — the unsafe at line 5 still fires.
+fn main() {
+    // ipdb-lint: allow(unsafe-needs-safety)
+    let y = unsafe { std::ptr::read(&7) };
+    let _ = y;
+}

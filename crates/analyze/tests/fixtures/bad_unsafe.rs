@@ -1,0 +1,7 @@
+// Fixture: unsafe-needs-safety must fire at line 5 exactly.
+fn main() {
+    let x: i32 = 42;
+    let p = &x as *const i32;
+    let y = unsafe { *p };
+    assert_eq!(y, 42);
+}

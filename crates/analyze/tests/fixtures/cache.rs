@@ -1,0 +1,10 @@
+// Fixture: the suppression silences exactly one finding (line 5); the
+// identical call at line 9 still fires.
+fn get(x: Option<u32>) -> u32 {
+    // ipdb-lint: allow(no-panic-on-serve-paths) reason="fixture: documented invariant"
+    x.unwrap()
+}
+
+fn get_again(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,9 @@
+// Fixture: an adjacent SAFETY comment satisfies unsafe-needs-safety —
+// zero findings.
+fn main() {
+    let x: i32 = 42;
+    let p = &x as *const i32;
+    // SAFETY: `p` derives from a live reference to `x` in this frame.
+    let y = unsafe { *p };
+    assert_eq!(y, 42);
+}

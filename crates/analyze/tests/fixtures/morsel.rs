@@ -1,0 +1,22 @@
+// Fixture (named like a serving hot path so every lint is armed): zero
+// findings — every trigger below hides in a string, raw string, byte
+// string, char literal, lifetime, or comment, and a leaky lexer would
+// false-positive on them.
+fn main() {
+    let s = "unsafe { Ordering::Relaxed } and .unwrap() and panic!";
+    let r = r#"unsafe fn in a raw "string" with .expect( marks"#;
+    let deep = r##"nested r#"raw"# inside, todo!()"##;
+    let b = b"unsafe bytes with Ordering::SeqCst";
+    let u = 'u';
+    let quote = '"';
+    let escaped = '\'';
+    let newline = '\n';
+    /* block comment: unsafe /* nested: x.unwrap() */ still a comment */
+    // line comment: x.unwrap() todo!() unreachable!()
+    let _ = (s, r, deep, b, u, quote, escaped, newline);
+}
+
+fn lifetimes<'a>(x: &'a str) -> &'static str {
+    let _ = x;
+    "ok"
+}

@@ -1,0 +1,19 @@
+// Fixture (named like a serving hot path): no-panic-on-serve-paths
+// fires at lines 4, 5, and 7; the #[cfg(test)] module is exempt.
+fn handle(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end fixture suite for the `ipdb-analyze` lint driver: each
+//! lint must fire at the exact pinned line, suppressions must silence
+//! exactly one finding, tricky lexing must not false-positive, and the
+//! real binary must exit nonzero on every bad fixture and zero on the
+//! workspace itself.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ipdb_analyze::{analyze_path, analyze_workspace, Config, Finding, Lint};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn findings(name: &str) -> Vec<Finding> {
+    analyze_path(&fixture(name), &Config::default()).unwrap()
+}
+
+fn lines(findings: &[Finding], lint: Lint) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.lint == lint)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn unsafe_lint_fires_at_exact_line() {
+    let f = findings("bad_unsafe.rs");
+    assert_eq!(lines(&f, Lint::UnsafeNeedsSafety), vec![5], "{f:?}");
+    assert_eq!(f.len(), 1);
+    assert_eq!(findings("good_unsafe.rs"), Vec::new());
+}
+
+#[test]
+fn ordering_lint_fires_at_exact_lines_with_adjacency_window() {
+    let f = findings("bad_ordering.rs");
+    assert_eq!(
+        lines(&f, Lint::RelaxedNeedsJustification),
+        vec![7, 13],
+        "{f:?}"
+    );
+    assert_eq!(f.len(), 2);
+}
+
+#[test]
+fn serve_path_lint_fires_outside_tests_only() {
+    let f = findings("serve.rs");
+    assert_eq!(lines(&f, Lint::NoPanicOnServePaths), vec![4, 5, 7], "{f:?}");
+    assert_eq!(f.len(), 3);
+}
+
+#[test]
+fn suppression_silences_exactly_one_finding() {
+    let f = findings("cache.rs");
+    assert_eq!(lines(&f, Lint::NoPanicOnServePaths), vec![9], "{f:?}");
+    assert_eq!(f.len(), 1);
+}
+
+#[test]
+fn reasonless_suppression_is_a_finding_and_silences_nothing() {
+    let f = findings("bad_suppression.rs");
+    assert_eq!(lines(&f, Lint::BadSuppression), vec![4], "{f:?}");
+    assert_eq!(lines(&f, Lint::UnsafeNeedsSafety), vec![5], "{f:?}");
+    assert_eq!(f.len(), 2);
+}
+
+#[test]
+fn tricky_lexing_does_not_false_positive() {
+    assert_eq!(findings("morsel.rs"), Vec::new());
+}
+
+#[test]
+fn forbid_drift_is_a_workspace_check() {
+    let base = std::env::temp_dir().join("ipdb-analyze-drift-fixture");
+    let _ = std::fs::remove_dir_all(&base);
+    let src = base.join("pkg/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(base.join("pkg/Cargo.toml"), "[package]\nname = \"pkg\"\n").unwrap();
+    let cfg = Config::default();
+
+    // No unsafe, no forbid: drift at the crate root, line 1.
+    std::fs::write(src.join("lib.rs"), "pub fn f() {}\n").unwrap();
+    let f = analyze_workspace(&base, &cfg).unwrap();
+    assert_eq!(lines(&f, Lint::ForbidUnsafeDrift), vec![1], "{f:?}");
+
+    // The attribute clears it.
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    )
+    .unwrap();
+    assert_eq!(analyze_workspace(&base, &cfg).unwrap(), Vec::new());
+
+    // Unsafe outside the audited whitelist drifts at the site (the
+    // SAFETY comment satisfies the other lint, not this one).
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(p: *const u8) -> u8 {\n    \
+         // SAFETY: fixture; the caller passes a valid pointer.\n    \
+         unsafe { *p }\n}\n",
+    )
+    .unwrap();
+    let f = analyze_workspace(&base, &cfg).unwrap();
+    assert_eq!(lines(&f, Lint::ForbidUnsafeDrift), vec![3], "{f:?}");
+    assert_eq!(f.len(), 1);
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn binary_exits_nonzero_on_every_bad_fixture_and_zero_on_good_ones() {
+    for bad in [
+        "bad_unsafe.rs",
+        "bad_ordering.rs",
+        "serve.rs",
+        "cache.rs",
+        "bad_suppression.rs",
+    ] {
+        let status = Command::new(env!("CARGO_BIN_EXE_ipdb-analyze"))
+            .arg(fixture(bad))
+            .status()
+            .unwrap();
+        assert_eq!(status.code(), Some(1), "{bad} should fail the gate");
+    }
+    for good in ["good_unsafe.rs", "morsel.rs"] {
+        let status = Command::new(env!("CARGO_BIN_EXE_ipdb-analyze"))
+            .arg(fixture(good))
+            .status()
+            .unwrap();
+        assert!(status.success(), "{good} should pass the gate");
+    }
+    // A missing path is a usage error (2), distinct from findings (1).
+    let status = Command::new(env!("CARGO_BIN_EXE_ipdb-analyze"))
+        .arg(fixture("does_not_exist.rs"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn binary_is_clean_on_the_workspace() {
+    // The CI gate: the whole repository passes its own lints. Run from
+    // the workspace root exactly as CI does.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_ipdb-analyze"))
+        .current_dir(&root)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "workspace must pass its own lints:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -32,6 +32,7 @@
 //! against each other; the benches in `ipdb-bench` measure where the BDD
 //! pays off.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;

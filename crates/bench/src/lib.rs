@@ -4,6 +4,8 @@
 //! Everything is seeded (`StdRng::seed_from_u64`) so benchmark inputs
 //! and experiment rows are reproducible run to run.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 

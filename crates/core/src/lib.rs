@@ -22,6 +22,7 @@
 //! `Mod` equality over decision slices — and (b) **fragment honesty**:
 //! the query really lies in the fragment the theorem names.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answers;

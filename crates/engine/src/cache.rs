@@ -88,9 +88,13 @@ impl Inner {
                     .map(move |(canon, e)| (e.stamp, schema.clone(), canon.clone()))
             })
             .min_by_key(|(stamp, _, _)| *stamp);
+        // The victim was found by iterating `self.shards`, so its shard
+        // is present; an `if let` keeps this total instead of asserting.
         if let Some((_, schema, canon)) = victim {
+            let Some(shard) = self.shards.get_mut(&schema) else {
+                return;
+            };
             let empty = {
-                let shard = self.shards.get_mut(&schema).expect("victim shard exists");
                 if let Some(entry) = shard.entries.remove(&canon) {
                     for alias in entry.aliases {
                         shard.aliases.remove(&alias);
@@ -147,6 +151,10 @@ impl PlanCache {
     /// Total lookups answered from the cache since construction (or the
     /// last [`PlanCache::clear`]).
     pub fn hits(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic statistic read on its own; no
+        // other data is synchronized through it, and a count that lags a
+        // concurrent lookup by one is indistinguishable from having read
+        // a moment earlier.
         self.hits.load(Ordering::Relaxed)
     }
 
@@ -154,12 +162,17 @@ impl PlanCache {
     /// the last [`PlanCache::clear`]). Parse/plan *errors* count as
     /// neither — nothing was cached or served.
     pub fn misses(&self) -> u64 {
+        // ORDERING: Relaxed — same statistic-only contract as `hits`.
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Drops every entry and zeroes the hit/miss counters.
     pub fn clear(&self) {
         *self.lock() = Inner::default();
+        // ORDERING: Relaxed — the zeroing races benignly with concurrent
+        // lookups (a count bumped around a clear lands on either side of
+        // it); entry visibility is carried by the mutex above, never by
+        // these counters.
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -290,6 +303,8 @@ impl PlanCache {
     }
 
     fn record_hit(&self) {
+        // ORDERING: Relaxed — atomicity keeps the tally exact under
+        // concurrent bumps; nothing reads other data through it.
         self.hits.fetch_add(1, Ordering::Relaxed);
         if ipdb_obs::enabled() {
             ipdb_obs::incr(OBS_CACHE_HITS);
@@ -297,6 +312,7 @@ impl PlanCache {
     }
 
     fn record_miss(&self) {
+        // ORDERING: Relaxed — same exact-tally contract as `record_hit`.
         self.misses.fetch_add(1, Ordering::Relaxed);
         if ipdb_obs::enabled() {
             ipdb_obs::incr(OBS_CACHE_MISSES);

@@ -12,7 +12,7 @@
 //! 2. **plan** ([`plan`]) — an arity-annotated logical plan IR,
 //!    well-typed by construction (join key pairs must span the join's
 //!    operands, and are deduplicated);
-//! 3. **optimize** ([`optimize`]) — rule-based rewrites (selection
+//! 3. **optimize** ([`optimize()`]) — rule-based rewrites (selection
 //!    pushdown, predicate fusion, **equijoin recognition** turning
 //!    `σ_eq(a × b)` into a hash-executed `Join` node, projection
 //!    pruning, dead-branch elimination, idempotent set ops, constant
@@ -134,6 +134,7 @@
 
 pub mod backend;
 pub mod cache;
+mod erase;
 pub mod error;
 pub mod morsel;
 pub mod optimize;

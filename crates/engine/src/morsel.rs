@@ -29,10 +29,9 @@
 //! form — they are cheap relative to the join/select kernels and their
 //! `BTreeSet` implementations are already canonical.
 
-use std::collections::{BTreeMap, VecDeque};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use ipdb_rel::{
     ColumnarInstance, Instance, JoinIndex, Pred, Query, RelError, Schema, Tuple, Value,
@@ -145,137 +144,13 @@ impl Default for ExecConfig {
     }
 }
 
-/// A type-erased pool job. Jobs are `'static`: [`run_morsels`] erases
-/// the borrow lifetime of its fan-out closure and re-establishes safety
-/// by never returning (or unwinding) before every job it submitted has
-/// finished.
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// The persistent worker pool behind [`run_morsels`]. Thread creation
-/// is far too slow on some hosts (hundreds of microseconds under
-/// hardened/virtualized kernels) to pay per pipeline stage, so workers
-/// are spawned once, park on a condvar between stages, and are shared
-/// by every executor invocation in the process. Workers created for one
-/// stage are reused by all later ones; the pool only ever grows, up to
-/// [`run_morsels`]'s worker clamp.
-struct Pool {
-    shared: Arc<PoolShared>,
-    /// Worker threads spawned so far (the pool only grows).
-    spawned: Mutex<usize>,
-}
-
-struct PoolShared {
-    queue: Mutex<VecDeque<Job>>,
-    wake: Condvar,
-}
-
-impl Pool {
-    fn global() -> &'static Pool {
-        static POOL: OnceLock<Pool> = OnceLock::new();
-        POOL.get_or_init(|| Pool {
-            shared: Arc::new(PoolShared {
-                queue: Mutex::new(VecDeque::new()),
-                wake: Condvar::new(),
-            }),
-            spawned: Mutex::new(0),
-        })
-    }
-
-    /// Grows the pool to at least `want` parked workers.
-    fn ensure_workers(&self, want: usize) {
-        let mut spawned = self.spawned.lock().expect("pool spawn mutex");
-        while *spawned < want {
-            let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
-                .name(format!("ipdb-morsel-{spawned}"))
-                .spawn(move || loop {
-                    let job = {
-                        let mut q = shared.queue.lock().expect("pool queue mutex");
-                        loop {
-                            match q.pop_front() {
-                                Some(job) => break job,
-                                None => {
-                                    // Park/wake gauges use the global flag:
-                                    // no ExecConfig reaches the worker loop.
-                                    if ipdb_obs::enabled() {
-                                        ipdb_obs::incr("pool.parks");
-                                    }
-                                    q = shared.wake.wait(q).expect("pool queue mutex");
-                                    if ipdb_obs::enabled() {
-                                        ipdb_obs::incr("pool.wakes");
-                                    }
-                                }
-                            }
-                        }
-                    };
-                    job();
-                })
-                .expect("spawn morsel pool worker");
-            *spawned += 1;
-        }
-    }
-
-    fn submit(&self, job: Job) {
-        if ipdb_obs::enabled() {
-            ipdb_obs::incr("pool.jobs");
-        }
-        self.shared
-            .queue
-            .lock()
-            .expect("pool queue mutex")
-            .push_back(job);
-        self.shared.wake.notify_one();
-    }
-}
-
-/// Counts job completions; [`run_morsels`] blocks on it (via
-/// [`WaitGuard`]) until every job it submitted has arrived.
-struct Latch {
-    done: Mutex<usize>,
-    wake: Condvar,
-}
-
-impl Latch {
-    fn new() -> Latch {
-        Latch {
-            done: Mutex::new(0),
-            wake: Condvar::new(),
-        }
-    }
-
-    fn arrive(&self) {
-        let mut done = self.done.lock().expect("latch mutex");
-        *done += 1;
-        self.wake.notify_all();
-    }
-
-    fn wait_for(&self, n: usize) {
-        let mut done = self.done.lock().expect("latch mutex");
-        while *done < n {
-            done = self.wake.wait(done).expect("latch mutex");
-        }
-    }
-}
-
-/// Blocks on drop until `expected` jobs have arrived at the latch —
-/// including during a panic unwind, which is what makes the lifetime
-/// erasure in [`run_morsels`] sound.
-struct WaitGuard<'a> {
-    latch: &'a Latch,
-    expected: usize,
-}
-
-impl Drop for WaitGuard<'_> {
-    fn drop(&mut self) {
-        self.latch.wait_for(self.expected);
-    }
-}
-
 /// Runs `f(lo, hi)` over every morsel of `0..rows` and returns the
 /// outputs in morsel order. Serial when one worker (or one morsel)
-/// suffices; otherwise the calling thread and `threads - 1` pool
-/// workers pull morsel indexes from a shared atomic counter.
-#[allow(unsafe_code)]
+/// suffices; otherwise the calling thread and up to `threads - 1` pool
+/// workers pull morsel indexes from a shared atomic counter. The pool,
+/// the completion latch, and the lifetime erasure that lets borrowed
+/// closures run on `'static` workers all live in [`crate::erase`] —
+/// this module stays unsafe-free.
 fn run_morsels<T, F>(rows: usize, cfg: &ExecConfig, f: F) -> Vec<T>
 where
     T: Send,
@@ -302,8 +177,6 @@ where
             })
             .collect();
     }
-    let pool = Pool::global();
-    pool.ensure_workers(threads - 1);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_morsels).map(|_| None).collect());
     // The calling thread and every pool worker run the same drain loop;
@@ -312,6 +185,11 @@ where
     let drive = || {
         let mut local: Vec<(usize, T)> = Vec::new();
         loop {
+            // ORDERING: Relaxed suffices — the counter's only job is to
+            // hand out each morsel index exactly once, which the atomic
+            // RMW guarantees under any ordering; every morsel *result*
+            // is published through the `slots` mutex below, which
+            // provides the happens-before edge to the reading thread.
             let k = next.fetch_add(1, Ordering::Relaxed);
             if k >= n_morsels {
                 break;
@@ -327,47 +205,20 @@ where
             let name = who.name().unwrap_or("caller");
             ipdb_obs::add(&format!("pool.drained.{name}"), local.len() as u64);
         }
-        let mut slots = slots.lock().expect("morsel slots mutex");
+        // Poison recovery: a panic in `f` never leaves this mutex held
+        // mid-write (slots are filled one whole `Some` at a time), so
+        // the map is sound for whichever thread locks it next.
+        let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
         for (k, out) in local {
             slots[k] = Some(out);
         }
     };
-    let finished = Latch::new();
-    let worker_panicked = AtomicBool::new(false);
-    let task = || {
-        if catch_unwind(AssertUnwindSafe(&drive)).is_err() {
-            worker_panicked.store(true, Ordering::Relaxed);
-        }
-        finished.arrive();
-    };
-    let task_ref: &(dyn Fn() + Sync) = &task;
-    // SAFETY: the erased borrows (`task` and everything it captures live
-    // in this frame) cannot outlive the frame: `guard` blocks — on
-    // return AND on unwind — until every submitted job has arrived at
-    // `finished`, and pool workers drop each job as soon as it runs.
-    let task_static: &'static (dyn Fn() + Sync + 'static) =
-        unsafe { std::mem::transmute(task_ref) };
-    let mut guard = WaitGuard {
-        latch: &finished,
-        expected: 0,
-    };
-    for _ in 0..threads - 1 {
-        pool.submit(Box::new(task_static));
-        guard.expected += 1;
-    }
-    let main_result = catch_unwind(AssertUnwindSafe(&drive));
-    drop(guard);
-    if let Err(payload) = main_result {
-        resume_unwind(payload);
-    }
-    assert!(
-        !worker_panicked.load(Ordering::Relaxed),
-        "morsel worker panicked"
-    );
+    crate::erase::fan_out(threads - 1, &drive);
     slots
         .into_inner()
-        .expect("morsel slots mutex")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
+        // ipdb-lint: allow(no-panic-on-serve-paths) reason="fan_out returns normally only after every invocation completed, and the drain loop claims every index below n_morsels before stopping"
         .map(|t| t.expect("every morsel index was claimed exactly once"))
         .collect()
 }
@@ -382,6 +233,7 @@ fn par_select(
     p.validate(ci.arity())?;
     let chunks = run_morsels(ci.len(), cfg, |lo, hi| {
         ci.eval_mask_range(p, lo, hi)
+            // ipdb-lint: allow(no-panic-on-serve-paths) reason="p.validate(ci.arity()) ran at fn entry; eval_mask_range only fails on arity/column errors that validation rules out"
             .expect("predicate validated above")
             .into_iter()
             .enumerate()
@@ -479,8 +331,10 @@ fn from_rows_par(i: &Instance, cfg: &ExecConfig) -> ColumnarInstance {
                 cols[c].push(v.clone());
             }
         }
+        // ipdb-lint: allow(no-panic-on-serve-paths) reason="the loop above pushes exactly hi-lo values onto each of the arity columns"
         ColumnarInstance::from_columns(cols, hi - lo).expect("columns match the chunk length")
     });
+    // ipdb-lint: allow(no-panic-on-serve-paths) reason="every batch was built from tuples of one Instance, whose arity is fixed"
     ColumnarInstance::vstack(arity, batches).expect("chunks share the relation's arity")
 }
 
@@ -499,6 +353,7 @@ fn to_rows_par(ci: &ColumnarInstance, cfg: &ExecConfig) -> Instance {
     for c in chunks {
         all.extend(c);
     }
+    // ipdb-lint: allow(no-panic-on-serve-paths) reason="every tuple came from ci.tuple_at, so its arity is ci.arity() by construction"
     Instance::from_tuple_batch(ci.arity(), all).expect("columnar rows share the batch arity")
 }
 
@@ -722,6 +577,7 @@ pub fn run_instance_map_traced<R: std::borrow::Borrow<Instance>>(
 mod tests {
     use super::*;
     use ipdb_rel::instance;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn chain_query() -> Query {
         // σ_{#1=#2 ∧ #0≠#3}(V × V), exercising join extraction shape

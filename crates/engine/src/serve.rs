@@ -355,6 +355,7 @@ where
                 let version = self.snapshots.install(catalog);
                 Ok(Reply::Installed { version })
             }
+            // ipdb-lint: allow(no-panic-on-serve-paths) reason="deliberate fault injection: this panic exists so tests can prove worker isolation; it is caught at the request boundary"
             Request::Poison => panic!("poisoned request (serve test scaffolding)"),
         }
     }
@@ -441,6 +442,7 @@ where
                 thread::Builder::new()
                     .name(format!("ipdb-serve-{i}"))
                     .spawn(move || shared.worker_loop())
+                    // ipdb-lint: allow(no-panic-on-serve-paths) reason="boot-time only: a host that cannot spawn its worker threads cannot serve, and failing loudly at start beats a server that accepts requests nobody answers"
                     .expect("spawn server worker")
             })
             .collect();
@@ -471,6 +473,7 @@ where
     pub fn query(&self, text: impl Into<String>) -> Result<B::Output, ServeError> {
         match self.submit(Request::Query(text.into())).wait()? {
             Reply::Answer(out) => Ok(out),
+            // ipdb-lint: allow(no-panic-on-serve-paths) reason="handle() pairs Query with Answer exhaustively; a mismatched reply is a bug in this file, not a runtime state"
             Reply::Installed { .. } => unreachable!("query requests answer with relations"),
         }
     }
@@ -485,6 +488,7 @@ where
             .wait()?
         {
             Reply::Installed { version } => Ok(version),
+            // ipdb-lint: allow(no-panic-on-serve-paths) reason="handle() pairs Install with Installed exhaustively; a mismatched reply is a bug in this file, not a runtime state"
             Reply::Answer(_) => unreachable!("write requests answer with versions"),
         }
     }
@@ -495,6 +499,7 @@ where
     pub fn install_all(&self, catalog: Catalog<B>) -> Result<u64, ServeError> {
         match self.submit(Request::InstallAll(catalog)).wait()? {
             Reply::Installed { version } => Ok(version),
+            // ipdb-lint: allow(no-panic-on-serve-paths) reason="handle() pairs InstallAll with Installed exhaustively; a mismatched reply is a bug in this file, not a runtime state"
             Reply::Answer(_) => unreachable!("write requests answer with versions"),
         }
     }

@@ -21,6 +21,7 @@
 //! a variable whose domain is `{false, true}` and whose atoms compare it
 //! with boolean constants ([`Condition::bvar`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod condition;

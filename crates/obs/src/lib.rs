@@ -28,7 +28,8 @@
 //! [`span`] checks the flag itself (a disabled span skips even the
 //! clock read), so it is safe to leave in cold paths unconditionally.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -57,6 +58,8 @@ fn flag() -> &'static AtomicBool {
 /// load, the check instrumented call sites make before recording.
 /// Initialized from `IPDB_METRICS` on first use.
 pub fn enabled() -> bool {
+    // ORDERING: Relaxed — a standalone on/off flag; call sites only skip
+    // or take the recording branch, no other data is published through it.
     flag().load(Ordering::Relaxed)
 }
 
@@ -64,6 +67,7 @@ pub fn enabled() -> bool {
 /// `IPDB_METRICS` said). Benchmarks use this to interleave off/on runs
 /// in one process.
 pub fn set_enabled(on: bool) {
+    // ORDERING: Relaxed — same flag-only contract as `enabled`.
     flag().store(on, Ordering::Relaxed);
 }
 
@@ -84,6 +88,9 @@ impl Counter {
 
     /// Adds `n` to the counter.
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — the atomic RMW keeps the tally exact under
+        // concurrent bumps; cross-counter ordering is explicitly not part
+        // of the contract (see the type docs).
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -94,11 +101,15 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — a statistic read on its own; a read racing a
+        // bump legitimately lands on either side of it.
         self.0.load(Ordering::Relaxed)
     }
 
     /// Zeroes the counter (used by [`reset`] for bench isolation).
     pub fn reset(&self) {
+        // ORDERING: Relaxed — bench isolation only; callers quiesce their
+        // own workload before resetting, nothing synchronizes through it.
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -269,11 +280,23 @@ impl fmt::Display for MetricsSnapshot {
 mod tests {
     use super::*;
 
-    // All tests share one process-global registry and flag, so each
-    // test uses its own counter names and restores the flag.
+    // All tests share one process-global registry and flag — and
+    // `reset()` zeroes *every* counter — so each test uses its own
+    // counter names, restores the flag, and holds this lock for its
+    // whole body (the harness otherwise interleaves them across
+    // threads, letting one test's global `reset()` eat another's
+    // in-flight increments).
+    static GLOBAL_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_STATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn counters_register_and_accumulate() {
+        let _g = serialized();
         let c = counter("test.alpha");
         c.add(3);
         c.incr();
@@ -289,6 +312,7 @@ mod tests {
 
     #[test]
     fn snapshot_captures_and_exports() {
+        let _g = serialized();
         add("test.snap.x", 7);
         add("test.snap.y", 2);
         let snap = snapshot();
@@ -312,6 +336,7 @@ mod tests {
 
     #[test]
     fn json_escapes_quotes_and_backslashes() {
+        let _g = serialized();
         add("test.esc.\"q\\uote\"", 1);
         let json = snapshot().to_json();
         assert!(json.contains("\"test.esc.\\\"q\\\\uote\\\"\": 1"));
@@ -319,6 +344,7 @@ mod tests {
 
     #[test]
     fn spans_record_only_when_enabled() {
+        let _g = serialized();
         let was = enabled();
         set_enabled(false);
         drop(span("test.span.off"));
@@ -347,6 +373,7 @@ mod tests {
 
     #[test]
     fn reset_zeroes_but_keeps_registration() {
+        let _g = serialized();
         add("test.reset.me", 41);
         reset();
         assert_eq!(counter("test.reset.me").get(), 0);
@@ -355,6 +382,7 @@ mod tests {
 
     #[test]
     fn counters_are_exact_under_contention() {
+        let _g = serialized();
         let c = counter("test.contended");
         c.reset();
         std::thread::scope(|s| {

@@ -27,6 +27,7 @@
 //!   safety test, safe-plan evaluation, lineage-based exact evaluation,
 //!   and the unsound forced-extensional plan for contrast.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answering;

@@ -25,6 +25,7 @@
 //!   positive query in `PosBool` yields, tuple by tuple, conditions
 //!   logically equivalent to those of `q̄(T)`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod connection;

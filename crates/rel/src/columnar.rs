@@ -265,11 +265,14 @@ impl ColumnarInstance {
         // adjacent, then dedup — columnar's analogue of the row path's
         // set insertion.
         let mut order: Vec<usize> = (0..self.len()).collect();
+        // An explicitly *total* lexicographic order over the projected
+        // key — `Iterator::cmp` over `Value`'s derived total `Ord`,
+        // with no per-column fallback step that could silently absorb
+        // an incomparable pair and break sort transitivity.
         let key_cmp = |&a: &usize, &b: &usize| {
             cols.iter()
-                .map(|&c| self.value(a, c).cmp(self.value(b, c)))
-                .find(|o| o.is_ne())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .map(|&c| self.value(a, c))
+                .cmp(cols.iter().map(|&c| self.value(b, c)))
         };
         order.sort_unstable_by(key_cmp);
         order.dedup_by(|a, b| key_cmp(a, b).is_eq());
@@ -543,6 +546,40 @@ mod tests {
         let none = Instance::empty(0);
         assert_eq!(ColumnarInstance::from_rows(&none).to_rows(), none);
         assert!(ColumnarInstance::empty(3).to_rows().is_empty());
+    }
+
+    #[test]
+    fn project_key_order_is_total_across_value_types() {
+        // Regression pin for the projection sort: a key column mixing
+        // all three `Value` variants. A comparator with a partial or
+        // non-transitive fallback would make the sort-dedup pass
+        // depend on comparison order; the row path is the oracle.
+        let tuples: Vec<Tuple> = [
+            vec![Value::from(true), Value::from(1)],
+            vec![Value::from(false), Value::from(2)],
+            vec![Value::from(7), Value::from(3)],
+            vec![Value::from(-7), Value::from(4)],
+            vec![Value::str("b"), Value::from(5)],
+            vec![Value::str("a"), Value::from(6)],
+            // Duplicate keys with distinct payloads: the key-only
+            // projection must dedup them, the full one must not.
+            vec![Value::from(7), Value::from(3)],
+            vec![Value::str("a"), Value::from(8)],
+        ]
+        .into_iter()
+        .map(Tuple::from)
+        .collect();
+        let i = Instance::from_tuple_batch(2, tuples).unwrap();
+        let c = ColumnarInstance::from_rows(&i);
+        for cols in [vec![0], vec![0, 1], vec![1, 0], vec![0, 0]] {
+            let expected = Query::project(Query::Input, cols.clone()).eval(&i).unwrap();
+            assert_eq!(
+                c.project(&cols).unwrap().to_rows(),
+                expected,
+                "cols={cols:?}"
+            );
+        }
+        assert_eq!(c.project(&[0]).unwrap().len(), 6, "mixed keys dedup");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! [`ipdb-tables`]: https://docs.rs/ipdb-tables
 //! [`ipdb-prob`]: https://docs.rs/ipdb-prob
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod columnar;

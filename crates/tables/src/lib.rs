@@ -31,6 +31,7 @@
 //! [`Domain`]: ipdb_rel::Domain
 //! [`IDatabase`]: ipdb_rel::IDatabase
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algebra;

@@ -45,6 +45,8 @@
 //! assert!(!worlds.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ipdb_bdd as bdd;
 pub use ipdb_core as theory;
 pub use ipdb_engine as engine;

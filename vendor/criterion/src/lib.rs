@@ -9,6 +9,8 @@
 //! to compare runs of the `ipdb-bench` suites — but does no statistical
 //! analysis, HTML reporting, or outlier rejection.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -21,6 +21,8 @@
 //!   overrides every suite's count at once (used to keep CI within a
 //!   time budget, or to crank counts up locally).
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod prelude;

@@ -7,6 +7,8 @@
 //! deterministic given the seed, which is all the workload generators in
 //! `ipdb-bench` need.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A seedable random number generator (SplitMix64 under the hood, not
